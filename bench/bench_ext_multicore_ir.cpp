@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Extension of Sec. 5.4 to full multicore floorplans.
+ *
+ * The paper: "assuming we have a multi-core chip, and each core is
+ * dissipating similar amount of power — under an IR camera that
+ * captures the thermal map of the chip with an oil flowing left to
+ * right across the die, the cores on the right side of the die
+ * appear hotter, which results in an artifact of higher
+ * reverse-engineered power consumption for those cores."
+ *
+ * Here the cores are complete EV6 floorplans (tiledFloorplan), the
+ * per-core powers are identical gcc averages, and the inversion runs
+ * at functional-block granularity — the artifact appears per block
+ * and accumulates per core.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/inversion.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench_common.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+
+using namespace irtherm;
+
+int
+main()
+{
+    bench::banner(
+        "Extension (Sec. 5.4)",
+        "multicore IR power extraction at block granularity",
+        "equal-power EV6 cores: the downstream core reads hotter and "
+        "a direction-blind inversion credits it with phantom power");
+
+    const Floorplan core = floorplans::alphaEv6();
+    const Floorplan fp = floorplans::tiledFloorplan(core, 2, 1);
+
+    // Same gcc power budget on both cores.
+    const std::vector<double> core_powers =
+        bench::ev6GccAveragePowers(core);
+    std::vector<double> powers(fp.blockCount());
+    for (std::size_t b = 0; b < fp.blockCount(); ++b) {
+        const std::string &name = fp.block(b).name;
+        const std::string base = name.substr(name.find('.') + 1);
+        powers[b] = core_powers[core.blockIndex(base)];
+    }
+
+    ModelOptions mo;
+    mo.mode = ModelMode::Grid;
+    mo.gridNx = 32;
+    mo.gridNy = 16;
+
+    PackageConfig directional = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight, 40.0);
+    PackageConfig blind = directional;
+    blind.oilFlow.directional = false;
+
+    const StackModel truth_model(fp, directional, mo);
+    const StackModel blind_model(fp, blind, mo);
+
+    const auto measured =
+        truth_model.steadyBlockTemperatures(powers);
+
+    PowerInversion blind_inv(blind_model);
+    PowerInversion aware_inv(truth_model);
+    const auto est_blind = blind_inv.estimatePowers(measured);
+    const auto est_aware = aware_inv.estimatePowers(measured);
+
+    // Aggregate per core.
+    auto per_core = [&](const std::vector<double> &v,
+                        const std::string &prefix) {
+        double acc = 0.0;
+        for (std::size_t b = 0; b < fp.blockCount(); ++b) {
+            if (startsWith(fp.block(b).name, prefix))
+                acc += v[b];
+        }
+        return acc;
+    };
+    auto hottest_in = [&](const std::vector<double> &t,
+                          const std::string &prefix) {
+        std::size_t hot = 0;
+        double best = -1e300;
+        for (std::size_t b = 0; b < fp.blockCount(); ++b) {
+            if (startsWith(fp.block(b).name, prefix) && t[b] > best) {
+                best = t[b];
+                hot = b;
+            }
+        }
+        return fp.block(hot).name + " " +
+               formatFixed(toCelsius(t[hot]), 1) + " C";
+    };
+
+    TextTable table({"core", "true P (W)", "blind estimate (W)",
+                     "direction-aware (W)", "hottest block"});
+    for (const char *prefix : {"c0_0.", "c1_0."}) {
+        table.addRow({std::string(prefix) +
+                          (std::string(prefix) == "c0_0."
+                               ? " (upstream)"
+                               : " (downstream)"),
+                      formatFixed(per_core(powers, prefix), 2),
+                      formatFixed(per_core(est_blind, prefix), 2),
+                      formatFixed(per_core(est_aware, prefix), 2),
+                      hottest_in(measured, prefix)});
+    }
+    table.print(std::cout);
+
+    const double bias = per_core(est_blind, "c1_0.") -
+                        per_core(est_blind, "c0_0.");
+    std::printf("\ndirection-blind per-core bias: %.2f W of phantom "
+                "power on the downstream core (true difference: "
+                "0.00 W); direction-aware inversion recovers both "
+                "cores exactly\n",
+                bias);
+    std::printf("paper: Hamann et al. correct for the flow direction "
+                "in their power extraction for exactly this reason\n");
+    return 0;
+}

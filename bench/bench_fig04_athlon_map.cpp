@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 4: steady-state OIL-SILICON thermal map of an AMD Athlon-like
+ * processor (the qualitative IR-measurement cross-check).
+ *
+ * Paper: using average powers derived from Mesa-Martinez et al., the
+ * modified HotSpot's hottest block is "Sched" at ~73 C and the
+ * coolest regions sit near ~45 C, matching the published IR
+ * snapshot. The secondary path is included (it is part of what the
+ * IR camera sees).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "analysis/thermal_map.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench_common.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+#include "power/wattch_model.hh"
+
+using namespace irtherm;
+
+int
+main()
+{
+    bench::banner("Fig. 4",
+                  "Athlon64-like steady map under OIL-SILICON",
+                  "hottest block is sched at ~73 C; coolest regions "
+                  "~45 C (ambient 45 C)");
+
+    const Floorplan fp = floorplans::athlon64();
+    // Rig calibration: see bench_common.hh / DESIGN.md.
+    const std::vector<double> powers = bench::athlonRigPowers(fp);
+    double total = 0.0;
+    for (double p : powers)
+        total += p;
+    std::printf("total power: %.1f W (rig-calibrated)\n\n", total);
+
+    PackageConfig pkg = PackageConfig::makeOilSilicon(
+        bench::athlonRigVelocity(), FlowDirection::LeftToRight,
+        bench::athlonRigAmbientCelsius());
+    ModelOptions mo;
+    mo.mode = ModelMode::Grid;
+    mo.gridNx = 40;
+    mo.gridNy = 32;
+    const StackModel model(fp, pkg, mo);
+
+    const auto node_temps = model.steadyNodeTemperatures(powers);
+    const auto block_temps = model.blockTemperatures(node_temps);
+
+    TextTable table({"unit", "P (W)", "T (C)"});
+    std::size_t hottest = 0;
+    for (std::size_t b = 0; b < fp.blockCount(); ++b) {
+        table.addRow(fp.block(b).name,
+                     {powers[b], toCelsius(block_temps[b])});
+        if (block_temps[b] > block_temps[hottest])
+            hottest = b;
+    }
+    table.print(std::cout);
+
+    const ThermalMap map = ThermalMap::fromModel(model, node_temps);
+    std::ofstream csv("fig04_athlon_map.csv");
+    map.writeCsv(csv);
+    std::ofstream ppm("fig04_athlon_map.ppm");
+    map.writePpm(ppm);
+
+    std::printf("\nhottest block: %s at %.1f C (paper: Sched ~73 C)\n",
+                fp.block(hottest).name.c_str(),
+                toCelsius(bench::maxOf(block_temps)));
+    std::printf("coolest block: %.1f C (paper: ~45 C)\n",
+                toCelsius(bench::minOf(block_temps)));
+    std::printf("map written to fig04_athlon_map.{csv,ppm}\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fig. 7: the equivalent-circuit time constants.
+ *
+ * Paper: AIR-SINK has two time scales — short-term
+ * tau = Rth,Si * Cth,Si (Eq. 5, milliseconds) and long-term
+ * tau = Rconv * C_sink (seconds to minutes). OIL-SILICON has a
+ * single dominant tau = Rconv * (Cth,Si + C_oil) (Eq. 6, ~1 s),
+ * because Rconv >> Rth,Si (1.0 vs 0.0125 K/W in the paper's setup).
+ *
+ * This bench derives the constants analytically from the assembled
+ * models and cross-checks them by fitting exponentials to simulated
+ * step responses.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench_common.hh"
+#include "core/package.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+#include "numeric/fit.hh"
+
+using namespace irtherm;
+
+namespace
+{
+
+/**
+ * Fit a time constant to the uniform-power step response of a model
+ * sampled at @p dt over @p duration, probing the mean silicon temp.
+ */
+double
+fittedTau(const StackModel &model, double total_power, double dt,
+          double duration)
+{
+    const Floorplan &fp = model.floorplan();
+    const std::vector<double> powers(
+        fp.blockCount(), total_power / static_cast<double>(
+                                            fp.blockCount()));
+    const double steady =
+        bench::meanOf(model.steadyBlockTemperatures(powers));
+
+    ThermalSimulator sim(model);
+    sim.setBlockPowers(powers);
+    std::vector<double> times, values;
+    times.push_back(0.0);
+    values.push_back(model.packageConfig().ambient);
+    for (double t = dt; t <= duration + 1e-12; t += dt) {
+        sim.advance(dt);
+        times.push_back(t);
+        values.push_back(bench::meanOf(sim.blockTemperatures()));
+    }
+    return timeToFraction(times, values, steady, 0.632);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 7", "equivalent-circuit thermal time constants",
+        "tau_short,sink = Rsi*Csi (~ms) << tau_oil = Rconv*(Csi+Coil) "
+        "(~1 s) << tau_long,sink = Rconv*Csink (~minutes)");
+
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    const PackageConfig air = PackageConfig::makeAirSink(1.0, 22.0);
+    PackageConfig oil = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight, 22.0);
+    // Match the paper's analytic circuit: bare die + oil only.
+    oil.secondary.enabled = false;
+
+    const StackModel air_model(fp, air);
+    const StackModel oil_model(fp, oil);
+
+    const double r_si = air_model.siliconVerticalResistance();
+    const double c_si = air_model.siliconCapacitance();
+    const double r_conv_air =
+        air_model.equivalentPrimaryResistance();
+    const double r_conv_oil =
+        oil_model.equivalentPrimaryResistance();
+    const double c_oil = oil_model.oilCapacitance();
+    const double c_sink =
+        air.airSink.sinkMaterial.volumetricHeatCapacity *
+        air.airSink.sinkSide * air.airSink.sinkSide *
+        air.airSink.sinkThickness;
+
+    std::printf("Rth,Si = %.4f K/W (paper: 0.0125), Rconv = %.3f K/W "
+                "(paper: 1.042)\n",
+                r_si, r_conv_oil);
+    std::printf("Cth,Si = %.3f J/K, C_oil = %.3f J/K, C_sink = %.1f "
+                "J/K (C_sink/C_si = %.0fx; paper: ~250x)\n\n",
+                c_si, c_oil, c_sink, c_sink / c_si);
+
+    const double tau_short_air = r_si * c_si;
+    const double tau_oil = r_conv_oil * (c_si + c_oil);
+    // The paper's circuit shows Rconv * C_sink; the assembled model
+    // also carries HotSpot's lumped convection capacitance, which
+    // adds to the sink mass on the long path.
+    const double tau_long_air =
+        r_conv_air * (c_sink + air.airSink.convectionCapacitance);
+
+    // Fitted constants from simulated step responses.
+    const double fit_oil = fittedTau(oil_model, 50.0, 0.02, 4.0);
+    const double fit_long_air = fittedTau(air_model, 50.0, 2.0, 500.0);
+
+    TextTable table({"time constant", "analytic (s)", "fitted (s)"});
+    table.addRow("AIR short-term (Eq. 5)", {tau_short_air, -1.0}, 4);
+    table.addRow("OIL overall (Eq. 6)", {tau_oil, fit_oil}, 4);
+    table.addRow("AIR long-term", {tau_long_air, fit_long_air}, 4);
+    table.print(std::cout);
+
+    std::printf("\nseparation: tau_oil / tau_short,air = %.0fx "
+                "(paper: ~two orders of magnitude, Rconv >> Rth,Si)\n",
+                tau_oil / tau_short_air);
+    std::printf("(the AIR short-term constant is fitted in Fig. 8's "
+                "pulse experiment; '-1' marks not fitted here)\n");
+    return 0;
+}

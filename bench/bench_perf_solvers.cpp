@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the numerical core: model
+ * assembly, steady CG solves, and transient integrator throughput.
+ * These guard the performance envelope that makes the Fig. 12
+ * 40 000-sample replays tractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/package.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+
+using namespace irtherm;
+
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t n)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = n;
+    o.gridNy = n;
+    return o;
+}
+
+void
+BM_AssembleGridModel(benchmark::State &state)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const StackModel model(fp, pkg, gridOpts(n));
+        benchmark::DoNotOptimize(model.nodeCount());
+    }
+    state.SetLabel(std::to_string(n) + "x" + std::to_string(n));
+}
+BENCHMARK(BM_AssembleGridModel)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_SteadySolveGrid(benchmark::State &state)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const StackModel model(fp, pkg, gridOpts(n));
+    std::vector<double> powers(fp.blockCount(), 2.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.steadyNodeTemperatures(powers));
+    }
+    state.SetLabel(std::to_string(model.nodeCount()) + " nodes");
+}
+BENCHMARK(BM_SteadySolveGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_Rk4TraceSample(benchmark::State &state)
+{
+    // One Fig. 12 trace step: advance the block-mode EV6 by 3.33 us.
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(0.3));
+    ThermalSimulator sim(model);
+    std::vector<double> powers(fp.blockCount(), 2.0);
+    sim.setBlockPowers(powers);
+    for (auto _ : state)
+        sim.advance(3.33e-6);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Rk4TraceSample);
+
+void
+BM_BackwardEulerStepGrid(benchmark::State &state)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const StackModel model(fp, pkg, gridOpts(n));
+    SimulatorOptions so;
+    so.integrator = IntegratorKind::BackwardEuler;
+    so.implicitStep = 1e-3;
+    ThermalSimulator sim(model, so);
+    std::vector<double> powers(fp.blockCount(), 2.0);
+    sim.setBlockPowers(powers);
+    for (auto _ : state)
+        sim.advance(1e-3);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BackwardEulerStepGrid)->Arg(16)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

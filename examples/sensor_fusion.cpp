@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Sensor fusion: the paper's Sec. 5.4 recommendation — "combine IR
+ * and sensor measurements and thermal modeling" — in action.
+ *
+ * A 4-sensor budget cannot watch every unit (Sec. 5.3). This
+ * example runs a workload the sensors were not tuned for, then
+ * reconstructs the full-die state from the four readings using the
+ * thermal model and an IR-derived prior power budget. The estimate
+ * finds the unwatched hot spot that raw sensor readout misses.
+ *
+ * Run: ./sensor_fusion
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/estimator.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "dtm/sensor.hh"
+#include "floorplan/presets.hh"
+#include "power/synthetic_cpu.hh"
+#include "power/wattch_model.hh"
+
+using namespace irtherm;
+
+int
+main()
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const WattchPowerModel pm = WattchPowerModel::alphaEv6();
+    ModelOptions mo;
+    mo.mode = ModelMode::Grid;
+    mo.gridNx = 16;
+    mo.gridNy = 16;
+    // Steep-gradient configuration (bare die under oil): this is
+    // where a misplaced sensor budget hurts most (Sec. 5.3).
+    const StackModel model(
+        fp,
+        PackageConfig::makeOilSilicon(10.0,
+                                      FlowDirection::LeftToRight,
+                                      45.0),
+        mo);
+
+    // The prior: the design-time power budget, taken from an art
+    // (floating-point) characterization run on the IR rig.
+    SyntheticCpu art_cpu(pm, workloads::art());
+    const std::vector<double> prior =
+        art_cpu.generate(5000).reorderedFor(fp).averagePowers();
+
+    // Today's workload is gcc — integer-heavy, so the unwatched
+    // IntReg is the real hot spot.
+    SyntheticCpu gcc_cpu(pm, workloads::gcc());
+    const std::vector<double> truth =
+        gcc_cpu.generate(5000).reorderedFor(fp).averagePowers();
+    const auto true_temps = model.steadyBlockTemperatures(truth);
+
+    // Four sensors placed for the *floating-point* hot spots.
+    std::vector<SensorSpec> sensors;
+    std::vector<double> readings;
+    for (const char *name : {"FPMul", "FPAdd", "Dcache", "L2"}) {
+        const Block &b = fp.block(fp.blockIndex(name));
+        sensors.push_back({name, b.centerX(), b.centerY(), 0.0, 0.0});
+        readings.push_back(true_temps[fp.blockIndex(name)]);
+    }
+
+    ModelAssistedEstimator estimator(model, sensors, prior, 1e-2);
+    const EstimatedState state = estimator.estimate(readings);
+
+    TextTable table(
+        {"unit", "true T (C)", "estimated T (C)", "sensed?"});
+    for (std::size_t b = 0; b < fp.blockCount(); ++b) {
+        const bool is_sensed =
+            std::find(estimator.sensedBlocks().begin(),
+                      estimator.sensedBlocks().end(),
+                      b) != estimator.sensedBlocks().end();
+        table.addRow({fp.block(b).name,
+                      formatFixed(toCelsius(true_temps[b]), 1),
+                      formatFixed(
+                          toCelsius(state.blockTemperatures[b]), 1),
+                      is_sensed ? "yes" : ""});
+    }
+    table.print(std::cout);
+
+    // Compare hot-spot views.
+    auto hottest = [&](const std::vector<double> &t) {
+        return static_cast<std::size_t>(
+            std::max_element(t.begin(), t.end()) - t.begin());
+    };
+    const std::size_t true_hot = hottest(true_temps);
+    const std::size_t est_hot = hottest(state.blockTemperatures);
+    const double sensed_max =
+        *std::max_element(readings.begin(), readings.end());
+
+    std::printf("\ntrue hottest unit: %s at %.1f C\n",
+                fp.block(true_hot).name.c_str(),
+                toCelsius(true_temps[true_hot]));
+    std::printf("raw sensors report at most %.1f C (miss: %.1f K)\n",
+                toCelsius(sensed_max),
+                true_temps[true_hot] - sensed_max);
+    std::printf("fusion estimate: hottest %s at %.1f C (miss: %.1f "
+                "K)\n",
+                fp.block(est_hot).name.c_str(),
+                toCelsius(state.blockTemperatures[est_hot]),
+                std::abs(true_temps[true_hot] -
+                         state.blockTemperatures[est_hot]));
+    std::printf("\nTakeaway: the model fills in what the sensor "
+                "budget cannot watch — the combination the paper's "
+                "Sec. 5.4 calls for.\n");
+    return 0;
+}

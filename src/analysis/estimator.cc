@@ -1,0 +1,85 @@
+#include "analysis/estimator.hh"
+
+#include "base/logging.hh"
+#include "numeric/dense_matrix.hh"
+#include "numeric/lu.hh"
+
+namespace irtherm
+{
+
+namespace
+{
+
+/** Block containing a point; fatal() when outside every block. */
+std::size_t
+blockAt(const Floorplan &fp, double x, double y)
+{
+    for (std::size_t b = 0; b < fp.blockCount(); ++b) {
+        const Block &blk = fp.block(b);
+        if (x >= blk.x && x < blk.right() && y >= blk.y &&
+            y < blk.top()) {
+            return b;
+        }
+    }
+    fatal("ModelAssistedEstimator: sensor at (", x, ",", y,
+          ") is outside the die");
+}
+
+} // namespace
+
+ModelAssistedEstimator::ModelAssistedEstimator(
+    const StackModel &model_, const std::vector<SensorSpec> &sensors,
+    std::vector<double> prior_, double lambda_)
+    : model(model_), response(model_), prior(std::move(prior_)),
+      lambda(lambda_)
+{
+    if (sensors.empty())
+        fatal("ModelAssistedEstimator: no sensors");
+    if (prior.size() != model.floorplan().blockCount())
+        fatal("ModelAssistedEstimator: prior size mismatch");
+    if (lambda <= 0.0)
+        fatal("ModelAssistedEstimator: lambda must be positive");
+    for (const SensorSpec &s : sensors)
+        sensed.push_back(blockAt(model.floorplan(), s.x, s.y));
+}
+
+EstimatedState
+ModelAssistedEstimator::estimate(
+    const std::vector<double> &readings) const
+{
+    if (readings.size() != sensed.size())
+        fatal("ModelAssistedEstimator: reading count mismatch");
+
+    const std::size_t nb = model.floorplan().blockCount();
+    const std::size_t ns = sensed.size();
+    const double ambient = model.packageConfig().ambient;
+    const DenseMatrix &r = response.responseMatrix();
+
+    // Normal equations of the regularized problem:
+    //   (A^T A + lambda I) p = A^T y + lambda p_prior
+    // with A = S R (the sensed rows of the response matrix).
+    DenseMatrix ata(nb, nb);
+    std::vector<double> rhs(nb, 0.0);
+    for (std::size_t s = 0; s < ns; ++s) {
+        const std::size_t row = sensed[s];
+        const double y = readings[s] - ambient;
+        for (std::size_t i = 0; i < nb; ++i) {
+            rhs[i] += r(row, i) * y;
+            for (std::size_t j = 0; j < nb; ++j)
+                ata(i, j) += r(row, i) * r(row, j);
+        }
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+        ata(i, i) += lambda;
+        rhs[i] += lambda * prior[i];
+    }
+
+    EstimatedState out;
+    LuDecomposition lu(ata);
+    out.blockPowers = lu.solve(rhs);
+    out.blockTemperatures =
+        response.predictTemperatures(out.blockPowers);
+    return out;
+}
+
+} // namespace irtherm

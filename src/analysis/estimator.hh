@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Model-assisted temperature estimation from sparse sensors.
+ *
+ * The paper's Sec. 5.4 closes: "We think a proper way is to combine
+ * IR and sensor measurements and thermal modeling to achieve a
+ * better thermal design." This module is that combination at
+ * runtime: a handful of on-die sensors cannot see every hot spot
+ * (Sec. 5.3), but the thermal model knows how block temperatures
+ * co-vary — so the sensor readings constrain a regularized
+ * least-squares estimate of the per-block *powers*, and the model
+ * maps those back to a full-die temperature field.
+ *
+ * Estimate:  min_p ||S R p - (t_meas - amb)||^2
+ *                + lambda ||p - p_prior||^2
+ * where R is the block thermal-response matrix and S selects the
+ * sensed blocks. The prior (e.g. an IR-derived average power map,
+ * or the design power budget) anchors the unobserved directions.
+ */
+
+#ifndef IRTHERM_ANALYSIS_ESTIMATOR_HH
+#define IRTHERM_ANALYSIS_ESTIMATOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/inversion.hh"
+#include "core/stack_model.hh"
+#include "dtm/sensor.hh"
+
+namespace irtherm
+{
+
+/** Full-die temperature estimate reconstructed from sensors. */
+struct EstimatedState
+{
+    std::vector<double> blockPowers;       ///< W
+    std::vector<double> blockTemperatures; ///< kelvin, all blocks
+};
+
+/**
+ * Sparse-sensor + model estimator over one StackModel.
+ */
+class ModelAssistedEstimator
+{
+  public:
+    /**
+     * @param model       deployment thermal model
+     * @param sensors     sensor locations (each maps to the block
+     *                    containing it; one sensor per block at most)
+     * @param prior       per-block prior powers (W)
+     * @param lambda      Tikhonov weight pulling toward the prior
+     *                    (K^2/W^2 units; ~1e-2 works well)
+     */
+    ModelAssistedEstimator(const StackModel &model,
+                           const std::vector<SensorSpec> &sensors,
+                           std::vector<double> prior,
+                           double lambda = 1e-2);
+
+    /**
+     * Reconstruct the full per-block state from one vector of sensor
+     * readings (kelvin, absolute; same order as the sensors).
+     */
+    EstimatedState estimate(const std::vector<double> &readings) const;
+
+    /** Block index each sensor reads. */
+    const std::vector<std::size_t> &sensedBlocks() const
+    {
+        return sensed;
+    }
+
+  private:
+    const StackModel &model;
+    PowerInversion response;
+    std::vector<std::size_t> sensed;
+    std::vector<double> prior;
+    double lambda;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_ANALYSIS_ESTIMATOR_HH

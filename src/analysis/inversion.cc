@@ -1,0 +1,63 @@
+#include "analysis/inversion.hh"
+
+#include "base/logging.hh"
+#include "numeric/lu.hh"
+
+namespace irtherm
+{
+
+PowerInversion::PowerInversion(const StackModel &model_)
+    : model(model_),
+      response(model_.floorplan().blockCount(),
+               model_.floorplan().blockCount())
+{
+    const std::size_t nb = model.floorplan().blockCount();
+    const double ambient = model.packageConfig().ambient;
+    std::vector<double> unit(nb, 0.0);
+    for (std::size_t j = 0; j < nb; ++j) {
+        unit[j] = 1.0;
+        const std::vector<double> temps =
+            model.steadyBlockTemperatures(unit);
+        for (std::size_t i = 0; i < nb; ++i)
+            response(i, j) = temps[i] - ambient;
+        unit[j] = 0.0;
+    }
+}
+
+std::vector<double>
+PowerInversion::estimatePowers(
+    const std::vector<double> &block_temps) const
+{
+    const std::size_t nb = response.rows();
+    if (block_temps.size() != nb)
+        fatal("estimatePowers: temperature vector size mismatch");
+
+    const double ambient = model.packageConfig().ambient;
+    std::vector<double> rise(nb);
+    for (std::size_t i = 0; i < nb; ++i)
+        rise[i] = block_temps[i] - ambient;
+
+    // Normal equations R^T R p = R^T rise (R is square and well
+    // conditioned for block-level inversion, but the least-squares
+    // form also covers future rectangular variants).
+    const DenseMatrix rt = response.transposed();
+    const DenseMatrix rtr = rt.multiply(response);
+    const std::vector<double> rhs = rt.multiply(rise);
+    LuDecomposition lu(rtr);
+    return lu.solve(rhs);
+}
+
+std::vector<double>
+PowerInversion::predictTemperatures(
+    const std::vector<double> &block_powers) const
+{
+    if (block_powers.size() != response.cols())
+        fatal("predictTemperatures: power vector size mismatch");
+    std::vector<double> t = response.multiply(block_powers);
+    const double ambient = model.packageConfig().ambient;
+    for (double &v : t)
+        v += ambient;
+    return t;
+}
+
+} // namespace irtherm

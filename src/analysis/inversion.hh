@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Steady-state power reverse-engineering from thermal maps.
+ *
+ * IR thermography is used to infer per-block power from a measured
+ * temperature map (Hamann et al., Mesa-Martinez et al., as discussed
+ * in the paper's Sec. 5.4). The inversion builds the linear map
+ * R: block powers -> block temperature rises by probing the forward
+ * model one block at a time, then solves the least-squares problem
+ * for an observed map.
+ *
+ * The paper's warning is reproduced by inverting with a model whose
+ * flow-direction handling differs from the model that generated the
+ * observation: a direction-blind inversion of a directional
+ * measurement systematically mis-attributes power downstream.
+ */
+
+#ifndef IRTHERM_ANALYSIS_INVERSION_HH
+#define IRTHERM_ANALYSIS_INVERSION_HH
+
+#include <vector>
+
+#include "core/stack_model.hh"
+#include "numeric/dense_matrix.hh"
+
+namespace irtherm
+{
+
+/** Linear thermal response operator of one model. */
+class PowerInversion
+{
+  public:
+    /**
+     * Probe @p model block by block to build the response matrix.
+     * O(blocks) steady solves; do it once per model.
+     */
+    explicit PowerInversion(const StackModel &model);
+
+    /**
+     * Estimate block powers from observed block temperatures
+     * (kelvin, absolute). Solves the normal equations of
+     * R p = T - ambient.
+     */
+    std::vector<double>
+    estimatePowers(const std::vector<double> &block_temps) const;
+
+    /** Forward map: block powers -> block temperatures (kelvin). */
+    std::vector<double>
+    predictTemperatures(const std::vector<double> &block_powers) const;
+
+    /** The response matrix (rises per watt). */
+    const DenseMatrix &responseMatrix() const { return response; }
+
+  private:
+    const StackModel &model;
+    DenseMatrix response;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_ANALYSIS_INVERSION_HH

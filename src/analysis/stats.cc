@@ -1,0 +1,85 @@
+#include "analysis/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+Summary
+summarize(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("summarize: empty sample");
+    Summary s;
+    s.min = values.front();
+    s.max = values.front();
+    double acc = 0.0;
+    for (double v : values) {
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+        acc += v;
+    }
+    s.mean = acc / static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values)
+        var += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+    return s;
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        fatal("percentile: empty sample");
+    if (pct < 0.0 || pct > 100.0)
+        fatal("percentile: pct out of range");
+    std::sort(values.begin(), values.end());
+    const double pos =
+        pct / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double f = pos - std::floor(pos);
+    return values[lo] * (1.0 - f) + values[hi] * f;
+}
+
+double
+maxRate(const std::vector<double> &values, double dt)
+{
+    if (values.size() < 2)
+        fatal("maxRate: need at least two samples");
+    if (dt <= 0.0)
+        fatal("maxRate: non-positive dt");
+    double rate = 0.0;
+    for (std::size_t i = 1; i < values.size(); ++i)
+        rate = std::max(rate, std::abs(values[i] - values[i - 1]) / dt);
+    return rate;
+}
+
+double
+rmsDifference(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.empty())
+        fatal("rmsDifference: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double
+maxAbsDifference(const std::vector<double> &a,
+                 const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.empty())
+        fatal("maxAbsDifference: size mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace irtherm

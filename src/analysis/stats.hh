@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Descriptive statistics used by benches and tests.
+ */
+
+#ifndef IRTHERM_ANALYSIS_STATS_HH
+#define IRTHERM_ANALYSIS_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace irtherm
+{
+
+/** Summary of a sample vector. */
+struct Summary
+{
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Compute min/max/mean/stddev. @pre values non-empty */
+Summary summarize(const std::vector<double> &values);
+
+/**
+ * Linear-interpolated percentile in [0, 100].
+ * @pre values non-empty
+ */
+double percentile(std::vector<double> values, double pct);
+
+/**
+ * Largest rate of change |dv/dt| over consecutive samples of a
+ * uniformly sampled trace (units of value per second). The paper's
+ * Sec. 5.2 sensing-interval bound divides a resolution by this.
+ */
+double maxRate(const std::vector<double> &values, double dt);
+
+/** Root-mean-square difference of two equal-length vectors. */
+double rmsDifference(const std::vector<double> &a,
+                     const std::vector<double> &b);
+
+/** Maximum absolute difference of two equal-length vectors. */
+double maxAbsDifference(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+} // namespace irtherm
+
+#endif // IRTHERM_ANALYSIS_STATS_HH

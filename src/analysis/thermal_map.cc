@@ -1,0 +1,152 @@
+#include "analysis/thermal_map.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace irtherm
+{
+
+double
+ThermalMap::maxTemp() const
+{
+    return *std::max_element(temps.begin(), temps.end());
+}
+
+double
+ThermalMap::minTemp() const
+{
+    return *std::min_element(temps.begin(), temps.end());
+}
+
+double
+ThermalMap::meanTemp() const
+{
+    double acc = 0.0;
+    for (double t : temps)
+        acc += t;
+    return acc / static_cast<double>(temps.size());
+}
+
+std::pair<double, double>
+ThermalMap::hottestLocation() const
+{
+    const auto it = std::max_element(temps.begin(), temps.end());
+    const auto idx = static_cast<std::size_t>(it - temps.begin());
+    const double dx = width / static_cast<double>(nx);
+    const double dy = height / static_cast<double>(ny);
+    return {(static_cast<double>(idx % nx) + 0.5) * dx,
+            (static_cast<double>(idx / nx) + 0.5) * dy};
+}
+
+void
+ThermalMap::writeCsv(std::ostream &out) const
+{
+    out << "x_m,y_m,temp_c\n";
+    const double dx = width / static_cast<double>(nx);
+    const double dy = height / static_cast<double>(ny);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            out << (static_cast<double>(ix) + 0.5) * dx << ","
+                << (static_cast<double>(iy) + 0.5) * dy << ","
+                << toCelsius(temps[iy * nx + ix]) << "\n";
+        }
+    }
+}
+
+void
+ThermalMap::writePpm(std::ostream &out, double lo, double hi) const
+{
+    if (lo >= hi) {
+        lo = minTemp();
+        hi = maxTemp();
+        if (hi - lo < 1e-12)
+            hi = lo + 1.0;
+    }
+    out << "P3\n" << nx << " " << ny << "\n255\n";
+    // Image rows run top to bottom; the map's y runs bottom to top.
+    for (std::size_t row = 0; row < ny; ++row) {
+        const std::size_t iy = ny - 1 - row;
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            const double f = std::clamp(
+                (temps[iy * nx + ix] - lo) / (hi - lo), 0.0, 1.0);
+            // Blue -> cyan -> yellow -> red ramp.
+            const int r =
+                static_cast<int>(255.0 * std::clamp(1.5 * f, 0.0, 1.0));
+            const int g = static_cast<int>(
+                255.0 * std::clamp(1.5 - std::abs(2.0 * f - 1.0) * 1.5,
+                                   0.0, 1.0));
+            const int b = static_cast<int>(
+                255.0 * std::clamp(1.5 * (1.0 - f), 0.0, 1.0));
+            out << r << " " << g << " " << b << " ";
+        }
+        out << "\n";
+    }
+}
+
+std::string
+ThermalMap::renderAscii(std::size_t columns) const
+{
+    if (columns == 0)
+        fatal("renderAscii: zero width");
+    static const char shades[] = " .:-=+*#%@";
+    const std::size_t levels = sizeof(shades) - 2;
+
+    const double lo = minTemp();
+    const double hi = std::max(maxTemp(), lo + 1e-9);
+    const std::size_t out_x = std::min(columns, nx);
+    // Terminal cells are ~2x taller than wide; halve the row count
+    // to keep the aspect ratio roughly square.
+    const std::size_t out_y =
+        std::max<std::size_t>(1, ny * out_x / nx / 2);
+
+    std::string art;
+    for (std::size_t ry = 0; ry < out_y; ++ry) {
+        for (std::size_t rx = 0; rx < out_x; ++rx) {
+            // Average the map cells this character covers.
+            const std::size_t x0 = rx * nx / out_x;
+            const std::size_t x1 =
+                std::max(x0 + 1, (rx + 1) * nx / out_x);
+            // Image rows run top-down; map y runs bottom-up.
+            const std::size_t gy0 = (out_y - 1 - ry) * ny / out_y;
+            const std::size_t gy1 =
+                std::max(gy0 + 1, (out_y - ry) * ny / out_y);
+            double acc = 0.0;
+            std::size_t count = 0;
+            for (std::size_t iy = gy0; iy < gy1; ++iy) {
+                for (std::size_t ix = x0; ix < x1; ++ix) {
+                    acc += temps[iy * nx + ix];
+                    ++count;
+                }
+            }
+            const double f =
+                (acc / static_cast<double>(count) - lo) / (hi - lo);
+            const auto idx = static_cast<std::size_t>(std::clamp(
+                f * static_cast<double>(levels), 0.0,
+                static_cast<double>(levels)));
+            art += shades[idx];
+        }
+        art += '\n';
+    }
+    return art;
+}
+
+ThermalMap
+ThermalMap::fromModel(const StackModel &model,
+                      const std::vector<double> &node_temps)
+{
+    if (model.options().mode != ModelMode::Grid)
+        fatal("ThermalMap::fromModel: model is not in grid mode");
+    ThermalMap map;
+    map.nx = model.options().gridNx;
+    map.ny = model.options().gridNy;
+    map.width = model.floorplan().width();
+    map.height = model.floorplan().height();
+    map.temps = model.siliconCellTemperatures(node_temps);
+    return map;
+}
+
+} // namespace irtherm

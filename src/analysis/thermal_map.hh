@@ -1,0 +1,66 @@
+/**
+ * @file
+ * 2-D silicon thermal maps with CSV and PPM export.
+ *
+ * The paper's Figs. 4 and 10 are steady-state thermal maps; these
+ * helpers turn a grid-mode StackModel solution into files a plotting
+ * tool (or an image viewer, via the false-color PPM) can consume.
+ */
+
+#ifndef IRTHERM_ANALYSIS_THERMAL_MAP_HH
+#define IRTHERM_ANALYSIS_THERMAL_MAP_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/stack_model.hh"
+
+namespace irtherm
+{
+
+/** A regular 2-D temperature field over the die. */
+struct ThermalMap
+{
+    std::size_t nx = 0;
+    std::size_t ny = 0;
+    double width = 0.0;  ///< die extent (m)
+    double height = 0.0;
+    std::vector<double> temps; ///< row-major, kelvin
+
+    double maxTemp() const;
+    double minTemp() const;
+    double meanTemp() const;
+    /** Across-die temperature difference max - min (the paper's dT). */
+    double gradient() const { return maxTemp() - minTemp(); }
+
+    /** Location (x, y) of the hottest cell (m). */
+    std::pair<double, double> hottestLocation() const;
+
+    /** Write x, y, celsius rows. */
+    void writeCsv(std::ostream &out) const;
+
+    /**
+     * Write a false-colour (blue -> red) PPM image; the colour scale
+     * spans [lo, hi] kelvin, or the map's own range when lo >= hi.
+     */
+    void writePpm(std::ostream &out, double lo = 0.0,
+                  double hi = 0.0) const;
+
+    /** Extract the silicon map of a grid-mode model solution. */
+    static ThermalMap fromModel(const StackModel &model,
+                                const std::vector<double> &node_temps);
+
+    /**
+     * Render the map as ASCII shading (coolest '.' to hottest '@'),
+     * resampled to roughly @p columns terminal columns. Rows run
+     * top-of-die first. Handy for CLI/example output without an
+     * image viewer.
+     */
+    std::string renderAscii(std::size_t columns = 48) const;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_ANALYSIS_THERMAL_MAP_HH

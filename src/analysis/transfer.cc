@@ -1,0 +1,82 @@
+#include "analysis/transfer.hh"
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+PackageTransfer::PackageTransfer(const StackModel &rig_,
+                                 const StackModel &deployment_,
+                                 const TransferOptions &opts_)
+    : rig(rig_), deployment(deployment_), opts(opts_),
+      rigInversion(rig_), deploymentForward(deployment_)
+{
+    const Floorplan &a = rig.floorplan();
+    const Floorplan &b = deployment.floorplan();
+    if (a.blockCount() != b.blockCount())
+        fatal("PackageTransfer: floorplans do not match");
+    for (std::size_t i = 0; i < a.blockCount(); ++i) {
+        if (a.block(i).name != b.block(i).name)
+            fatal("PackageTransfer: block order mismatch at ", i);
+    }
+    if (opts.leakageModel &&
+        opts.leakageModel->unitCount() != a.blockCount()) {
+        fatal("PackageTransfer: leakage model unit count mismatch");
+    }
+}
+
+std::vector<double>
+PackageTransfer::leakageAt(const std::vector<double> &block_temps) const
+{
+    const Floorplan &fp = rig.floorplan();
+    const WattchPowerModel &pm = *opts.leakageModel;
+    std::vector<double> unit_temps(pm.unitCount());
+    for (std::size_t b = 0; b < fp.blockCount(); ++b)
+        unit_temps[pm.unitIndex(fp.block(b).name)] = block_temps[b];
+    const std::vector<double> unit_leak = pm.leakagePower(unit_temps);
+    std::vector<double> leak(fp.blockCount());
+    for (std::size_t b = 0; b < fp.blockCount(); ++b)
+        leak[b] = unit_leak[pm.unitIndex(fp.block(b).name)];
+    return leak;
+}
+
+std::vector<double>
+PackageTransfer::recoverPowers(
+    const std::vector<double> &rig_temps) const
+{
+    std::vector<double> powers =
+        rigInversion.estimatePowers(rig_temps);
+    if (opts.leakageModel) {
+        // Remove the rig-temperature leakage so only dynamic power
+        // transfers across packages.
+        const std::vector<double> leak = leakageAt(rig_temps);
+        for (std::size_t b = 0; b < powers.size(); ++b)
+            powers[b] -= leak[b];
+    }
+    return powers;
+}
+
+std::vector<double>
+PackageTransfer::predictDeployment(
+    const std::vector<double> &rig_temps) const
+{
+    const std::vector<double> dynamic = recoverPowers(rig_temps);
+    if (!opts.leakageModel)
+        return deploymentForward.predictTemperatures(dynamic);
+
+    // Fixed point: deployment leakage depends on deployment
+    // temperatures, which depend on deployment leakage. The map is a
+    // mild contraction for realistic leakage fractions.
+    std::vector<double> temps =
+        deploymentForward.predictTemperatures(dynamic);
+    for (std::size_t it = 0; it < opts.leakageIterations; ++it) {
+        std::vector<double> total = dynamic;
+        const std::vector<double> leak = leakageAt(temps);
+        for (std::size_t b = 0; b < total.size(); ++b)
+            total[b] += leak[b];
+        temps = deploymentForward.predictTemperatures(total);
+    }
+    return temps;
+}
+
+} // namespace irtherm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cross-package thermal transfer (the paper's proposed future work).
+ *
+ * "It could be useful to ascertain the thermal response of a chip
+ * with air-cooled heatsink based on the IR measurements from an
+ * oil-cooled bare silicon die. Certain factors such as the
+ * temperature dependency of leakage power ... may make such a
+ * derivation more complicated." (Sec. 6)
+ *
+ * PackageTransfer implements that derivation: invert the measurement
+ * rig's model to recover per-block powers from a measured map, then
+ * push those powers through the deployment package's model. The
+ * leakage complication is handled explicitly: leakage estimated at
+ * rig temperatures is removed from the recovered powers, and
+ * deployment leakage is re-added by fixed-point iteration at the
+ * (different) deployment temperatures.
+ */
+
+#ifndef IRTHERM_ANALYSIS_TRANSFER_HH
+#define IRTHERM_ANALYSIS_TRANSFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/inversion.hh"
+#include "core/stack_model.hh"
+#include "power/wattch_model.hh"
+
+namespace irtherm
+{
+
+/** Options for the rig-to-deployment transfer. */
+struct TransferOptions
+{
+    /**
+     * When set, the transfer separates temperature-dependent leakage
+     * from the recovered powers and re-evaluates it at deployment
+     * temperatures. Unit names must match the floorplan blocks.
+     */
+    const WattchPowerModel *leakageModel = nullptr;
+    /** Fixed-point iterations for deployment leakage. */
+    std::size_t leakageIterations = 5;
+};
+
+/**
+ * Derive deployment-package temperatures from measurement-rig
+ * temperatures of the same die and workload.
+ */
+class PackageTransfer
+{
+  public:
+    /**
+     * @param rig        model of the measurement configuration
+     *                   (e.g. OIL-SILICON with the rig's flow)
+     * @param deployment model of the production package
+     *                   (e.g. AIR-SINK)
+     *
+     * Both models must share the same floorplan block set.
+     */
+    PackageTransfer(const StackModel &rig, const StackModel &deployment,
+                    const TransferOptions &opts = {});
+
+    /**
+     * Powers recovered from a rig measurement (dynamic-only when a
+     * leakage model is configured; total otherwise).
+     */
+    std::vector<double>
+    recoverPowers(const std::vector<double> &rig_temps) const;
+
+    /**
+     * Predicted deployment block temperatures (kelvin) for the
+     * workload whose rig measurement is @p rig_temps.
+     */
+    std::vector<double>
+    predictDeployment(const std::vector<double> &rig_temps) const;
+
+  private:
+    const StackModel &rig;
+    const StackModel &deployment;
+    TransferOptions opts;
+    PowerInversion rigInversion;
+    PowerInversion deploymentForward;
+
+    /** Per-block leakage at the given block temperatures. */
+    std::vector<double>
+    leakageAt(const std::vector<double> &block_temps) const;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_ANALYSIS_TRANSFER_HH

@@ -1,0 +1,36 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace irtherm
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+warn(const std::string &msg)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace irtherm

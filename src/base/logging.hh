@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, invalid arguments), panic() is for internal
+ * invariant violations that should never happen regardless of user
+ * input. Because irtherm is a library rather than a standalone
+ * simulator, both report via exceptions so embedding applications and
+ * tests can recover; warn()/inform() print to stderr and never stop
+ * the caller.
+ */
+
+#ifndef IRTHERM_BASE_LOGGING_HH
+#define IRTHERM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace irtherm
+{
+
+/** Exception thrown by fatal(): the caller asked for something invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a parameter pack into one message string via operator<<. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user-level error (bad config, bad input).
+ *
+ * @param args Message fragments, concatenated via operator<<.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal invariant violation (a bug in irtherm itself).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; execution continues. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (useful in tests). */
+void setQuiet(bool quiet);
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_LOGGING_HH

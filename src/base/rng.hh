@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * Every stochastic component in irtherm (workload generators, sensor
+ * noise) takes an explicit Rng so that benches and tests are exactly
+ * reproducible run-to-run.
+ */
+
+#ifndef IRTHERM_BASE_RNG_HH
+#define IRTHERM_BASE_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace irtherm
+{
+
+/**
+ * Thin deterministic wrapper over std::mt19937_64.
+ *
+ * Exposes just the draws irtherm needs; keeping the interface small
+ * makes it easy to audit where randomness enters a simulation.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; the default seed is fixed. */
+    explicit Rng(std::uint64_t seed = 0x1d5eedULL) : engine(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Gaussian with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return std::normal_distribution<double>(mean, sigma)(engine);
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::size_t
+    index(std::size_t n)
+    {
+        return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine);
+    }
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative weights. Weights need not be normalized.
+     */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_RNG_HH

@@ -1,0 +1,82 @@
+#include "base/str.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    while (begin < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    std::size_t end = s.size();
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream iss(s);
+    while (std::getline(iss, token, delim))
+        out.push_back(token);
+    if (!s.empty() && s.back() == delim)
+        out.push_back("");
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(s);
+    std::string token;
+    while (iss >> token)
+        out.push_back(token);
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+double
+parseDouble(const std::string &s, const std::string &context)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        fatal(context, ": empty numeric field");
+    char *end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+        fatal(context, ": invalid number '", t, "'");
+    return v;
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << value;
+    return oss.str();
+}
+
+} // namespace irtherm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string utilities used by file parsers and report writers.
+ */
+
+#ifndef IRTHERM_BASE_STR_HH
+#define IRTHERM_BASE_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace irtherm
+{
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a delimiter character; empty tokens are kept. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Split on runs of whitespace; empty tokens are dropped. */
+std::vector<std::string> splitWhitespace(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Parse a double, reporting the enclosing context via fatal() when
+ * the text is not a valid number.
+ */
+double parseDouble(const std::string &s, const std::string &context);
+
+/** Format a double with fixed precision (reporting helper). */
+std::string formatFixed(double value, int precision);
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_STR_HH

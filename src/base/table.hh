@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table formatting for bench and example output.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures
+ * as rows of text; TextTable keeps that output aligned and uniform.
+ */
+
+#ifndef IRTHERM_BASE_TABLE_HH
+#define IRTHERM_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace irtherm
+{
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"unit", "T_oil (C)", "T_air (C)"});
+ *   t.addRow({"IntReg", "104.9", "63.2"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with header labels; the column count is fixed. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row. @pre cells.size() == column count */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a row of doubles at fixed precision. */
+    void addRow(const std::string &label,
+                const std::vector<double> &values, int precision = 2);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render with padding and a header separator line. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_TABLE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Physical constants and unit helpers.
+ *
+ * All irtherm quantities are SI unless a name says otherwise: meters,
+ * seconds, watts, kelvin, kg. Temperatures are carried in kelvin
+ * internally; celsius conversions are provided for reporting because
+ * the paper quotes everything in degrees C.
+ */
+
+#ifndef IRTHERM_BASE_UNITS_HH
+#define IRTHERM_BASE_UNITS_HH
+
+namespace irtherm
+{
+
+/** 0 degrees Celsius in kelvin. */
+constexpr double zeroCelsiusInKelvin = 273.15;
+
+/** Convert a temperature from kelvin to celsius. */
+constexpr double
+toCelsius(double kelvin)
+{
+    return kelvin - zeroCelsiusInKelvin;
+}
+
+/** Convert a temperature from celsius to kelvin. */
+constexpr double
+toKelvin(double celsius)
+{
+    return celsius + zeroCelsiusInKelvin;
+}
+
+/** Millimeters to meters. */
+constexpr double
+fromMillimeters(double mm)
+{
+    return mm * 1e-3;
+}
+
+/** Micrometers to meters. */
+constexpr double
+fromMicrometers(double um)
+{
+    return um * 1e-6;
+}
+
+/** Milliseconds to seconds. */
+constexpr double
+fromMilliseconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+/** Microseconds to seconds. */
+constexpr double
+fromMicroseconds(double us)
+{
+    return us * 1e-6;
+}
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_UNITS_HH

@@ -1,0 +1,216 @@
+#include "core/config_io.hh"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "base/units.hh"
+
+namespace irtherm
+{
+
+FlowDirection
+parseFlowDirection(const std::string &name)
+{
+    if (name == "left-to-right")
+        return FlowDirection::LeftToRight;
+    if (name == "right-to-left")
+        return FlowDirection::RightToLeft;
+    if (name == "bottom-to-top")
+        return FlowDirection::BottomToTop;
+    if (name == "top-to-bottom")
+        return FlowDirection::TopToBottom;
+    fatal("config: unknown flow direction '", name, "'");
+}
+
+SimulationConfig
+parseConfig(std::istream &in)
+{
+    SimulationConfig cfg;
+    std::string line;
+    std::size_t lineno = 0;
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments and whitespace.
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::string stripped = trim(line);
+        if (stripped.empty())
+            continue;
+
+        const std::vector<std::string> tok = splitWhitespace(stripped);
+        if (tok.size() != 2) {
+            fatal("config line ", lineno,
+                  ": expected '<key> <value>'");
+        }
+        const std::string &key = tok[0];
+        const std::string &value = tok[1];
+        const std::string ctx = "config line " + std::to_string(lineno);
+        auto num = [&]() { return parseDouble(value, ctx); };
+        auto flag = [&]() {
+            if (value == "1" || value == "true" || value == "yes")
+                return true;
+            if (value == "0" || value == "false" || value == "no")
+                return false;
+            fatal(ctx, ": expected a boolean, got '", value, "'");
+        };
+
+        PackageConfig &p = cfg.package;
+        if (key == "cooling") {
+            if (value == "air") {
+                p.cooling = CoolingKind::AirSink;
+            } else if (value == "oil") {
+                p.cooling = CoolingKind::OilSilicon;
+            } else if (value == "microchannel") {
+                p.cooling = CoolingKind::Microchannel;
+            } else if (value == "natural") {
+                p.cooling = CoolingKind::NaturalConvection;
+            } else {
+                fatal(ctx, ": cooling must be 'air', 'oil', "
+                           "'microchannel', or 'natural'");
+            }
+        } else if (key == "ambient") {
+            p.ambient = toKelvin(num());
+        } else if (key == "die_thickness") {
+            p.dieThickness = num();
+        } else if (key == "t_interface") {
+            p.airSink.timThickness = num();
+        } else if (key == "s_spreader") {
+            p.airSink.spreaderSide = num();
+        } else if (key == "t_spreader") {
+            p.airSink.spreaderThickness = num();
+        } else if (key == "s_sink") {
+            p.airSink.sinkSide = num();
+        } else if (key == "t_sink") {
+            p.airSink.sinkThickness = num();
+        } else if (key == "r_convec") {
+            p.airSink.sinkToAmbientResistance = num();
+        } else if (key == "c_convec") {
+            p.airSink.convectionCapacitance = num();
+        } else if (key == "oil_velocity") {
+            p.oilFlow.velocity = num();
+        } else if (key == "oil_direction") {
+            p.oilFlow.direction = parseFlowDirection(value);
+        } else if (key == "oil_directional") {
+            p.oilFlow.directional = flag();
+        } else if (key == "oil_cap_at_interface") {
+            p.oilFlow.capacitanceAtInterface = flag();
+        } else if (key == "mc_velocity") {
+            p.microchannel.flowVelocity = num();
+        } else if (key == "mc_direction") {
+            p.microchannel.direction = parseFlowDirection(value);
+        } else if (key == "mc_channel_width") {
+            p.microchannel.channelWidth = num();
+        } else if (key == "mc_channel_height") {
+            p.microchannel.channelHeight = num();
+        } else if (key == "mc_wall_width") {
+            p.microchannel.wallWidth = num();
+        } else if (key == "mc_base_thickness") {
+            p.microchannel.baseThickness = num();
+        } else if (key == "natural_h") {
+            p.naturalConvection.coefficient = num();
+        } else if (key == "secondary_enabled") {
+            p.secondary.enabled = flag();
+        } else if (key == "pcb_side") {
+            p.secondary.pcbSide = num();
+        } else if (key == "pcb_thickness") {
+            p.secondary.pcbThickness = num();
+        } else if (key == "substrate_thickness") {
+            p.secondary.substrateThickness = num();
+        } else if (key == "model_mode") {
+            if (value == "block") {
+                cfg.model.mode = ModelMode::Block;
+            } else if (value == "grid") {
+                cfg.model.mode = ModelMode::Grid;
+            } else {
+                fatal(ctx, ": model_mode must be 'block' or 'grid'");
+            }
+        } else if (key == "grid_nx") {
+            cfg.model.gridNx = static_cast<std::size_t>(num());
+        } else if (key == "grid_ny") {
+            cfg.model.gridNy = static_cast<std::size_t>(num());
+        } else {
+            fatal(ctx, ": unknown key '", key, "'");
+        }
+    }
+    return cfg;
+}
+
+SimulationConfig
+loadConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot open '", path, "'");
+    return parseConfig(in);
+}
+
+void
+writeConfig(std::ostream &out, const SimulationConfig &cfg)
+{
+    const PackageConfig &p = cfg.package;
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << "# irtherm simulation config\n";
+    const char *cooling_name = "air";
+    switch (p.cooling) {
+      case CoolingKind::AirSink:
+        cooling_name = "air";
+        break;
+      case CoolingKind::OilSilicon:
+        cooling_name = "oil";
+        break;
+      case CoolingKind::Microchannel:
+        cooling_name = "microchannel";
+        break;
+      case CoolingKind::NaturalConvection:
+        cooling_name = "natural";
+        break;
+    }
+    oss << "cooling " << cooling_name << "\n";
+    oss << "ambient " << toCelsius(p.ambient) << "\n";
+    oss << "die_thickness " << p.dieThickness << "\n";
+    oss << "t_interface " << p.airSink.timThickness << "\n";
+    oss << "s_spreader " << p.airSink.spreaderSide << "\n";
+    oss << "t_spreader " << p.airSink.spreaderThickness << "\n";
+    oss << "s_sink " << p.airSink.sinkSide << "\n";
+    oss << "t_sink " << p.airSink.sinkThickness << "\n";
+    oss << "r_convec " << p.airSink.sinkToAmbientResistance << "\n";
+    oss << "c_convec " << p.airSink.convectionCapacitance << "\n";
+    oss << "oil_velocity " << p.oilFlow.velocity << "\n";
+    oss << "oil_direction " << flowDirectionName(p.oilFlow.direction)
+        << "\n";
+    oss << "oil_directional " << (p.oilFlow.directional ? 1 : 0)
+        << "\n";
+    oss << "oil_cap_at_interface "
+        << (p.oilFlow.capacitanceAtInterface ? 1 : 0) << "\n";
+    oss << "mc_velocity " << p.microchannel.flowVelocity << "\n";
+    oss << "mc_direction "
+        << flowDirectionName(p.microchannel.direction) << "\n";
+    oss << "mc_channel_width " << p.microchannel.channelWidth << "\n";
+    oss << "mc_channel_height " << p.microchannel.channelHeight
+        << "\n";
+    oss << "mc_wall_width " << p.microchannel.wallWidth << "\n";
+    oss << "mc_base_thickness " << p.microchannel.baseThickness
+        << "\n";
+    oss << "natural_h " << p.naturalConvection.coefficient << "\n";
+    oss << "secondary_enabled " << (p.secondary.enabled ? 1 : 0)
+        << "\n";
+    oss << "pcb_side " << p.secondary.pcbSide << "\n";
+    oss << "pcb_thickness " << p.secondary.pcbThickness << "\n";
+    oss << "substrate_thickness " << p.secondary.substrateThickness
+        << "\n";
+    oss << "model_mode "
+        << (cfg.model.mode == ModelMode::Block ? "block" : "grid")
+        << "\n";
+    oss << "grid_nx " << cfg.model.gridNx << "\n";
+    oss << "grid_ny " << cfg.model.gridNy << "\n";
+    out << oss.str();
+}
+
+} // namespace irtherm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * HotSpot-style configuration files.
+ *
+ * HotSpot drives its runs from a flat key/value config
+ * (hotspot.config); irtherm keeps that workflow so a package and
+ * discretization can be described in text instead of code:
+ *
+ *   # comment
+ *   cooling        oil
+ *   ambient        45.0        # celsius
+ *   oil_velocity   10.0
+ *   oil_direction  top-to-bottom
+ *   model_mode     grid
+ *   grid_nx        32
+ *
+ * Unknown keys are fatal (catching typos beats silently ignoring
+ * them); omitted keys keep their defaults.
+ */
+
+#ifndef IRTHERM_CORE_CONFIG_IO_HH
+#define IRTHERM_CORE_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/package.hh"
+#include "core/stack_model.hh"
+
+namespace irtherm
+{
+
+/** Everything a run needs besides the floorplan and powers. */
+struct SimulationConfig
+{
+    PackageConfig package;
+    ModelOptions model;
+};
+
+/** Parse config text; fatal() on unknown keys or bad values. */
+SimulationConfig parseConfig(std::istream &in);
+
+/** Load a config file by path. */
+SimulationConfig loadConfig(const std::string &path);
+
+/** Serialize a config (round-trips through parseConfig). */
+void writeConfig(std::ostream &out, const SimulationConfig &cfg);
+
+/** Parse a flow-direction name ("left-to-right", ...). */
+FlowDirection parseFlowDirection(const std::string &name);
+
+} // namespace irtherm
+
+#endif // IRTHERM_CORE_CONFIG_IO_HH

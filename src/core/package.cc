@@ -1,0 +1,169 @@
+#include "core/package.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "materials/convection.hh"
+
+namespace irtherm
+{
+
+const char *
+flowDirectionName(FlowDirection dir)
+{
+    switch (dir) {
+      case FlowDirection::LeftToRight:
+        return "left-to-right";
+      case FlowDirection::RightToLeft:
+        return "right-to-left";
+      case FlowDirection::BottomToTop:
+        return "bottom-to-top";
+      case FlowDirection::TopToBottom:
+        return "top-to-bottom";
+    }
+    panic("flowDirectionName: bad enum value");
+}
+
+double
+MicrochannelSpec::hydraulicDiameter() const
+{
+    return 2.0 * channelWidth * channelHeight /
+           (channelWidth + channelHeight);
+}
+
+double
+MicrochannelSpec::filmCoefficient() const
+{
+    return nusselt * coolant.conductivity / hydraulicDiameter();
+}
+
+double
+MicrochannelSpec::porosity() const
+{
+    return channelWidth / (channelWidth + wallWidth);
+}
+
+void
+PackageConfig::check(double die_width, double die_height) const
+{
+    if (dieThickness <= 0.0)
+        fatal("PackageConfig: non-positive die thickness");
+    dieMaterial.check();
+
+    if (cooling == CoolingKind::AirSink) {
+        if (airSink.timThickness <= 0.0 ||
+            airSink.spreaderThickness <= 0.0 ||
+            airSink.sinkThickness <= 0.0) {
+            fatal("PackageConfig: non-positive package layer thickness");
+        }
+        if (airSink.spreaderSide < die_width ||
+            airSink.spreaderSide < die_height) {
+            fatal("PackageConfig: spreader smaller than the die");
+        }
+        if (airSink.sinkSide < airSink.spreaderSide)
+            fatal("PackageConfig: heatsink smaller than the spreader");
+        if (airSink.sinkToAmbientResistance <= 0.0)
+            fatal("PackageConfig: non-positive sink-to-ambient R");
+        airSink.timMaterial.check();
+        airSink.spreaderMaterial.check();
+        airSink.sinkMaterial.check();
+    } else if (cooling == CoolingKind::OilSilicon) {
+        oilFlow.oil.check();
+        if (oilFlow.velocity <= 0.0)
+            fatal("PackageConfig: non-positive oil velocity");
+    } else if (cooling == CoolingKind::Microchannel) {
+        microchannel.coolant.check();
+        microchannel.capMaterial.check();
+        if (microchannel.channelWidth <= 0.0 ||
+            microchannel.channelHeight <= 0.0 ||
+            microchannel.wallWidth <= 0.0 ||
+            microchannel.baseThickness <= 0.0) {
+            fatal("PackageConfig: non-positive microchannel geometry");
+        }
+        if (microchannel.flowVelocity <= 0.0)
+            fatal("PackageConfig: non-positive coolant velocity");
+        if (microchannel.nusselt <= 0.0)
+            fatal("PackageConfig: non-positive Nusselt number");
+    } else {
+        if (naturalConvection.coefficient <= 0.0)
+            fatal("PackageConfig: non-positive natural-convection h");
+    }
+
+    if (secondary.enabled) {
+        if (secondary.pcbSide < die_width ||
+            secondary.pcbSide < die_height) {
+            fatal("PackageConfig: PCB smaller than the die");
+        }
+        secondary.interconnectMaterial.check();
+        secondary.c4Material.check();
+        secondary.substrateMaterial.check();
+        secondary.solderMaterial.check();
+        secondary.pcbMaterial.check();
+    }
+
+    if (ambient <= 0.0)
+        fatal("PackageConfig: non-positive ambient temperature");
+}
+
+PackageConfig
+PackageConfig::makeAirSink(double r_convec, double ambient_celsius)
+{
+    PackageConfig cfg;
+    cfg.cooling = CoolingKind::AirSink;
+    cfg.airSink.sinkToAmbientResistance = r_convec;
+    cfg.ambient = toKelvin(ambient_celsius);
+    return cfg;
+}
+
+PackageConfig
+PackageConfig::makeOilSilicon(double velocity, FlowDirection dir,
+                              double ambient_celsius)
+{
+    PackageConfig cfg;
+    cfg.cooling = CoolingKind::OilSilicon;
+    cfg.oilFlow.velocity = velocity;
+    cfg.oilFlow.direction = dir;
+    cfg.ambient = toKelvin(ambient_celsius);
+    return cfg;
+}
+
+PackageConfig
+PackageConfig::makeMicrochannel(double velocity, FlowDirection dir,
+                                double ambient_celsius)
+{
+    PackageConfig cfg;
+    cfg.cooling = CoolingKind::Microchannel;
+    cfg.microchannel.flowVelocity = velocity;
+    cfg.microchannel.direction = dir;
+    cfg.ambient = toKelvin(ambient_celsius);
+    return cfg;
+}
+
+PackageConfig
+PackageConfig::makeNaturalConvection(double coefficient,
+                                     double ambient_celsius)
+{
+    PackageConfig cfg;
+    cfg.cooling = CoolingKind::NaturalConvection;
+    cfg.naturalConvection.coefficient = coefficient;
+    cfg.ambient = toKelvin(ambient_celsius);
+    return cfg;
+}
+
+double
+oilVelocityForResistance(const Fluid &oil, double flow_length,
+                         double area, double target_resistance)
+{
+    if (target_resistance <= 0.0)
+        fatal("oilVelocityForResistance: non-positive target");
+    const double h_target = 1.0 / (target_resistance * area);
+    // Eq. 2: h = 0.664 (k/L) sqrt(U L / nu) Pr^(1/3)
+    //   =>  sqrt(U) = h L / (0.664 k Pr^(1/3) sqrt(L / nu))
+    const double pr = oil.prandtl();
+    const double denom = 0.664 * oil.conductivity * std::cbrt(pr) *
+                         std::sqrt(flow_length / oil.kinematicViscosity);
+    const double sqrt_u = h_target * flow_length / denom;
+    return sqrt_u * sqrt_u;
+}
+
+} // namespace irtherm

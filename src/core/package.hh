@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Thermal package configurations.
+ *
+ * Two cooling configurations from the paper:
+ *
+ *  - AIR-SINK: die / TIM / copper spreader / copper heatsink with a
+ *    lumped sink-to-ambient convection resistance (HotSpot's default
+ *    package).
+ *  - OIL-SILICON: bare die under a laminar IR-transparent oil flow,
+ *    with the oil's boundary-layer heat capacitance attached at the
+ *    silicon-oil interface (the paper's Fig. 7(b) lumping).
+ *
+ * Both may include the secondary heat transfer path (interconnect,
+ * C4 + underfill, package substrate, solder balls, PCB); under
+ * OIL-SILICON the PCB is cooled by a second oil stream, under
+ * AIR-SINK by natural convection — which is why the secondary path
+ * matters for the former and is negligible for the latter (Fig. 5).
+ */
+
+#ifndef IRTHERM_CORE_PACKAGE_HH
+#define IRTHERM_CORE_PACKAGE_HH
+
+#include "base/units.hh"
+#include "materials/fluid.hh"
+#include "materials/material.hh"
+
+namespace irtherm
+{
+
+/**
+ * Which cooling solution sits on the back of the die.
+ *
+ * AirSink and OilSilicon are the paper's two configurations;
+ * Microchannel and NaturalConvection implement the paper's Sec. 2.1
+ * taxonomy / Sec. 6 design-space future work.
+ */
+enum class CoolingKind
+{
+    AirSink,
+    OilSilicon,
+    Microchannel,
+    NaturalConvection,
+};
+
+/** Direction of the oil flow across the die (floorplan coordinates). */
+enum class FlowDirection
+{
+    LeftToRight, ///< leading edge at x = 0
+    RightToLeft, ///< leading edge at x = die width
+    BottomToTop, ///< leading edge at y = 0
+    TopToBottom, ///< leading edge at y = die height
+};
+
+/** Human-readable name of a flow direction. */
+const char *flowDirectionName(FlowDirection dir);
+
+/** Conventional forced-air package (HotSpot default topology). */
+struct AirSinkSpec
+{
+    double timThickness = 20e-6; // HotSpot default interface
+    SolidMaterial timMaterial = materials::thermalInterface();
+    double spreaderSide = 0.03;
+    double spreaderThickness = 1e-3;
+    SolidMaterial spreaderMaterial = materials::copper();
+    double sinkSide = 0.06;
+    double sinkThickness = 6.9e-3;
+    SolidMaterial sinkMaterial = materials::copper();
+    /** Lumped sink-to-ambient convection resistance (K/W). */
+    double sinkToAmbientResistance = 1.0;
+    /** Lumped convection heat capacitance (J/K), HotSpot default. */
+    double convectionCapacitance = 140.4;
+};
+
+/** Laminar oil flow over the bare die. */
+struct OilFlowSpec
+{
+    Fluid oil = fluids::irTransparentOil();
+    double velocity = 10.0; ///< free-stream speed (m/s)
+    FlowDirection direction = FlowDirection::LeftToRight;
+    /**
+     * When false, every cell uses the plate-average hL instead of
+     * the local h(x); isolates the flow-direction effect (Fig. 11
+     * control and the paper's Fig. 2/3 validation which implicitly
+     * averages).
+     */
+    bool directional = true;
+    /**
+     * Paper Fig. 7(b): oil boundary-layer capacitance attached at the
+     * silicon interface node. When false, a separate oil node splits
+     * Rconv in half around the capacitance (ablation variant).
+     */
+    bool capacitanceAtInterface = true;
+    /**
+     * When true, each cell's oil capacitance uses the local
+     * boundary-layer thickness dt(x) instead of the plate-trailing
+     * value of Eq. 4 (ablation variant; the paper uses the overall
+     * thickness).
+     */
+    bool localBoundaryLayerCap = false;
+};
+
+/**
+ * Integrated silicon microchannel cold plate (Koo et al., cited in
+ * the paper's cooling taxonomy). A channeled silicon cap is bonded
+ * to the die; coolant flows through the channels. Unlike the oil
+ * model's h(x), the direction dependence here is *caloric*: the
+ * coolant heats up along each channel, so downstream cells see a
+ * warmer fluid. That makes the conductance network non-symmetric
+ * (upwind advection) — grid mode only.
+ */
+struct MicrochannelSpec
+{
+    Fluid coolant = fluids::water();
+    double channelWidth = 100e-6;
+    double channelHeight = 300e-6;
+    double wallWidth = 100e-6;
+    /** Silicon between the die top and the channel floor. */
+    double baseThickness = 200e-6;
+    SolidMaterial capMaterial = materials::silicon();
+    /** Mean in-channel coolant velocity (m/s). */
+    double flowVelocity = 1.0;
+    FlowDirection direction = FlowDirection::LeftToRight;
+    /** Nu for fully developed laminar flow, constant heat flux. */
+    double nusselt = 4.36;
+
+    /** Hydraulic diameter 2wh/(w+h). */
+    double hydraulicDiameter() const;
+    /** In-channel film coefficient Nu k / D_h (W/m^2K). */
+    double filmCoefficient() const;
+    /** Channel fraction of the pitch, w/(w+ww). */
+    double porosity() const;
+};
+
+/** Bare die in still air (fanless, sinkless low-cost cooling). */
+struct NaturalConvectionSpec
+{
+    /** Free-convection film coefficient over the die (W/m^2K). */
+    double coefficient = 10.0;
+};
+
+/** The secondary heat transfer path of the paper's Fig. 1. */
+struct SecondaryPathSpec
+{
+    bool enabled = true;
+    double interconnectThickness = 10e-6;
+    SolidMaterial interconnectMaterial = materials::interconnectStack();
+    double c4Thickness = 70e-6;
+    SolidMaterial c4Material = materials::c4Underfill();
+    double substrateThickness = 1.2e-3;
+    SolidMaterial substrateMaterial = materials::packageSubstrate();
+    double solderThickness = 0.8e-3;
+    SolidMaterial solderMaterial = materials::solderBalls();
+    double pcbSide = 0.04;
+    double pcbThickness = 1.6e-3;
+    SolidMaterial pcbMaterial = materials::printedCircuitBoard();
+    /** Natural-convection h for the PCB under AIR-SINK (W/m^2K). */
+    double pcbNaturalConvection = 10.0;
+};
+
+/** Complete package description for one cooling configuration. */
+struct PackageConfig
+{
+    CoolingKind cooling = CoolingKind::AirSink;
+    double dieThickness = 0.5e-3;
+    SolidMaterial dieMaterial = materials::silicon();
+    AirSinkSpec airSink;
+    OilFlowSpec oilFlow;
+    MicrochannelSpec microchannel;
+    NaturalConvectionSpec naturalConvection;
+    SecondaryPathSpec secondary;
+    /** Ambient (free stream / room) temperature in kelvin. */
+    double ambient = toKelvin(45.0);
+
+    /** Validate geometry and materials; fatal() on nonsense. */
+    void check(double die_width, double die_height) const;
+
+    /**
+     * Conventional package with a given lumped convection resistance.
+     * The secondary path defaults to enabled, which is harmless for
+     * AIR-SINK (Fig. 5(b)).
+     */
+    static PackageConfig
+    makeAirSink(double r_convec, double ambient_celsius = 45.0);
+
+    /** Oil-cooled bare die at a given flow speed and direction. */
+    static PackageConfig
+    makeOilSilicon(double velocity,
+                   FlowDirection dir = FlowDirection::LeftToRight,
+                   double ambient_celsius = 45.0);
+
+    /** Microchannel cold plate at a given in-channel velocity. */
+    static PackageConfig
+    makeMicrochannel(double velocity,
+                     FlowDirection dir = FlowDirection::LeftToRight,
+                     double ambient_celsius = 45.0);
+
+    /** Bare die under natural convection (fanless). */
+    static PackageConfig
+    makeNaturalConvection(double coefficient = 10.0,
+                          double ambient_celsius = 45.0);
+};
+
+/**
+ * Oil velocity that yields a target overall convective resistance
+ * over a plate of length @p flow_length and area @p area (inverts
+ * paper Eqs. 1-2). Used for the equal-Rconv comparisons.
+ */
+double oilVelocityForResistance(const Fluid &oil, double flow_length,
+                                double area, double target_resistance);
+
+} // namespace irtherm
+
+#endif // IRTHERM_CORE_PACKAGE_HH

@@ -1,0 +1,103 @@
+#include "core/simulator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+ThermalSimulator::ThermalSimulator(const StackModel &model,
+                                   const SimulatorOptions &opts_)
+    : stack(model), opts(opts_), rise(model.nodeCount(), 0.0),
+      nodePower(model.nodeCount(), 0.0)
+{
+    IntegratorKind kind = opts.integrator;
+    if (kind == IntegratorKind::Auto) {
+        kind = stack.options().mode == ModelMode::Block
+                   ? IntegratorKind::AdaptiveRk4
+                   : IntegratorKind::BackwardEuler;
+    }
+    if (kind == IntegratorKind::AdaptiveRk4) {
+        rk4 = std::make_unique<Rk4Integrator>(
+            stack.conductance(), stack.capacitance(), opts.rk4);
+    } else {
+        be = std::make_unique<BackwardEulerIntegrator>(
+            stack.conductance(), stack.capacitance(),
+            opts.implicitStep);
+    }
+}
+
+void
+ThermalSimulator::reset()
+{
+    std::fill(rise.begin(), rise.end(), 0.0);
+    std::fill(nodePower.begin(), nodePower.end(), 0.0);
+    now = 0.0;
+}
+
+void
+ThermalSimulator::initializeSteady(
+    const std::vector<double> &block_powers)
+{
+    const std::vector<double> abs_temps =
+        stack.steadyNodeTemperatures(block_powers);
+    const double ambient = stack.packageConfig().ambient;
+    for (std::size_t i = 0; i < rise.size(); ++i)
+        rise[i] = abs_temps[i] - ambient;
+    nodePower = stack.nodePowerVector(block_powers);
+    now = 0.0;
+}
+
+void
+ThermalSimulator::setBlockPowers(const std::vector<double> &block_powers)
+{
+    nodePower = stack.nodePowerVector(block_powers);
+}
+
+void
+ThermalSimulator::advance(double dt)
+{
+    if (dt <= 0.0)
+        fatal("ThermalSimulator::advance: non-positive dt");
+    if (rk4) {
+        rk4->advance(rise, nodePower, dt);
+    } else {
+        be->advance(rise, nodePower, dt);
+    }
+    now += dt;
+}
+
+std::vector<double>
+ThermalSimulator::blockTemperatures() const
+{
+    return stack.blockTemperatures(nodeTemperatures());
+}
+
+std::vector<double>
+ThermalSimulator::nodeTemperatures() const
+{
+    std::vector<double> t = rise;
+    const double ambient = stack.packageConfig().ambient;
+    for (double &v : t)
+        v += ambient;
+    return t;
+}
+
+double
+ThermalSimulator::maxSiliconTemperature() const
+{
+    const std::vector<double> cells =
+        stack.siliconCellTemperatures(nodeTemperatures());
+    return *std::max_element(cells.begin(), cells.end());
+}
+
+double
+ThermalSimulator::minSiliconTemperature() const
+{
+    const std::vector<double> cells =
+        stack.siliconCellTemperatures(nodeTemperatures());
+    return *std::min_element(cells.begin(), cells.end());
+}
+
+} // namespace irtherm

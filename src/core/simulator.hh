@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Transient thermal simulation driver.
+ *
+ * Owns the temperature state of a StackModel and advances it under a
+ * piecewise-constant block power vector — the access pattern of both
+ * the paper's warm-up / pulse experiments and the DTM trace replay
+ * (one power sample per interval, temperatures read back between
+ * intervals).
+ *
+ * Block-mode networks use HotSpot's adaptive RK4; grid-mode networks
+ * are stiff enough that backward Euler with a fixed step is the
+ * default. Either can be forced through the options.
+ */
+
+#ifndef IRTHERM_CORE_SIMULATOR_HH
+#define IRTHERM_CORE_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/stack_model.hh"
+#include "numeric/ode.hh"
+
+namespace irtherm
+{
+
+/** Integrator selection for ThermalSimulator. */
+enum class IntegratorKind
+{
+    Auto,          ///< RK4 for block mode, backward Euler for grid
+    AdaptiveRk4,
+    BackwardEuler,
+};
+
+/** Simulation options. */
+struct SimulatorOptions
+{
+    IntegratorKind integrator = IntegratorKind::Auto;
+    Rk4Options rk4;
+    /** Fixed step for backward Euler (s). */
+    double implicitStep = 1e-3;
+};
+
+/**
+ * Stateful transient simulator over a StackModel.
+ *
+ * Temperatures start at ambient (or at a steady state via
+ * initializeSteady) and evolve under setBlockPowers / advance.
+ */
+class ThermalSimulator
+{
+  public:
+    explicit ThermalSimulator(const StackModel &model,
+                              const SimulatorOptions &opts = {});
+
+    /** Reset all nodes to ambient and time to zero. */
+    void reset();
+
+    /**
+     * Set the state to the steady solution of @p block_powers and
+     * reset time to zero. This is the paper's procedure for the
+     * short-term oscillation experiments (Figs. 8, 9, 12).
+     */
+    void initializeSteady(const std::vector<double> &block_powers);
+
+    /** Set the power vector held until the next call. */
+    void setBlockPowers(const std::vector<double> &block_powers);
+
+    /** Advance the state by @p dt seconds under the current powers. */
+    void advance(double dt);
+
+    /** Simulated time since construction / last reset (s). */
+    double time() const { return now; }
+
+    /** Per-block silicon temperatures (kelvin, absolute). */
+    std::vector<double> blockTemperatures() const;
+
+    /** All node temperatures (kelvin, absolute). */
+    std::vector<double> nodeTemperatures() const;
+
+    /** Hottest silicon cell temperature (kelvin). */
+    double maxSiliconTemperature() const;
+
+    /** Coolest silicon cell temperature (kelvin). */
+    double minSiliconTemperature() const;
+
+    const StackModel &model() const { return stack; }
+
+  private:
+    const StackModel &stack;
+    SimulatorOptions opts;
+    /** Node temperature rise above ambient. */
+    std::vector<double> rise;
+    /** Node power vector for the current block powers. */
+    std::vector<double> nodePower;
+    double now = 0.0;
+
+    std::unique_ptr<Rk4Integrator> rk4;
+    std::unique_ptr<BackwardEulerIntegrator> be;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_CORE_SIMULATOR_HH

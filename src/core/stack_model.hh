@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Compact RC thermal model of a die in its package.
+ *
+ * This is the paper's modified HotSpot. The die (and every layer
+ * with the same footprint) is partitioned either into the floorplan's
+ * functional blocks (block mode, HotSpot classic) or into a regular
+ * grid (grid mode, needed for thermal maps and for the oil
+ * flow-direction effect). Layers larger than the die — spreader,
+ * heatsink, PCB — get four peripheral strip nodes per size step.
+ *
+ * Conductances:
+ *  - lateral, within a layer: k t L / (d_a + d_b) between rects
+ *    sharing an edge of length L, where d is each rect's half-extent
+ *    perpendicular to the edge (HotSpot's formula);
+ *  - vertical, between consecutive layers: A_overlap divided by the
+ *    two half-thickness resistances in series;
+ *  - boundary: AIR-SINK's lumped sink-to-ambient resistance is
+ *    distributed over sink nodes by area; OIL-SILICON stamps the
+ *    per-cell laminar h(x) of paper Eq. 8 (or the plate average of
+ *    Eq. 2 when directionality is disabled), both on the die top and
+ *    on the PCB bottom.
+ *
+ * The oil boundary layer's heat capacitance (paper Eqs. 3-4) is
+ * attached at the silicon-oil interface exactly as in the paper's
+ * Fig. 7(b) circuit; an ablation flag splits Rconv around a separate
+ * oil node instead.
+ *
+ * All solves happen in temperature-rise space (ambient = ground);
+ * public APIs return absolute kelvin.
+ */
+
+#ifndef IRTHERM_CORE_STACK_MODEL_HH
+#define IRTHERM_CORE_STACK_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/package.hh"
+#include "floorplan/floorplan.hh"
+#include "floorplan/grid_mapping.hh"
+#include "numeric/sparse.hh"
+
+namespace irtherm
+{
+
+/** Spatial discretization of the die footprint. */
+enum class ModelMode
+{
+    Block, ///< one node per functional block per layer
+    Grid,  ///< regular nx x ny cells per layer
+};
+
+/** Discretization options. */
+struct ModelOptions
+{
+    ModelMode mode = ModelMode::Block;
+    std::size_t gridNx = 32;
+    std::size_t gridNy = 32;
+};
+
+/**
+ * The assembled RC network for one (floorplan, package) pair, plus
+ * the block <-> node mappings and a steady-state solver.
+ */
+class StackModel
+{
+  public:
+    /** A conductance from a node to ambient (ground). */
+    struct GroundStamp
+    {
+        std::size_t node;
+        double conductance;
+        bool primary; ///< true: cooling side; false: secondary path
+    };
+
+    StackModel(const Floorplan &fp, const PackageConfig &pkg,
+               const ModelOptions &opts = {});
+
+    // --- network access -------------------------------------------------
+    const CsrMatrix &conductance() const { return g_; }
+    const std::vector<double> &capacitance() const { return cap_; }
+    std::size_t nodeCount() const { return cap_.size(); }
+    const std::string &nodeName(std::size_t node) const;
+    const std::vector<GroundStamp> &groundStamps() const;
+
+    // --- mappings ---------------------------------------------------------
+    const Floorplan &floorplan() const { return fp_; }
+    const PackageConfig &packageConfig() const { return pkg_; }
+    const ModelOptions &options() const { return opts_; }
+
+    /** Die-footprint partition (blocks or grid cells). */
+    const std::vector<Block> &partition() const { return partition_; }
+    std::size_t partitionCells() const { return partition_.size(); }
+
+    /** First node index of the silicon layer (cells follow in order). */
+    std::size_t siliconNodeBegin() const;
+
+    /**
+     * Expand per-block powers (W) into a full node power vector.
+     * @pre block_powers.size() == floorplan().blockCount()
+     */
+    std::vector<double>
+    nodePowerVector(const std::vector<double> &block_powers) const;
+
+    /** Area-weighted mean silicon temperature per block (kelvin). */
+    std::vector<double>
+    blockTemperatures(const std::vector<double> &node_temps) const;
+
+    /** Maximum silicon cell temperature per block (kelvin). */
+    std::vector<double>
+    blockMaxTemperatures(const std::vector<double> &node_temps) const;
+
+    /** Silicon-layer temperatures, one per partition cell (kelvin). */
+    std::vector<double>
+    siliconCellTemperatures(const std::vector<double> &node_temps) const;
+
+    // --- solving ----------------------------------------------------------
+    /** Steady-state node temperatures (kelvin, absolute). */
+    std::vector<double>
+    steadyNodeTemperatures(const std::vector<double> &block_powers) const;
+
+    /** Steady-state per-block silicon temperatures (kelvin). */
+    std::vector<double>
+    steadyBlockTemperatures(const std::vector<double> &block_powers) const;
+
+    // --- diagnostics --------------------------------------------------------
+    /** 1 / (sum of primary-side boundary conductances), K/W. */
+    double equivalentPrimaryResistance() const;
+
+    /** Heat leaving through the cooling side at the given temps (W). */
+    double heatThroughPrimary(const std::vector<double> &node_temps) const;
+
+    /** Heat leaving through the secondary path (W). */
+    double heatThroughSecondary(const std::vector<double> &node_temps) const;
+
+    /**
+     * True when the network contains upwind advection stamps
+     * (microchannel coolant); the conductance matrix is then
+     * non-symmetric and solvers dispatch to BiCGSTAB.
+     */
+    bool hasAdvection() const { return advection; }
+
+    /** Total silicon heat capacitance (J/K), for time-constant math. */
+    double siliconCapacitance() const;
+
+    /** Total attached oil boundary-layer capacitance (J/K); 0 for air. */
+    double oilCapacitance() const { return oilCapacitanceTotal; }
+
+    /**
+     * Vertical conduction resistance through the die thickness over
+     * the whole die area, t / (k A) — the paper's Rth,Si.
+     */
+    double siliconVerticalResistance() const;
+
+  private:
+    struct Layer
+    {
+        std::string name;
+        SolidMaterial mat;
+        double thickness = 0.0;
+        /** Die-footprint cells first (partition order), strips after. */
+        std::vector<Block> rects;
+        std::size_t nodeOffset = 0;
+        bool cellsArePartition = false;
+    };
+
+    void buildPartition();
+    void buildLayers();
+    void assemble();
+
+    /** Average oil h over a rect for the configured flow. */
+    double oilCoefficient(const Block &rect, double ext_x0, double ext_y0,
+                          double ext_x1, double ext_y1) const;
+
+    /** Oil boundary-layer capacitance attached over a rect (J/K). */
+    double oilCellCapacitance(const Block &rect, double ext_x0,
+                              double ext_y0, double ext_x1,
+                              double ext_y1) const;
+
+    Floorplan fp_;
+    PackageConfig pkg_;
+    ModelOptions opts_;
+
+    std::vector<Block> partition_;
+    std::unique_ptr<GridMapping> mapping_; ///< grid mode only
+    std::vector<Layer> layers_;
+    std::size_t dieLayer = 0;
+
+    std::vector<std::string> nodeNames_;
+    CsrMatrix g_;
+    std::vector<double> cap_;
+    std::vector<GroundStamp> grounds_;
+    double primaryConductance = 0.0;
+    double oilCapacitanceTotal = 0.0;
+    /** Extra nodes for the split-capacitance oil variant. */
+    std::size_t oilNodeOffset = 0;
+    std::size_t oilNodeCount = 0;
+
+    /** Coolant advected out of the die carries this heat away. */
+    struct AdvectionOutlet
+    {
+        std::size_t node;
+        double mcp; ///< mass flow * cp for the lane (W/K)
+    };
+    std::vector<AdvectionOutlet> outlets_;
+    std::size_t fluidNodeOffset = 0;
+    std::size_t fluidNodeCount = 0;
+    bool advection = false;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_CORE_STACK_MODEL_HH

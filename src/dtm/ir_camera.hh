@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Infrared camera model.
+ *
+ * The paper's point about IR thermography is that the instrument
+ * itself filters what you see: a frame interval of milliseconds
+ * misses the ~3 ms thermal excursions of an AIR-SINK die (Sec. 5.1),
+ * and finite pixels average away sharp spatial gradients. This
+ * model applies exactly those two effects to a ground-truth
+ * simulated field so benches can quantify what IR would have missed.
+ */
+
+#ifndef IRTHERM_DTM_IR_CAMERA_HH
+#define IRTHERM_DTM_IR_CAMERA_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace irtherm
+{
+
+/** IR camera characteristics. */
+struct IrCameraSpec
+{
+    double frameInterval = 8e-3; ///< seconds per frame (125 fps)
+    /**
+     * Exposure as a fraction of the frame interval; the captured
+     * frame is the time-average of the field over the exposure.
+     */
+    double exposureFraction = 1.0;
+    /** Spatial binning factor: camera pixel = factor x factor cells. */
+    std::size_t pixelBinning = 1;
+};
+
+/** One captured IR frame. */
+struct IrFrame
+{
+    double time = 0.0;           ///< frame end time (s)
+    std::size_t nx = 0;          ///< pixels along x
+    std::size_t ny = 0;
+    std::vector<double> pixels;  ///< row-major temperatures (K)
+
+    double maxPixel() const;
+    double minPixel() const;
+};
+
+/**
+ * Offline IR capture over a recorded (time, field) sequence.
+ *
+ * Input samples must be equally spaced and at least as fine as the
+ * frame interval; each output frame averages the samples that fall
+ * within its exposure window and spatially bins cells into pixels.
+ */
+class IrCamera
+{
+  public:
+    explicit IrCamera(const IrCameraSpec &spec);
+
+    /**
+     * @param sample_interval spacing of the recorded fields (s)
+     * @param fields          recorded silicon fields, nx*ny each
+     * @param nx, ny          field resolution
+     */
+    std::vector<IrFrame>
+    capture(double sample_interval,
+            const std::vector<std::vector<double>> &fields,
+            std::size_t nx, std::size_t ny) const;
+
+    const IrCameraSpec &spec() const { return spec_; }
+
+  private:
+    IrCameraSpec spec_;
+};
+
+/**
+ * Count threshold violations in a scalar trace: maximal runs of
+ * consecutive samples strictly above @p threshold.
+ */
+std::size_t countViolations(const std::vector<double> &values,
+                            double threshold);
+
+} // namespace irtherm
+
+#endif // IRTHERM_DTM_IR_CAMERA_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dynamic thermal management policies.
+ *
+ * A DtmController watches a (sensor-derived) temperature at a fixed
+ * sampling interval; when the trigger threshold is crossed it
+ * engages an actuator for a fixed engagement duration and keeps
+ * re-engaging while the temperature stays above threshold. The
+ * actuator is expressed as a per-unit power multiplier so it
+ * composes with any power trace.
+ *
+ * Performance accounting follows the standard simplifications:
+ * DVFS at frequency scale f costs 1/f - 1 extra time while engaged;
+ * fetch gating at duty cycle d costs 1/d - 1; global clock gating
+ * stalls completely.
+ */
+
+#ifndef IRTHERM_DTM_POLICY_HH
+#define IRTHERM_DTM_POLICY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace irtherm
+{
+
+/** What the DTM mechanism does when engaged. */
+enum class DtmAction
+{
+    None,      ///< monitoring only
+    Dvfs,      ///< scale voltage and frequency together
+    FetchGate, ///< duty-cycle the front end
+    GlobalGate ///< stop the clock entirely
+};
+
+/** DTM policy parameters (the paper's Sec. 5 design knobs). */
+struct DtmConfig
+{
+    DtmAction action = DtmAction::Dvfs;
+    double triggerThreshold = 0.0;   ///< engage above this (K)
+    double samplingInterval = 60e-6; ///< sensor poll period (s)
+    double engagementDuration = 1e-3;///< minimum time engaged (s)
+    double dvfsFrequencyScale = 0.5; ///< f/f0 while engaged
+    double fetchDutyCycle = 0.5;     ///< fetch-on fraction while engaged
+    /** Units throttled by FetchGate (front-end names). */
+    std::vector<std::string> gatedUnits = {"Icache", "Bpred", "ITB"};
+};
+
+/** Multipliers to apply to a power sample while (dis)engaged. */
+struct DtmActuation
+{
+    double voltageScale = 1.0;
+    double frequencyScale = 1.0;
+    /** Extra per-unit multiplier (FetchGate); empty = all ones. */
+    std::vector<double> unitScale;
+};
+
+/**
+ * Threshold-trigger DTM controller with engagement-duration
+ * hysteresis and performance-penalty accounting.
+ */
+class DtmController
+{
+  public:
+    /**
+     * @param cfg        policy parameters
+     * @param unit_names the trace's unit order (for FetchGate)
+     */
+    DtmController(const DtmConfig &cfg,
+                  const std::vector<std::string> &unit_names);
+
+    /**
+     * Advance the controller to time @p now with the latest sensed
+     * maximum temperature; returns the actuation to apply until the
+     * next call. Call at the sampling interval.
+     */
+    DtmActuation step(double now, double sensed_max_temp);
+
+    bool engaged() const { return engagedNow; }
+
+    /** Total time spent engaged (s). */
+    double engagedTime() const { return totalEngaged; }
+
+    /** Number of distinct engagements. */
+    std::size_t engagements() const { return engageCount; }
+
+    /**
+     * Estimated execution-time overhead: extra time / useful time,
+     * given total observed time @p total_time.
+     */
+    double performancePenalty(double total_time) const;
+
+  private:
+    DtmConfig cfg;
+    std::vector<std::string> units;
+    std::vector<double> gatedScale; ///< per-unit multiplier template
+
+    bool engagedNow = false;
+    double engageUntil = 0.0;
+    double lastStepTime = 0.0;
+    bool first = true;
+    double totalEngaged = 0.0;
+    std::size_t engageCount = 0;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_DTM_POLICY_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * On-chip thermal sensors and placement strategies.
+ *
+ * Sensors read the silicon temperature at a point, with optional
+ * Gaussian noise and quantization. Placement strategies include
+ * per-block centres, a uniform grid, and hottest-guided placement
+ * from a reference thermal map — the paper's Sec. 5.3-5.4 concern is
+ * exactly what happens when that reference map comes from the wrong
+ * cooling configuration (IR's OIL-SILICON vs deployment's AIR-SINK).
+ */
+
+#ifndef IRTHERM_DTM_SENSOR_HH
+#define IRTHERM_DTM_SENSOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "core/stack_model.hh"
+
+namespace irtherm
+{
+
+/** One thermal sensor at a die location. */
+struct SensorSpec
+{
+    std::string label;
+    double x = 0.0;            ///< die coordinates (m)
+    double y = 0.0;
+    double noiseSigma = 0.0;   ///< Gaussian read noise (K)
+    double quantization = 0.0; ///< LSB size (K); 0 = continuous
+};
+
+/** A set of sensors readable against a model's silicon field. */
+class SensorArray
+{
+  public:
+    explicit SensorArray(std::vector<SensorSpec> sensors);
+
+    std::size_t count() const { return sensors_.size(); }
+    const SensorSpec &sensor(std::size_t i) const;
+
+    /**
+     * Read all sensors from a model state.
+     * @param model      the stack model the temps belong to
+     * @param node_temps absolute node temperatures
+     * @param rng        noise source
+     */
+    std::vector<double> read(const StackModel &model,
+                             const std::vector<double> &node_temps,
+                             Rng &rng) const;
+
+    /** Hottest sensor reading. */
+    double readMax(const StackModel &model,
+                   const std::vector<double> &node_temps,
+                   Rng &rng) const;
+
+  private:
+    std::vector<SensorSpec> sensors_;
+};
+
+namespace placement
+{
+
+/** One noise-free sensor at the centre of every block. */
+std::vector<SensorSpec> perBlockCenters(const Floorplan &fp);
+
+/** nx x ny uniform sensor grid over the die. */
+std::vector<SensorSpec> uniformGrid(const Floorplan &fp, std::size_t nx,
+                                    std::size_t ny);
+
+/**
+ * Place @p count sensors greedily on the hottest locations of a
+ * reference map (cell temps over the die), keeping a minimum
+ * separation so sensors spread over distinct hot regions.
+ *
+ * @param cell_temps   reference silicon map, nx*ny row-major
+ * @param nx, ny       map resolution
+ * @param die_w, die_h die extent (m)
+ * @param min_separation minimum sensor spacing (m)
+ */
+std::vector<SensorSpec>
+hottestGuided(const std::vector<double> &cell_temps, std::size_t nx,
+              std::size_t ny, double die_w, double die_h,
+              std::size_t count, double min_separation);
+
+/**
+ * Greedy minimax placement over several workload scenarios: each
+ * added sensor is the cell that most reduces the worst (over all
+ * maps) gap between the true maximum and the hottest sensor
+ * reading. Robust where hottestGuided overfits one map — exactly
+ * the failure mode of placing sensors from a single IR snapshot
+ * (paper Sec. 5.4).
+ *
+ * @param maps  one silicon map (nx*ny, row-major) per scenario
+ */
+std::vector<SensorSpec>
+minimaxGuided(const std::vector<std::vector<double>> &maps,
+              std::size_t nx, std::size_t ny, double die_w,
+              double die_h, std::size_t count);
+
+} // namespace placement
+
+/**
+ * Worst-case sensing error of a placement against a raw map:
+ * map maximum minus the hottest sensor's cell (K, >= 0).
+ */
+double mapSensingError(const std::vector<double> &cell_temps,
+                       std::size_t nx, std::size_t ny, double die_w,
+                       double die_h,
+                       const std::vector<SensorSpec> &sensors);
+
+/**
+ * Worst-case sensing error of a placement against a map: the true
+ * maximum minus the hottest noise-free sensor reading (K, >= 0).
+ */
+double worstCaseSensingError(const StackModel &model,
+                             const std::vector<double> &node_temps,
+                             const std::vector<SensorSpec> &sensors);
+
+} // namespace irtherm
+
+#endif // IRTHERM_DTM_SENSOR_HH

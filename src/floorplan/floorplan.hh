@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Die floorplan: named rectangular functional blocks.
+ *
+ * Mirrors HotSpot's floorplan abstraction, including its .flp file
+ * format (one block per line: name, width, height, left-x, bottom-y,
+ * all in meters), so existing HotSpot floorplans load unchanged.
+ */
+
+#ifndef IRTHERM_FLOORPLAN_FLOORPLAN_HH
+#define IRTHERM_FLOORPLAN_FLOORPLAN_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace irtherm
+{
+
+/** Axis-aligned rectangular functional block. */
+struct Block
+{
+    std::string name;
+    double x = 0.0;      ///< left edge (m)
+    double y = 0.0;      ///< bottom edge (m)
+    double width = 0.0;  ///< extent along x (m)
+    double height = 0.0; ///< extent along y (m)
+
+    double area() const { return width * height; }
+    double right() const { return x + width; }
+    double top() const { return y + height; }
+    double centerX() const { return x + 0.5 * width; }
+    double centerY() const { return y + 0.5 * height; }
+
+    /** Area of intersection with the rectangle [x0,x1) x [y0,y1). */
+    double overlapArea(double x0, double y0, double x1, double y1) const;
+};
+
+/**
+ * A set of non-overlapping blocks tiling (or partially tiling) a die.
+ */
+class Floorplan
+{
+  public:
+    Floorplan() = default;
+
+    /** Append a block; fatal() on empty/duplicate names or bad dims. */
+    void addBlock(const Block &block);
+
+    std::size_t blockCount() const { return blocks_.size(); }
+    const Block &block(std::size_t i) const { return blocks_.at(i); }
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    /** Index of the named block; fatal() when absent. */
+    std::size_t blockIndex(const std::string &name) const;
+
+    /** True when a block with this name exists. */
+    bool hasBlock(const std::string &name) const;
+
+    /** Bounding-box extent along x (m). */
+    double width() const;
+    /** Bounding-box extent along y (m). */
+    double height() const;
+    /** Bounding-box area (m^2). */
+    double dieArea() const { return width() * height(); }
+    /** Sum of block areas (m^2). */
+    double coveredArea() const;
+
+    /**
+     * Check invariants: positive dimensions, no pairwise overlaps
+     * beyond @p tolerance (fraction of the smaller block's area), and
+     * warn when coverage of the bounding box is below 99%.
+     */
+    void validate(double tolerance = 1e-6) const;
+
+    /**
+     * Length of the shared boundary between blocks @p a and @p b
+     * (m); zero when they do not touch. Used for block-mode lateral
+     * conductances.
+     */
+    double sharedEdgeLength(std::size_t a, std::size_t b) const;
+
+    /** Parse HotSpot .flp text. */
+    static Floorplan parseFlp(std::istream &in);
+
+    /** Load a .flp file by path. */
+    static Floorplan loadFlp(const std::string &path);
+
+    /** Serialize to HotSpot .flp text. */
+    void writeFlp(std::ostream &out) const;
+
+  private:
+    std::vector<Block> blocks_;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_FLOORPLAN_FLOORPLAN_HH

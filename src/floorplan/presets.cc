@@ -1,0 +1,205 @@
+#include "floorplan/presets.hh"
+
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace irtherm
+{
+
+namespace floorplans
+{
+
+namespace
+{
+
+/** Add a full row of equal-width blocks spanning [0, width]. */
+void
+addRow(Floorplan &fp, const std::vector<std::string> &names, double y,
+       double height, double width)
+{
+    const double w = width / static_cast<double>(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        fp.addBlock({names[i], static_cast<double>(i) * w, y, w, height});
+    }
+}
+
+} // namespace
+
+Floorplan
+alphaEv6()
+{
+    const double mm = 1e-3;
+    Floorplan fp;
+
+    // Bottom band: unified L2 array.
+    fp.addBlock({"L2", 0.0, 0.0, 16.0 * mm, 9.8 * mm});
+
+    // Middle band: L2 flanks and the L1 caches.
+    const double y_mid = 9.8 * mm;
+    const double h_mid = 2.6 * mm;
+    fp.addBlock({"L2_left", 0.0, y_mid, 4.9 * mm, h_mid});
+    fp.addBlock({"Icache", 4.9 * mm, y_mid, 3.1 * mm, h_mid});
+    fp.addBlock({"Dcache", 8.0 * mm, y_mid, 3.1 * mm, h_mid});
+    fp.addBlock({"L2_right", 11.1 * mm, y_mid, 4.9 * mm, h_mid});
+
+    // Core rows; IntReg sits on the top edge of the chip (the paper
+    // relies on this for the flow-direction result). As on the real
+    // die, IntReg is a small, very dense block and sits over the
+    // load/store - Dcache column.
+    addRow(fp, {"Bpred", "DTB", "FPAdd", "FPReg", "FPMul", "FPMap",
+                "FPQ"},
+           12.4 * mm, 2.7 * mm, 16.0 * mm);
+    // The top row is thin (as on the real die): its units hug the
+    // top edge, which is what makes a top-to-bottom flow cool them
+    // so effectively (paper Sec. 4.2).
+    const double y_top = 15.1 * mm;
+    const double h_top = 1.1 * mm;
+    fp.addBlock({"IntMap", 0.0, y_top, 3.4 * mm, h_top});
+    fp.addBlock({"IntQ", 3.4 * mm, y_top, 3.4 * mm, h_top});
+    fp.addBlock({"LdStQ", 6.8 * mm, y_top, 3.3 * mm, h_top});
+    fp.addBlock({"IntReg", 10.1 * mm, y_top, 1.8 * mm, h_top});
+    fp.addBlock({"IntExec", 11.9 * mm, y_top, 3.2 * mm, h_top});
+    fp.addBlock({"ITB", 15.1 * mm, y_top, 0.9 * mm, h_top});
+
+    fp.validate();
+    return fp;
+}
+
+Floorplan
+athlon64()
+{
+    const double mm = 1e-3;
+    Floorplan fp;
+
+    // Bottom: L2 cache occupies nearly half the die.
+    fp.addBlock({"l2cache", 0.0, 0.0, 11.4 * mm, 4.2 * mm});
+
+    // Core region: three rows of seven tiles (reconstruction of the
+    // die-photo arrangement; blank* are the unlabeled edge regions).
+    const double top_h = (9.1 - 4.2) / 3.0 * mm;
+    addRow(fp, {"blank1", "mem_ctl", "clock", "l1d", "bus_etc",
+                "clockd1", "blank2"},
+           4.2 * mm, top_h, 11.4 * mm);
+    addRow(fp, {"fetch", "rob_irf", "sched", "lsq", "dtlb", "clockd2",
+                "blank3"},
+           4.2 * mm + top_h, top_h, 11.4 * mm);
+    addRow(fp, {"l1i", "frf", "sse", "fp_sched", "fp0", "clockd3",
+                "blank4"},
+           4.2 * mm + 2.0 * top_h, top_h, 11.4 * mm);
+
+    fp.validate();
+    return fp;
+}
+
+Floorplan
+uniformChip(std::size_t n, double die_width, double die_height)
+{
+    if (n == 0)
+        fatal("uniformChip: n must be positive");
+    Floorplan fp;
+    const double w = die_width / static_cast<double>(n);
+    const double h = die_height / static_cast<double>(n);
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            fp.addBlock({"u" + std::to_string(ix) + "_" +
+                             std::to_string(iy),
+                         static_cast<double>(ix) * w,
+                         static_cast<double>(iy) * h, w, h});
+        }
+    }
+    fp.validate();
+    return fp;
+}
+
+Floorplan
+centerSourceChip(double die_size, double source_size)
+{
+    return hotBlockChip(die_size, die_size, source_size, source_size,
+                        0.5 * die_size, 0.5 * die_size);
+}
+
+Floorplan
+hotBlockChip(double die_width, double die_height, double hot_width,
+             double hot_height, double hot_center_x,
+             double hot_center_y)
+{
+    const double x0 = hot_center_x - 0.5 * hot_width;
+    const double y0 = hot_center_y - 0.5 * hot_height;
+    const double x1 = x0 + hot_width;
+    const double y1 = y0 + hot_height;
+    if (x0 <= 0.0 || y0 <= 0.0 || x1 >= die_width || y1 >= die_height) {
+        fatal("hotBlockChip: hot block must be strictly inside the die");
+    }
+
+    Floorplan fp;
+    // 3x3 tiling around the hot block; corner and edge tiles fill the
+    // remainder of the die.
+    const double xs[4] = {0.0, x0, x1, die_width};
+    const double ys[4] = {0.0, y0, y1, die_height};
+    const char *names[3][3] = {
+        {"sw", "s", "se"},
+        {"w", "hot", "e"},
+        {"nw", "n", "ne"},
+    };
+    for (int ry = 0; ry < 3; ++ry) {
+        for (int rx = 0; rx < 3; ++rx) {
+            fp.addBlock({names[ry][rx], xs[rx], ys[ry],
+                         xs[rx + 1] - xs[rx], ys[ry + 1] - ys[ry]});
+        }
+    }
+    fp.validate();
+    return fp;
+}
+
+Floorplan
+multicoreChip(std::size_t cores_x, std::size_t cores_y,
+              double die_width, double die_height)
+{
+    if (cores_x == 0 || cores_y == 0)
+        fatal("multicoreChip: zero core count");
+    Floorplan fp;
+    const double w = die_width / static_cast<double>(cores_x);
+    const double h = die_height / static_cast<double>(cores_y);
+    for (std::size_t iy = 0; iy < cores_y; ++iy) {
+        for (std::size_t ix = 0; ix < cores_x; ++ix) {
+            fp.addBlock({"core" + std::to_string(ix) + "_" +
+                             std::to_string(iy),
+                         static_cast<double>(ix) * w,
+                         static_cast<double>(iy) * h, w, h});
+        }
+    }
+    fp.validate();
+    return fp;
+}
+
+Floorplan
+tiledFloorplan(const Floorplan &core, std::size_t cores_x,
+               std::size_t cores_y)
+{
+    if (cores_x == 0 || cores_y == 0)
+        fatal("tiledFloorplan: zero core count");
+    Floorplan fp;
+    const double w = core.width();
+    const double h = core.height();
+    for (std::size_t iy = 0; iy < cores_y; ++iy) {
+        for (std::size_t ix = 0; ix < cores_x; ++ix) {
+            const std::string prefix = "c" + std::to_string(ix) +
+                                       "_" + std::to_string(iy) + ".";
+            for (const Block &b : core.blocks()) {
+                fp.addBlock({prefix + b.name,
+                             b.x + static_cast<double>(ix) * w,
+                             b.y + static_cast<double>(iy) * h,
+                             b.width, b.height});
+            }
+        }
+    }
+    fp.validate();
+    return fp;
+}
+
+} // namespace floorplans
+
+} // namespace irtherm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Built-in floorplans used throughout the paper's experiments.
+ *
+ * The EV6-like floorplan carries the 18 block names of the paper's
+ * Fig. 11 in the published arrangement (L2 across the bottom, caches
+ * in a middle band, integer core along the top edge — IntReg sits on
+ * the top edge, which is what makes the oil-flow-direction result
+ * work). The Athlon64-like floorplan carries the 22 block names of
+ * Fig. 5. Exact rectangles are reconstructions, not die-photo
+ * tracings; DESIGN.md records this substitution.
+ */
+
+#ifndef IRTHERM_FLOORPLAN_PRESETS_HH
+#define IRTHERM_FLOORPLAN_PRESETS_HH
+
+#include <cstddef>
+
+#include "floorplan/floorplan.hh"
+
+namespace irtherm
+{
+
+namespace floorplans
+{
+
+/**
+ * Alpha EV6-like floorplan, 16 mm x 16.2 mm, 18 blocks:
+ * L2, L2_left, L2_right, Icache, Dcache, Bpred, DTB, FPAdd, FPReg,
+ * FPMul, FPMap, FPQ, IntMap, IntQ, IntReg, IntExec, LdStQ, ITB.
+ */
+Floorplan alphaEv6();
+
+/**
+ * AMD Athlon64-like floorplan, 11.4 mm x 9.1 mm, 22 blocks with the
+ * paper's Fig. 5 names (blank1..4, mem_ctl, clock, l2cache, fetch,
+ * rob_irf, sched, clockd1..3, lsq, dtlb, fp_sched, frf, sse, l1i,
+ * bus_etc, l1d, fp0).
+ */
+Floorplan athlon64();
+
+/**
+ * Square die fully tiled by n x n uniform blocks named
+ * "u<ix>_<iy>". Used for uniform-power validation (Fig. 2).
+ */
+Floorplan uniformChip(std::size_t n, double die_width,
+                      double die_height);
+
+/**
+ * Square die with a centered square source block named "center" and
+ * eight surrounding blocks. Used for the concentrated-source
+ * validation (Fig. 3) and the warm-up experiment (Fig. 6).
+ */
+Floorplan centerSourceChip(double die_size, double source_size);
+
+/**
+ * Die with a small "hot" block whose centre is at (cx, cy), plus a
+ * surrounding 3x3 tiling. Generalizes centerSourceChip to
+ * off-centre sources.
+ */
+Floorplan hotBlockChip(double die_width, double die_height,
+                       double hot_width, double hot_height,
+                       double hot_center_x, double hot_center_y);
+
+/**
+ * Multi-core die: cores_x x cores_y equal tiles named
+ * "core<ix>_<iy>". Used for the Sec. 5.4 power reverse-engineering
+ * artifact experiment.
+ */
+Floorplan multicoreChip(std::size_t cores_x, std::size_t cores_y,
+                        double die_width, double die_height);
+
+/**
+ * Tile a full core floorplan into a cores_x x cores_y multicore die.
+ * Every block of tile (ix, iy) is prefixed "c<ix>_<iy>."; e.g. the
+ * EV6 tiled 2x1 has blocks "c0_0.IntReg" and "c1_0.IntReg". This is
+ * the substrate for multicore IR experiments (paper Sec. 5.4's
+ * multi-core power-extraction discussion) at functional-block
+ * granularity.
+ */
+Floorplan tiledFloorplan(const Floorplan &core, std::size_t cores_x,
+                         std::size_t cores_y);
+
+} // namespace floorplans
+
+} // namespace irtherm
+
+#endif // IRTHERM_FLOORPLAN_PRESETS_HH

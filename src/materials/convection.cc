@@ -1,0 +1,95 @@
+#include "materials/convection.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+double
+reynoldsNumber(const Fluid &fluid, double velocity, double length)
+{
+    if (velocity <= 0.0 || length <= 0.0)
+        fatal("reynoldsNumber: non-positive velocity or length");
+    return velocity * length / fluid.kinematicViscosity;
+}
+
+double
+averageHeatTransferCoefficient(const Fluid &fluid, double velocity,
+                               double length)
+{
+    const double re = reynoldsNumber(fluid, velocity, length);
+    if (re > laminarTransitionReynolds) {
+        warn("averageHeatTransferCoefficient: Re=" +
+             std::to_string(re) +
+             " beyond laminar transition; laminar correlation applied");
+    }
+    const double pr = fluid.prandtl();
+    return 0.664 * fluid.conductivity / length * std::sqrt(re) *
+           std::cbrt(pr);
+}
+
+double
+localHeatTransferCoefficient(const Fluid &fluid, double velocity,
+                             double x)
+{
+    const double re = reynoldsNumber(fluid, velocity, x);
+    const double pr = fluid.prandtl();
+    return 0.332 * fluid.conductivity / x * std::sqrt(re) *
+           std::cbrt(pr);
+}
+
+double
+cellAveragedCoefficient(const Fluid &fluid, double velocity, double x0,
+                        double x1)
+{
+    if (x0 < 0.0 || x1 <= x0)
+        fatal("cellAveragedCoefficient: bad interval [", x0, ",", x1, "]");
+    // Integral of 0.332 k sqrt(U/nu) Pr^(1/3) x^(-1/2) dx
+    //   = 0.664 k sqrt(U/nu) Pr^(1/3) (sqrt(x1) - sqrt(x0)).
+    const double re_per_len = velocity / fluid.kinematicViscosity;
+    const double pr = fluid.prandtl();
+    const double integral = 0.664 * fluid.conductivity *
+                            std::sqrt(re_per_len) * std::cbrt(pr) *
+                            (std::sqrt(x1) - std::sqrt(x0));
+    return integral / (x1 - x0);
+}
+
+double
+thermalBoundaryLayerThickness(const Fluid &fluid, double velocity,
+                              double length)
+{
+    const double re = reynoldsNumber(fluid, velocity, length);
+    const double pr = fluid.prandtl();
+    return 4.91 * length / (std::cbrt(pr) * std::sqrt(re));
+}
+
+double
+localBoundaryLayerThickness(const Fluid &fluid, double velocity,
+                            double x)
+{
+    if (x <= 0.0)
+        fatal("localBoundaryLayerThickness: non-positive x");
+    return thermalBoundaryLayerThickness(fluid, velocity, x);
+}
+
+double
+convectionResistance(double h, double area)
+{
+    if (h <= 0.0 || area <= 0.0)
+        fatal("convectionResistance: non-positive h or area");
+    return 1.0 / (h * area);
+}
+
+double
+turbulentAverageCoefficient(const Fluid &fluid, double velocity,
+                            double length)
+{
+    const double re = reynoldsNumber(fluid, velocity, length);
+    const double pr = fluid.prandtl();
+    return 0.037 * fluid.conductivity / length * std::pow(re, 0.8) *
+           std::cbrt(pr);
+}
+
+} // namespace irtherm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Flat-plate forced-convection correlations (Cengel, "Heat and Mass
+ * Transfer"), exactly the relations the paper uses:
+ *
+ *   Eq. 1:  Rconv = 1 / (hL * Achip)
+ *   Eq. 2:  hL    = 0.664 (k/L) Re_L^0.5 Pr^(1/3)   (laminar average)
+ *   Eq. 4:  dt    = 4.91 L / (Pr^(1/3) sqrt(Re_L))  (thermal BL)
+ *   Eq. 8:  h(x)  = 0.332 (k/x) Re_x^0.5 Pr^(1/3)   (laminar local)
+ *
+ * Plus a turbulent average correlation and a natural-convection
+ * constant for the PCB-in-air case, used by AIR-SINK's (negligible)
+ * secondary path.
+ */
+
+#ifndef IRTHERM_MATERIALS_CONVECTION_HH
+#define IRTHERM_MATERIALS_CONVECTION_HH
+
+#include "materials/fluid.hh"
+
+namespace irtherm
+{
+
+/** Transition Reynolds number for a smooth flat plate. */
+constexpr double laminarTransitionReynolds = 5e5;
+
+/** Reynolds number U L / nu. */
+double reynoldsNumber(const Fluid &fluid, double velocity, double length);
+
+/**
+ * Average laminar flat-plate heat transfer coefficient over a plate
+ * of length @p length along the flow (paper Eq. 2). Warns when the
+ * flow is beyond the laminar transition.
+ */
+double averageHeatTransferCoefficient(const Fluid &fluid,
+                                      double velocity, double length);
+
+/**
+ * Local laminar heat transfer coefficient at distance @p x from the
+ * leading edge (paper Eq. 8). h(x) diverges as x -> 0; callers
+ * evaluating near the edge should integrate over a cell instead
+ * (see cellAveragedCoefficient).
+ */
+double localHeatTransferCoefficient(const Fluid &fluid,
+                                    double velocity, double x);
+
+/**
+ * Average of h(x) over the interval [x0, x1]:
+ *   (1/(x1-x0)) * Integral h(x) dx = 0.664 (k) Re'^0.5 Pr^(1/3)
+ *       * (sqrt(x1) - sqrt(x0)) / (x1 - x0)
+ * with Re' = U / nu. Finite at the leading edge, which is what the
+ * grid model stamps per cell column.
+ */
+double cellAveragedCoefficient(const Fluid &fluid, double velocity,
+                               double x0, double x1);
+
+/**
+ * Thermal boundary-layer thickness at the trailing edge of a plate
+ * of length @p length (paper Eq. 4).
+ */
+double thermalBoundaryLayerThickness(const Fluid &fluid,
+                                     double velocity, double length);
+
+/**
+ * Local thermal boundary-layer thickness at distance @p x from the
+ * leading edge: dt(x) = 4.91 x / (Pr^(1/3) sqrt(Re_x)).
+ */
+double localBoundaryLayerThickness(const Fluid &fluid, double velocity,
+                                   double x);
+
+/** Convection resistance 1 / (h A) (paper Eq. 1). */
+double convectionResistance(double h, double area);
+
+/**
+ * Average turbulent flat-plate coefficient,
+ * Nu = 0.037 Re^0.8 Pr^(1/3) — provided for the design-space
+ * extension experiments; the paper's flows are laminar.
+ */
+double turbulentAverageCoefficient(const Fluid &fluid, double velocity,
+                                   double length);
+
+/** Typical natural-convection coefficient for a PCB in still air. */
+constexpr double naturalConvectionCoefficient = 10.0; // W/(m^2 K)
+
+} // namespace irtherm
+
+#endif // IRTHERM_MATERIALS_CONVECTION_HH

@@ -1,0 +1,55 @@
+#include "materials/fluid.hh"
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+double
+Fluid::prandtl() const
+{
+    return density * kinematicViscosity * specificHeat / conductivity;
+}
+
+double
+Fluid::volumetricHeatCapacity() const
+{
+    return density * specificHeat;
+}
+
+void
+Fluid::check() const
+{
+    if (conductivity <= 0.0 || density <= 0.0 || specificHeat <= 0.0 ||
+        kinematicViscosity <= 0.0) {
+        fatal("fluid '", name, "': non-positive property");
+    }
+}
+
+namespace fluids
+{
+
+Fluid
+irTransparentOil()
+{
+    // k, rho, cp typical of light mineral oil; nu chosen so that
+    // 10 m/s over a 20 mm die gives h ≈ 2500 W/m^2K, i.e.
+    // Rconv ≈ 1.0 K/W over a 20x20 mm die (paper's Fig. 2 setup).
+    return {"ir_oil", 0.13, 850.0, 1900.0, 3.27e-5};
+}
+
+Fluid
+air()
+{
+    return {"air", 0.026, 1.18, 1005.0, 1.57e-5};
+}
+
+Fluid
+water()
+{
+    return {"water", 0.61, 997.0, 4180.0, 8.9e-7};
+}
+
+} // namespace fluids
+
+} // namespace irtherm

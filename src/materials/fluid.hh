@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fluid properties for convective cooling.
+ *
+ * The IR-transparent mineral oil is tuned (see DESIGN.md §5) so that
+ * a 10 m/s laminar flow over a 20x20 mm die yields the paper's
+ * validation operating point, Rconv ≈ 1.0 K/W, with a thermal
+ * boundary layer on the order of 100 um.
+ */
+
+#ifndef IRTHERM_MATERIALS_FLUID_HH
+#define IRTHERM_MATERIALS_FLUID_HH
+
+#include <string>
+
+namespace irtherm
+{
+
+/** Newtonian fluid with constant properties. */
+struct Fluid
+{
+    std::string name;
+    double conductivity = 0.0;        ///< W/(m K)
+    double density = 0.0;             ///< kg/m^3
+    double specificHeat = 0.0;        ///< J/(kg K)
+    double kinematicViscosity = 0.0;  ///< m^2/s
+
+    /** Prandtl number nu / alpha = rho nu cp / k. */
+    double prandtl() const;
+
+    /** Volumetric heat capacity rho * cp (J/(m^3 K)). */
+    double volumetricHeatCapacity() const;
+
+    /** Validate positivity; fatal() on nonsense values. */
+    void check() const;
+};
+
+namespace fluids
+{
+
+/**
+ * IR-transparent mineral oil used for thermography (paper's
+ * OIL-SILICON coolant; cf. Mesa-Martinez et al.).
+ */
+Fluid irTransparentOil();
+
+/** Air at ~300 K. */
+Fluid air();
+
+/** Water at ~300 K (for completeness / future work). */
+Fluid water();
+
+} // namespace fluids
+
+} // namespace irtherm
+
+#endif // IRTHERM_MATERIALS_FLUID_HH

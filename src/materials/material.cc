@@ -1,0 +1,86 @@
+#include "materials/material.hh"
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+double
+SolidMaterial::diffusivity() const
+{
+    return conductivity / volumetricHeatCapacity;
+}
+
+void
+SolidMaterial::check() const
+{
+    if (conductivity <= 0.0)
+        fatal("material '", name, "': non-positive conductivity");
+    if (volumetricHeatCapacity <= 0.0)
+        fatal("material '", name, "': non-positive heat capacity");
+}
+
+namespace materials
+{
+
+SolidMaterial
+silicon()
+{
+    return {"silicon", 100.0, 1.75e6};
+}
+
+SolidMaterial
+copper()
+{
+    return {"copper", 400.0, 3.55e6};
+}
+
+SolidMaterial
+thermalInterface()
+{
+    // HotSpot default TIM: k = 4 W/mK (a good thermal paste).
+    return {"tim", 4.0, 4.0e6};
+}
+
+SolidMaterial
+interconnectStack()
+{
+    // ~10 metal layers in dielectric: strongly diluted copper.
+    return {"interconnect", 12.0, 2.5e6};
+}
+
+SolidMaterial
+c4Underfill()
+{
+    // Solder bump array (few % area) in epoxy underfill.
+    return {"c4_underfill", 1.5, 2.2e6};
+}
+
+SolidMaterial
+packageSubstrate()
+{
+    // Organic laminate with embedded copper planes; the planes raise
+    // the effective in-plane conductivity but through-plane dominates
+    // the vertical secondary path, so a modest effective value is used.
+    return {"substrate", 15.0, 2.0e6};
+}
+
+SolidMaterial
+solderBalls()
+{
+    // BGA ball array with air gaps between balls.
+    return {"solder_balls", 5.0, 1.6e6};
+}
+
+SolidMaterial
+printedCircuitBoard()
+{
+    // FR4 with copper power/ground planes: effective vertical k is
+    // low, but the planes matter laterally; a compact model uses one
+    // effective isotropic value.
+    return {"pcb", 3.0, 1.9e6};
+}
+
+} // namespace materials
+
+} // namespace irtherm

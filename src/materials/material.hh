@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Solid material properties for the package layer stack.
+ *
+ * Values follow HotSpot's defaults where HotSpot defines them
+ * (silicon, copper, TIM) and standard packaging references for the
+ * secondary-path layers (underfill/C4, organic substrate, solder,
+ * FR4 PCB, effective interconnect stack).
+ */
+
+#ifndef IRTHERM_MATERIALS_MATERIAL_HH
+#define IRTHERM_MATERIALS_MATERIAL_HH
+
+#include <string>
+
+namespace irtherm
+{
+
+/** Isotropic solid with the two properties an RC model needs. */
+struct SolidMaterial
+{
+    std::string name;
+    double conductivity = 0.0;            ///< W/(m K)
+    double volumetricHeatCapacity = 0.0;  ///< J/(m^3 K)
+
+    /** Thermal diffusivity k / c_v (m^2/s). */
+    double diffusivity() const;
+
+    /** Validate positivity; fatal() on nonsense values. */
+    void check() const;
+};
+
+namespace materials
+{
+
+/** Bulk silicon, HotSpot default (k = 100 W/mK, c_v = 1.75e6). */
+SolidMaterial silicon();
+
+/** Copper for spreader and heatsink (k = 400, c_v = 3.55e6). */
+SolidMaterial copper();
+
+/** Thermal interface material between die and spreader. */
+SolidMaterial thermalInterface();
+
+/**
+ * Effective on-chip interconnect stack (metal + ILD), the first
+ * layer of the secondary heat transfer path.
+ */
+SolidMaterial interconnectStack();
+
+/** C4 bump array with underfill, treated as an effective medium. */
+SolidMaterial c4Underfill();
+
+/** Organic package substrate (build-up laminate with copper planes). */
+SolidMaterial packageSubstrate();
+
+/** Solder ball array as an effective medium. */
+SolidMaterial solderBalls();
+
+/** FR4 printed-circuit board with copper planes (effective). */
+SolidMaterial printedCircuitBoard();
+
+} // namespace materials
+
+} // namespace irtherm
+
+#endif // IRTHERM_MATERIALS_MATERIAL_HH

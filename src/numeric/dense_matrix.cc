@@ -1,0 +1,91 @@
+#include "numeric/dense_matrix.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : numRows(rows), numCols(cols), elems(rows * cols, 0.0)
+{
+    if (rows == 0 || cols == 0)
+        fatal("DenseMatrix: zero dimension (", rows, "x", cols, ")");
+}
+
+DenseMatrix
+DenseMatrix::identity(std::size_t n)
+{
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+DenseMatrix::operator()(std::size_t r, std::size_t c)
+{
+    return elems[r * numCols + c];
+}
+
+double
+DenseMatrix::operator()(std::size_t r, std::size_t c) const
+{
+    return elems[r * numCols + c];
+}
+
+std::vector<double>
+DenseMatrix::multiply(const std::vector<double> &x) const
+{
+    if (x.size() != numCols)
+        fatal("DenseMatrix::multiply: size mismatch");
+    std::vector<double> y(numRows, 0.0);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        double acc = 0.0;
+        const double *row = &elems[r * numCols];
+        for (std::size_t c = 0; c < numCols; ++c)
+            acc += row[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+DenseMatrix
+DenseMatrix::transposed() const
+{
+    DenseMatrix t(numCols, numRows);
+    for (std::size_t r = 0; r < numRows; ++r)
+        for (std::size_t c = 0; c < numCols; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+DenseMatrix
+DenseMatrix::multiply(const DenseMatrix &other) const
+{
+    if (numCols != other.numRows)
+        fatal("DenseMatrix::multiply: inner dimension mismatch");
+    DenseMatrix out(numRows, other.numCols);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        for (std::size_t k = 0; k < numCols; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.numCols; ++c)
+                out(r, c) += a * other(k, c);
+        }
+    }
+    return out;
+}
+
+double
+DenseMatrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : elems)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+} // namespace irtherm

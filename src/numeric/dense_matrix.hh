@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dense row-major matrix used for small systems (block-mode RC
+ * networks, least-squares power inversion). Large grid systems use
+ * CsrMatrix instead.
+ */
+
+#ifndef IRTHERM_NUMERIC_DENSE_MATRIX_HH
+#define IRTHERM_NUMERIC_DENSE_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace irtherm
+{
+
+/**
+ * Dense row-major matrix of doubles.
+ *
+ * Deliberately minimal: storage, element access, matvec, transpose,
+ * and matrix product — everything heavier (factorizations) lives in
+ * separate algorithms that take a DenseMatrix.
+ */
+class DenseMatrix
+{
+  public:
+    /** Create a rows x cols matrix of zeros. */
+    DenseMatrix(std::size_t rows, std::size_t cols);
+
+    /** Create an n x n identity matrix. */
+    static DenseMatrix identity(std::size_t n);
+
+    std::size_t rows() const { return numRows; }
+    std::size_t cols() const { return numCols; }
+
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** y = A * x. @pre x.size() == cols() */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /** Return A^T. */
+    DenseMatrix transposed() const;
+
+    /** Return A * B. @pre cols() == B.rows() */
+    DenseMatrix multiply(const DenseMatrix &other) const;
+
+    /** Maximum absolute element (infinity norm of the flattened data). */
+    double maxAbs() const;
+
+    /** Raw storage access for algorithms that want direct indexing. */
+    const std::vector<double> &data() const { return elems; }
+
+  private:
+    std::size_t numRows;
+    std::size_t numCols;
+    std::vector<double> elems;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_NUMERIC_DENSE_MATRIX_HH

@@ -1,0 +1,119 @@
+#include "numeric/fit.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+std::pair<double, double>
+fitLine(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        fatal("fitLine: need at least two matched samples");
+    const double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        fatal("fitLine: degenerate abscissae");
+    const double b = (n * sxy - sx * sy) / denom;
+    const double a = (sy - b * sx) / n;
+    return {a, b};
+}
+
+ExponentialFit
+fitExponential(const std::vector<double> &times,
+               const std::vector<double> &values, double steady)
+{
+    if (times.size() != values.size() || times.size() < 3)
+        fatal("fitExponential: need at least three matched samples");
+
+    const double initial = values.front();
+    const double span = steady - initial;
+    if (span == 0.0)
+        fatal("fitExponential: zero response span");
+
+    // Regress ln((steady - T) / span) = -t / tau on usable samples.
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        const double remaining = (steady - values[i]) / span;
+        if (remaining < 0.01 || remaining > 1.0)
+            continue;
+        xs.push_back(times[i]);
+        ys.push_back(std::log(remaining));
+    }
+    if (xs.size() < 2)
+        fatal("fitExponential: too few samples inside the usable band");
+
+    const auto [a, b] = fitLine(xs, ys);
+    if (b >= 0.0)
+        fatal("fitExponential: response is not decaying toward steady");
+
+    ExponentialFit fit;
+    fit.tau = -1.0 / b;
+    fit.steadyValue = steady;
+    fit.initialValue = initial;
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = a + b * xs[i];
+        err += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.rmsError = std::sqrt(err / static_cast<double>(xs.size()));
+    return fit;
+}
+
+double
+timeToFraction(const std::vector<double> &times,
+               const std::vector<double> &values, double steady,
+               double fraction)
+{
+    if (times.size() != values.size() || times.empty())
+        fatal("timeToFraction: size mismatch");
+    const double target =
+        values.front() + fraction * (steady - values.front());
+    const bool rising = steady >= values.front();
+
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        const bool crossed = rising ? values[i] >= target
+                                    : values[i] <= target;
+        if (crossed) {
+            const double v0 = values[i - 1];
+            const double v1 = values[i];
+            if (v1 == v0)
+                return times[i];
+            const double f = (target - v0) / (v1 - v0);
+            return times[i - 1] + f * (times[i] - times[i - 1]);
+        }
+    }
+    return -1.0;
+}
+
+double
+linearity(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const auto [a, b] = fitLine(x, y);
+    double mean = 0.0;
+    for (double v : y)
+        mean += v;
+    mean /= static_cast<double>(y.size());
+
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double pred = a + b * x[i];
+        ssRes += (y[i] - pred) * (y[i] - pred);
+        ssTot += (y[i] - mean) * (y[i] - mean);
+    }
+    if (ssTot == 0.0)
+        return 1.0;
+    return 1.0 - ssRes / ssTot;
+}
+
+} // namespace irtherm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Curve-fitting helpers for characterizing thermal step responses.
+ *
+ * The paper's Fig. 7 analysis reduces each package to one or two RC
+ * time constants; these fitters extract those constants from
+ * simulated traces so benches can compare them against the analytic
+ * Rsi*Csi and Rconv*(Csi+Coil) predictions.
+ */
+
+#ifndef IRTHERM_NUMERIC_FIT_HH
+#define IRTHERM_NUMERIC_FIT_HH
+
+#include <vector>
+
+namespace irtherm
+{
+
+/** Result of fitting T(t) = Tss - (Tss - T0) exp(-t / tau). */
+struct ExponentialFit
+{
+    double tau = 0.0;       ///< fitted time constant (s)
+    double steadyValue = 0.0;
+    double initialValue = 0.0;
+    double rmsError = 0.0;  ///< residual of the log-linear regression
+};
+
+/**
+ * Fit a single-exponential step response by log-linear least squares.
+ *
+ * @param times   sample instants, strictly increasing
+ * @param values  response samples, same length as @p times
+ * @param steady  asymptotic value; samples within 1% of it are
+ *                excluded from the regression (their log is noise)
+ */
+ExponentialFit fitExponential(const std::vector<double> &times,
+                              const std::vector<double> &values,
+                              double steady);
+
+/**
+ * First time at which the response crosses
+ * initial + fraction * (steady - initial), by linear interpolation.
+ * Returns a negative value when the trace never crosses.
+ */
+double timeToFraction(const std::vector<double> &times,
+                      const std::vector<double> &values,
+                      double steady, double fraction);
+
+/**
+ * Ordinary least squares line fit y = a + b x.
+ * Returns {a, b}.
+ */
+std::pair<double, double> fitLine(const std::vector<double> &x,
+                                  const std::vector<double> &y);
+
+/**
+ * Coefficient of determination of a linear fit to (x, y); 1 means
+ * perfectly linear. Used to quantify the paper's observation that
+ * OIL-SILICON short-term responses "look linear".
+ */
+double linearity(const std::vector<double> &x,
+                 const std::vector<double> &y);
+
+} // namespace irtherm
+
+#endif // IRTHERM_NUMERIC_FIT_HH

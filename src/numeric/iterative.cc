@@ -1,0 +1,249 @@
+#include "numeric/iterative.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+double
+norm2(const std::vector<double> &v)
+{
+    double acc = 0.0;
+    for (double x : v)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        fatal("dot: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+IterativeResult
+conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
+                  const std::vector<double> &x0,
+                  const IterativeOptions &opts)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        fatal("conjugateGradient: dimension mismatch");
+
+    IterativeResult res;
+    res.x = x0.empty() ? std::vector<double>(n, 0.0) : x0;
+    if (res.x.size() != n)
+        fatal("conjugateGradient: bad initial guess size");
+
+    std::vector<double> diag = a.diagonal();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (diag[i] <= 0.0)
+            fatal("conjugateGradient: non-positive diagonal at ", i);
+    }
+
+    // r = b - A x
+    std::vector<double> r = b;
+    a.multiplyAccumulate(res.x, r, -1.0);
+
+    const double bnorm = std::max(norm2(b), 1e-300);
+    std::vector<double> z(n), p(n), ap(n);
+    for (std::size_t i = 0; i < n; ++i)
+        z[i] = r[i] / diag[i];
+    p = z;
+    double rz = dot(r, z);
+
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+        res.residualNorm = norm2(r);
+        if (res.residualNorm <= opts.tolerance * bnorm) {
+            res.converged = true;
+            res.iterations = it;
+            return res;
+        }
+
+        std::fill(ap.begin(), ap.end(), 0.0);
+        a.multiplyAccumulate(p, ap, 1.0);
+        const double pap = dot(p, ap);
+        if (pap <= 0.0)
+            fatal("conjugateGradient: matrix not positive definite");
+        const double alpha = rz / pap;
+        for (std::size_t i = 0; i < n; ++i) {
+            res.x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            z[i] = r[i] / diag[i];
+        const double rz_next = dot(r, z);
+        const double beta = rz_next / rz;
+        rz = rz_next;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = z[i] + beta * p[i];
+    }
+
+    res.residualNorm = norm2(r);
+    res.iterations = opts.maxIterations;
+    res.converged = res.residualNorm <= opts.tolerance * bnorm;
+    return res;
+}
+
+IterativeResult
+biCgStab(const CsrMatrix &a, const std::vector<double> &b,
+         const std::vector<double> &x0, const IterativeOptions &opts)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        fatal("biCgStab: dimension mismatch");
+
+    IterativeResult res;
+    res.x = x0.empty() ? std::vector<double>(n, 0.0) : x0;
+    if (res.x.size() != n)
+        fatal("biCgStab: bad initial guess size");
+
+    std::vector<double> diag = a.diagonal();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (diag[i] == 0.0)
+            fatal("biCgStab: zero diagonal at ", i);
+    }
+    auto precond = [&](const std::vector<double> &v,
+                       std::vector<double> &out) {
+        out.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = v[i] / diag[i];
+    };
+
+    std::vector<double> r = b;
+    a.multiplyAccumulate(res.x, r, -1.0);
+    const std::vector<double> r_hat = r; // shadow residual
+    const double bnorm = std::max(norm2(b), 1e-300);
+
+    double rho = 1.0, alpha = 1.0, omega = 1.0;
+    std::vector<double> v(n, 0.0), p(n, 0.0);
+    std::vector<double> p_hat(n), s(n), s_hat(n), t(n);
+
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+        res.residualNorm = norm2(r);
+        if (res.residualNorm <= opts.tolerance * bnorm) {
+            res.converged = true;
+            res.iterations = it;
+            return res;
+        }
+
+        const double rho_next = dot(r_hat, r);
+        if (rho_next == 0.0)
+            break; // breakdown; return best effort
+        if (it == 0) {
+            p = r;
+        } else {
+            const double beta = (rho_next / rho) * (alpha / omega);
+            for (std::size_t i = 0; i < n; ++i)
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        rho = rho_next;
+
+        precond(p, p_hat);
+        std::fill(v.begin(), v.end(), 0.0);
+        a.multiplyAccumulate(p_hat, v, 1.0);
+        const double rhv = dot(r_hat, v);
+        if (rhv == 0.0)
+            break;
+        alpha = rho / rhv;
+
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = r[i] - alpha * v[i];
+        if (norm2(s) <= opts.tolerance * bnorm) {
+            for (std::size_t i = 0; i < n; ++i)
+                res.x[i] += alpha * p_hat[i];
+            res.residualNorm = norm2(s);
+            res.converged = true;
+            res.iterations = it + 1;
+            return res;
+        }
+
+        precond(s, s_hat);
+        std::fill(t.begin(), t.end(), 0.0);
+        a.multiplyAccumulate(s_hat, t, 1.0);
+        const double tt = dot(t, t);
+        if (tt == 0.0)
+            break;
+        omega = dot(t, s) / tt;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            res.x[i] += alpha * p_hat[i] + omega * s_hat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        if (omega == 0.0)
+            break;
+    }
+
+    // Final residual check (covers breakdown exits).
+    std::vector<double> resid = b;
+    a.multiplyAccumulate(res.x, resid, -1.0);
+    res.residualNorm = norm2(resid);
+    res.converged = res.residualNorm <= opts.tolerance * bnorm;
+    res.iterations = opts.maxIterations;
+    return res;
+}
+
+IterativeResult
+solveLinear(const CsrMatrix &a, const std::vector<double> &b,
+            bool symmetric, const std::vector<double> &x0,
+            const IterativeOptions &opts)
+{
+    return symmetric ? conjugateGradient(a, b, x0, opts)
+                     : biCgStab(a, b, x0, opts);
+}
+
+IterativeResult
+gaussSeidel(const CsrMatrix &a, const std::vector<double> &b,
+            const std::vector<double> &x0, const IterativeOptions &opts)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        fatal("gaussSeidel: dimension mismatch");
+
+    IterativeResult res;
+    res.x = x0.empty() ? std::vector<double>(n, 0.0) : x0;
+    if (res.x.size() != n)
+        fatal("gaussSeidel: bad initial guess size");
+
+    const auto &rp = a.rowPointers();
+    const auto &ci = a.columnIndices();
+    const auto &av = a.storedValues();
+    const double bnorm = std::max(norm2(b), 1e-300);
+
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+        for (std::size_t r = 0; r < n; ++r) {
+            double acc = b[r];
+            double diag = 0.0;
+            for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+                const std::size_t c = ci[k];
+                if (c == r) {
+                    diag = av[k];
+                } else {
+                    acc -= av[k] * res.x[c];
+                }
+            }
+            if (diag == 0.0)
+                fatal("gaussSeidel: zero diagonal at row ", r);
+            res.x[r] = acc / diag;
+        }
+
+        std::vector<double> resid = b;
+        a.multiplyAccumulate(res.x, resid, -1.0);
+        res.residualNorm = norm2(resid);
+        if (res.residualNorm <= opts.tolerance * bnorm) {
+            res.converged = true;
+            res.iterations = it + 1;
+            return res;
+        }
+    }
+    res.iterations = opts.maxIterations;
+    return res;
+}
+
+} // namespace irtherm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Iterative linear solvers for large sparse SPD systems.
+ *
+ * Thermal conductance matrices (with at least one path to ambient)
+ * are symmetric positive definite, so Jacobi-preconditioned conjugate
+ * gradient is the workhorse for grid-mode steady state and implicit
+ * transient steps. Gauss-Seidel is kept as an independent
+ * cross-check.
+ */
+
+#ifndef IRTHERM_NUMERIC_ITERATIVE_HH
+#define IRTHERM_NUMERIC_ITERATIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/sparse.hh"
+
+namespace irtherm
+{
+
+/** Outcome of an iterative solve. */
+struct IterativeResult
+{
+    std::vector<double> x;      ///< solution vector
+    std::size_t iterations = 0; ///< iterations actually used
+    double residualNorm = 0.0;  ///< final ||b - Ax||_2
+    bool converged = false;     ///< tolerance met within budget
+};
+
+/** Options shared by the iterative solvers. */
+struct IterativeOptions
+{
+    double tolerance = 1e-10;   ///< relative to ||b||_2
+    std::size_t maxIterations = 20000;
+};
+
+/**
+ * Jacobi-preconditioned conjugate gradient for SPD @p a.
+ *
+ * @param a       system matrix (must be SPD; not checked here)
+ * @param b       right-hand side
+ * @param x0      starting guess (empty means zero)
+ * @param opts    tolerance / iteration budget
+ */
+IterativeResult conjugateGradient(const CsrMatrix &a,
+                                  const std::vector<double> &b,
+                                  const std::vector<double> &x0 = {},
+                                  const IterativeOptions &opts = {});
+
+/**
+ * Gauss-Seidel sweeps; converges for diagonally dominant systems.
+ * Kept mainly as an algorithmically independent validation of CG.
+ */
+IterativeResult gaussSeidel(const CsrMatrix &a,
+                            const std::vector<double> &b,
+                            const std::vector<double> &x0 = {},
+                            const IterativeOptions &opts = {});
+
+/**
+ * Jacobi-preconditioned BiCGSTAB for general (non-symmetric)
+ * systems. Needed once fluid advection enters the network: upwind
+ * advection stamps are one-sided, so microchannel and
+ * caloric-heating models produce non-symmetric conductance
+ * matrices that CG cannot handle.
+ */
+IterativeResult biCgStab(const CsrMatrix &a,
+                         const std::vector<double> &b,
+                         const std::vector<double> &x0 = {},
+                         const IterativeOptions &opts = {});
+
+/**
+ * Dispatch: CG when @p symmetric, BiCGSTAB otherwise.
+ */
+IterativeResult solveLinear(const CsrMatrix &a,
+                            const std::vector<double> &b,
+                            bool symmetric,
+                            const std::vector<double> &x0 = {},
+                            const IterativeOptions &opts = {});
+
+/** Euclidean norm. */
+double norm2(const std::vector<double> &v);
+
+/** Dot product. @pre a.size() == b.size() */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace irtherm
+
+#endif // IRTHERM_NUMERIC_ITERATIVE_HH

@@ -1,0 +1,107 @@
+#include "numeric/lu.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+LuDecomposition::LuDecomposition(const DenseMatrix &a)
+    : lu(a), perm(a.rows()), permSign(1)
+{
+    if (a.rows() != a.cols())
+        fatal("LuDecomposition: matrix is not square");
+
+    const std::size_t n = lu.rows();
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting: bring the largest remaining |a_ik| to the
+        // diagonal to bound element growth.
+        std::size_t pivot = k;
+        double best = std::abs(lu(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu(i, k));
+            if (v > best) {
+                best = v;
+                pivot = i;
+            }
+        }
+        if (best == 0.0)
+            fatal("LuDecomposition: singular matrix at column ", k);
+
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(lu(k, c), lu(pivot, c));
+            std::swap(perm[k], perm[pivot]);
+            permSign = -permSign;
+        }
+
+        const double diag = lu(k, k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double factor = lu(i, k) / diag;
+            lu(i, k) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = k + 1; c < n; ++c)
+                lu(i, c) -= factor * lu(k, c);
+        }
+    }
+}
+
+std::vector<double>
+LuDecomposition::solve(const std::vector<double> &b) const
+{
+    const std::size_t n = lu.rows();
+    if (b.size() != n)
+        fatal("LuDecomposition::solve: rhs size mismatch");
+
+    // Forward substitution on the permuted rhs (L has unit diagonal).
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[perm[i]];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= lu(i, j) * y[j];
+        y[i] = acc;
+    }
+
+    // Back substitution.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j)
+            acc -= lu(ii, j) * x[j];
+        x[ii] = acc / lu(ii, ii);
+    }
+    return x;
+}
+
+DenseMatrix
+LuDecomposition::solve(const DenseMatrix &b) const
+{
+    if (b.rows() != lu.rows())
+        fatal("LuDecomposition::solve: rhs rows mismatch");
+    DenseMatrix x(b.rows(), b.cols());
+    std::vector<double> col(b.rows());
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < b.rows(); ++r)
+            col[r] = b(r, c);
+        const std::vector<double> sol = solve(col);
+        for (std::size_t r = 0; r < b.rows(); ++r)
+            x(r, c) = sol[r];
+    }
+    return x;
+}
+
+double
+LuDecomposition::determinant() const
+{
+    double det = permSign;
+    for (std::size_t i = 0; i < lu.rows(); ++i)
+        det *= lu(i, i);
+    return det;
+}
+
+} // namespace irtherm

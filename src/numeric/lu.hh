@@ -1,0 +1,52 @@
+/**
+ * @file
+ * LU decomposition with partial pivoting.
+ *
+ * Used for block-mode RC networks (a few hundred nodes), steady-state
+ * solves of small systems, and the normal equations in power
+ * inversion. Factor once, solve many right-hand sides — which is
+ * exactly the access pattern of a fixed-topology thermal network
+ * driven by changing power vectors.
+ */
+
+#ifndef IRTHERM_NUMERIC_LU_HH
+#define IRTHERM_NUMERIC_LU_HH
+
+#include <vector>
+
+#include "numeric/dense_matrix.hh"
+
+namespace irtherm
+{
+
+/**
+ * PA = LU factorization of a square matrix.
+ *
+ * Throws via fatal() when the matrix is numerically singular.
+ */
+class LuDecomposition
+{
+  public:
+    /** Factor @p a (copied; the original is untouched). */
+    explicit LuDecomposition(const DenseMatrix &a);
+
+    /** Solve A x = b. @pre b.size() == dimension */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /** Solve for several right-hand sides given as matrix columns. */
+    DenseMatrix solve(const DenseMatrix &b) const;
+
+    /** Determinant (product of pivots with sign). */
+    double determinant() const;
+
+    std::size_t dimension() const { return lu.rows(); }
+
+  private:
+    DenseMatrix lu;
+    std::vector<std::size_t> perm;
+    int permSign;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_NUMERIC_LU_HH

@@ -1,0 +1,233 @@
+#include "numeric/ode.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+namespace
+{
+
+void
+checkSizes(const CsrMatrix &g, const std::vector<double> &cap)
+{
+    if (g.rows() != g.cols())
+        fatal("integrator: conductance matrix not square");
+    if (cap.size() != g.rows())
+        fatal("integrator: capacitance size mismatch");
+    for (std::size_t i = 0; i < cap.size(); ++i) {
+        if (cap[i] <= 0.0)
+            fatal("integrator: non-positive capacitance at node ", i);
+    }
+}
+
+} // namespace
+
+CsrMatrix
+addDiagonal(const CsrMatrix &g, const std::vector<double> &extra)
+{
+    if (extra.size() != g.rows())
+        fatal("addDiagonal: size mismatch");
+    SparseBuilder b(g.rows(), g.cols());
+    const auto &rp = g.rowPointers();
+    const auto &ci = g.columnIndices();
+    const auto &av = g.storedValues();
+    for (std::size_t r = 0; r < g.rows(); ++r)
+        for (std::size_t k = rp[r]; k < rp[r + 1]; ++k)
+            b.add(r, ci[k], av[k]);
+    for (std::size_t r = 0; r < g.rows(); ++r)
+        b.add(r, r, extra[r]);
+    return b.build();
+}
+
+Rk4Integrator::Rk4Integrator(const CsrMatrix &g_,
+                             std::vector<double> capacitance,
+                             const Rk4Options &opts_)
+    : g(g_), invC(std::move(capacitance)), opts(opts_),
+      lastStep(opts_.initialStep)
+{
+    checkSizes(g, invC);
+    for (double &c : invC)
+        c = 1.0 / c;
+}
+
+void
+Rk4Integrator::derivative(const std::vector<double> &temps,
+                          const std::vector<double> &power,
+                          std::vector<double> &out) const
+{
+    out = power;
+    g.multiplyAccumulate(temps, out, -1.0);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] *= invC[i];
+}
+
+void
+Rk4Integrator::rk4Step(const std::vector<double> &y,
+                       const std::vector<double> &power, double h,
+                       std::vector<double> &out) const
+{
+    const std::size_t n = y.size();
+    std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+    derivative(y, power, k1);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = y[i] + 0.5 * h * k1[i];
+    derivative(tmp, power, k2);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = y[i] + 0.5 * h * k2[i];
+    derivative(tmp, power, k3);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = y[i] + h * k3[i];
+    derivative(tmp, power, k4);
+
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = y[i] +
+                 h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+void
+Rk4Integrator::advance(std::vector<double> &temps,
+                       const std::vector<double> &power, double dt)
+{
+    if (temps.size() != g.rows() || power.size() != g.rows())
+        fatal("Rk4Integrator::advance: vector size mismatch");
+    if (dt <= 0.0)
+        fatal("Rk4Integrator::advance: non-positive dt");
+
+    double t = 0.0;
+    double h = std::min(lastStep, dt);
+    std::vector<double> full, half, half2;
+
+    while (t < dt) {
+        h = std::min(h, dt - t);
+
+        // One full step vs two half steps (step doubling).
+        rk4Step(temps, power, h, full);
+        rk4Step(temps, power, 0.5 * h, half);
+        rk4Step(half, power, 0.5 * h, half2);
+
+        double err = 0.0;
+        for (std::size_t i = 0; i < temps.size(); ++i)
+            err = std::max(err, std::abs(half2[i] - full[i]));
+        err /= 15.0; // Richardson factor for a 4th-order method
+
+        if (err <= opts.absTolerance || h <= opts.minStep) {
+            // Accept the more accurate two-half-step result.
+            temps = half2;
+            t += h;
+            ++steps;
+            // Grow conservatively; the 0.9 safety factor avoids
+            // accept/reject oscillation.
+            const double grow =
+                err > 0.0
+                    ? 0.9 * std::pow(opts.absTolerance / err, 0.2)
+                    : 2.0;
+            h *= std::clamp(grow, 0.5, 2.0);
+            h = std::max(h, opts.minStep);
+        } else {
+            h = std::max(0.5 * h, opts.minStep);
+        }
+    }
+    lastStep = h;
+}
+
+BackwardEulerIntegrator::BackwardEulerIntegrator(
+    const CsrMatrix &g, std::vector<double> capacitance, double dt_,
+    const IterativeOptions &solver)
+    : capOverDt(std::move(capacitance)), dt(dt_), solverOpts(solver)
+{
+    checkSizes(g, capOverDt);
+    if (dt <= 0.0)
+        fatal("BackwardEulerIntegrator: non-positive dt");
+    for (double &c : capOverDt)
+        c /= dt;
+    system = addDiagonal(g, capOverDt);
+    symmetric = system.isSymmetric(1e-9);
+}
+
+void
+BackwardEulerIntegrator::step(std::vector<double> &temps,
+                              const std::vector<double> &power)
+{
+    if (temps.size() != system.rows() || power.size() != system.rows())
+        fatal("BackwardEulerIntegrator::step: vector size mismatch");
+    std::vector<double> rhs(temps.size());
+    for (std::size_t i = 0; i < rhs.size(); ++i)
+        rhs[i] = capOverDt[i] * temps[i] + power[i];
+    IterativeResult r =
+        solveLinear(system, rhs, symmetric, temps, solverOpts);
+    if (!r.converged) {
+        fatal("BackwardEulerIntegrator: CG failed to converge, residual ",
+              r.residualNorm);
+    }
+    temps = std::move(r.x);
+}
+
+void
+BackwardEulerIntegrator::advance(std::vector<double> &temps,
+                                 const std::vector<double> &power,
+                                 double duration)
+{
+    const double ratio = duration / dt;
+    const double rounded = std::round(ratio);
+    if (std::abs(ratio - rounded) > 1e-6 * std::max(1.0, ratio))
+        fatal("BackwardEulerIntegrator::advance: duration ", duration,
+              " is not a multiple of dt ", dt);
+    const auto n = static_cast<std::size_t>(rounded);
+    for (std::size_t i = 0; i < n; ++i)
+        step(temps, power);
+}
+
+CrankNicolsonIntegrator::CrankNicolsonIntegrator(
+    const CsrMatrix &g_, std::vector<double> capacitance, double dt_,
+    const IterativeOptions &solver)
+    : g(g_), capOverDt(std::move(capacitance)), dt(dt_),
+      solverOpts(solver)
+{
+    checkSizes(g, capOverDt);
+    if (dt <= 0.0)
+        fatal("CrankNicolsonIntegrator: non-positive dt");
+    for (double &c : capOverDt)
+        c /= dt;
+
+    // system = C/dt + G/2
+    SparseBuilder b(g.rows(), g.cols());
+    const auto &rp = g.rowPointers();
+    const auto &ci = g.columnIndices();
+    const auto &av = g.storedValues();
+    for (std::size_t r = 0; r < g.rows(); ++r)
+        for (std::size_t k = rp[r]; k < rp[r + 1]; ++k)
+            b.add(r, ci[k], 0.5 * av[k]);
+    for (std::size_t r = 0; r < g.rows(); ++r)
+        b.add(r, r, capOverDt[r]);
+    system = b.build();
+    symmetric = system.isSymmetric(1e-9);
+}
+
+void
+CrankNicolsonIntegrator::step(std::vector<double> &temps,
+                              const std::vector<double> &power)
+{
+    if (temps.size() != system.rows() || power.size() != system.rows())
+        fatal("CrankNicolsonIntegrator::step: vector size mismatch");
+    // rhs = (C/dt) T - (G/2) T + P
+    std::vector<double> rhs(temps.size());
+    for (std::size_t i = 0; i < rhs.size(); ++i)
+        rhs[i] = capOverDt[i] * temps[i] + power[i];
+    g.multiplyAccumulate(temps, rhs, -0.5);
+    IterativeResult r =
+        solveLinear(system, rhs, symmetric, temps, solverOpts);
+    if (!r.converged) {
+        fatal("CrankNicolsonIntegrator: CG failed to converge, residual ",
+              r.residualNorm);
+    }
+    temps = std::move(r.x);
+}
+
+} // namespace irtherm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Time integrators for the linear thermal ODE  C dT/dt = P - G T.
+ *
+ * Three integrators with different stability/cost tradeoffs:
+ *
+ *  - Rk4Integrator: explicit adaptive Runge-Kutta 4 with step
+ *    doubling, the classic HotSpot scheme. Best for block-mode
+ *    networks (hundreds of nodes, moderate stiffness).
+ *  - BackwardEulerIntegrator: L-stable implicit method with a fixed
+ *    step; unconditionally stable on stiff grid-mode networks.
+ *  - CrankNicolsonIntegrator: second-order implicit; used by the
+ *    reference FD solver so that validation runs through an
+ *    independent scheme.
+ *
+ * Power is held constant across one advance() call, matching how the
+ * simulator drives the network (one power vector per trace sample).
+ */
+
+#ifndef IRTHERM_NUMERIC_ODE_HH
+#define IRTHERM_NUMERIC_ODE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/iterative.hh"
+#include "numeric/sparse.hh"
+
+namespace irtherm
+{
+
+/** Tuning knobs for the adaptive RK4 integrator. */
+struct Rk4Options
+{
+    double absTolerance = 1e-3;     ///< accepted per-step error (K)
+    double minStep = 1e-9;          ///< smallest sub-step (s)
+    double initialStep = 1e-5;      ///< first sub-step guess (s)
+};
+
+/**
+ * Adaptive explicit RK4 with step doubling.
+ *
+ * Each trial step is computed once at h and once as two steps of
+ * h/2; the Richardson difference estimates the local error and the
+ * step is grown or shrunk to track the tolerance.
+ */
+class Rk4Integrator
+{
+  public:
+    /**
+     * @param g            conductance matrix (kept by reference;
+     *                     must outlive the integrator)
+     * @param capacitance  per-node thermal capacitance, all > 0
+     */
+    Rk4Integrator(const CsrMatrix &g, std::vector<double> capacitance,
+                  const Rk4Options &opts = {});
+
+    /** Advance @p temps by @p dt seconds under constant @p power. */
+    void advance(std::vector<double> &temps,
+                 const std::vector<double> &power, double dt);
+
+    /** Sub-steps taken across all advance() calls (diagnostics). */
+    std::size_t totalSteps() const { return steps; }
+
+  private:
+    /** out = invC .* (power - G temps) */
+    void derivative(const std::vector<double> &temps,
+                    const std::vector<double> &power,
+                    std::vector<double> &out) const;
+
+    /** One classical RK4 step of size h from y into out. */
+    void rk4Step(const std::vector<double> &y,
+                 const std::vector<double> &power, double h,
+                 std::vector<double> &out) const;
+
+    const CsrMatrix &g;
+    std::vector<double> invC;
+    Rk4Options opts;
+    double lastStep;
+    std::size_t steps = 0;
+};
+
+/**
+ * Backward Euler with a fixed step:
+ *   (C/dt + G) T_{n+1} = (C/dt) T_n + P
+ * The system matrix is assembled once; each step is one
+ * warm-started CG solve.
+ */
+class BackwardEulerIntegrator
+{
+  public:
+    BackwardEulerIntegrator(const CsrMatrix &g,
+                            std::vector<double> capacitance, double dt,
+                            const IterativeOptions &solver = {});
+
+    /** Fixed step size this integrator was built for. */
+    double stepSize() const { return dt; }
+
+    /** Advance exactly one step of stepSize(). */
+    void step(std::vector<double> &temps,
+              const std::vector<double> &power);
+
+    /**
+     * Advance by @p duration, taking ceil(duration/dt) steps with the
+     * final step shortened is NOT supported — duration must be an
+     * integer multiple of dt (within 1e-9 relative), else fatal().
+     */
+    void advance(std::vector<double> &temps,
+                 const std::vector<double> &power, double duration);
+
+  private:
+    CsrMatrix system;                 ///< C/dt + G
+    std::vector<double> capOverDt;
+    double dt;
+    IterativeOptions solverOpts;
+    bool symmetric = true;            ///< CG vs BiCGSTAB dispatch
+};
+
+/**
+ * Crank-Nicolson with a fixed step:
+ *   (C/dt + G/2) T_{n+1} = (C/dt - G/2) T_n + P
+ */
+class CrankNicolsonIntegrator
+{
+  public:
+    CrankNicolsonIntegrator(const CsrMatrix &g,
+                            std::vector<double> capacitance, double dt,
+                            const IterativeOptions &solver = {});
+
+    double stepSize() const { return dt; }
+
+    /** Advance exactly one step of stepSize(). */
+    void step(std::vector<double> &temps,
+              const std::vector<double> &power);
+
+  private:
+    const CsrMatrix &g;
+    CsrMatrix system;                 ///< C/dt + G/2
+    std::vector<double> capOverDt;
+    double dt;
+    IterativeOptions solverOpts;
+    bool symmetric = true;            ///< CG vs BiCGSTAB dispatch
+};
+
+/**
+ * Return a copy of @p g with @p extra added to its diagonal.
+ * Missing diagonal entries are created.
+ */
+CsrMatrix addDiagonal(const CsrMatrix &g, const std::vector<double> &extra);
+
+} // namespace irtherm
+
+#endif // IRTHERM_NUMERIC_ODE_HH

@@ -1,0 +1,156 @@
+#include "numeric/sparse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+std::vector<double>
+CsrMatrix::multiply(const std::vector<double> &x) const
+{
+    if (x.size() != numCols)
+        fatal("CsrMatrix::multiply: size mismatch");
+    std::vector<double> y(numRows, 0.0);
+    multiplyAccumulate(x, y, 1.0);
+    return y;
+}
+
+void
+CsrMatrix::multiplyAccumulate(const std::vector<double> &x,
+                              std::vector<double> &y, double alpha) const
+{
+    if (x.size() != numCols || y.size() != numRows)
+        fatal("CsrMatrix::multiplyAccumulate: size mismatch");
+    for (std::size_t r = 0; r < numRows; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
+            acc += values[k] * x[cols_[k]];
+        y[r] += alpha * acc;
+    }
+}
+
+std::vector<double>
+CsrMatrix::diagonal() const
+{
+    std::vector<double> d(numRows, 0.0);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+            if (cols_[k] == r) {
+                d[r] = values[k];
+                break;
+            }
+        }
+    }
+    return d;
+}
+
+double
+CsrMatrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= numRows || c >= numCols)
+        fatal("CsrMatrix::at: index out of range");
+    const auto begin = cols_.begin() + static_cast<std::ptrdiff_t>(rowPtr[r]);
+    const auto end = cols_.begin() + static_cast<std::ptrdiff_t>(rowPtr[r + 1]);
+    const auto it = std::lower_bound(begin, end, c);
+    if (it == end || *it != c)
+        return 0.0;
+    return values[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+bool
+CsrMatrix::isSymmetric(double tol) const
+{
+    if (numRows != numCols)
+        return false;
+    double max_abs = 0.0;
+    for (double v : values)
+        max_abs = std::max(max_abs, std::abs(v));
+    const double bound = tol * std::max(max_abs, 1e-300);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+            const std::size_t c = cols_[k];
+            if (std::abs(values[k] - at(c, r)) > bound)
+                return false;
+        }
+    }
+    return true;
+}
+
+SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols)
+    : numRows(rows), numCols(cols)
+{
+    if (rows == 0 || cols == 0)
+        fatal("SparseBuilder: zero dimension");
+}
+
+void
+SparseBuilder::add(std::size_t r, std::size_t c, double value)
+{
+    if (r >= numRows || c >= numCols)
+        fatal("SparseBuilder::add: index (", r, ",", c, ") out of range");
+    tripRow.push_back(r);
+    tripCol.push_back(c);
+    tripVal.push_back(value);
+}
+
+void
+SparseBuilder::stampConductance(std::size_t a, std::size_t b, double g)
+{
+    if (g < 0.0)
+        fatal("stampConductance: negative conductance ", g);
+    add(a, a, g);
+    add(b, b, g);
+    add(a, b, -g);
+    add(b, a, -g);
+}
+
+void
+SparseBuilder::stampGroundConductance(std::size_t a, double g)
+{
+    if (g < 0.0)
+        fatal("stampGroundConductance: negative conductance ", g);
+    add(a, a, g);
+}
+
+CsrMatrix
+SparseBuilder::build() const
+{
+    const std::size_t nnz = tripVal.size();
+    std::vector<std::size_t> order(nnz);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (tripRow[a] != tripRow[b])
+                      return tripRow[a] < tripRow[b];
+                  return tripCol[a] < tripCol[b];
+              });
+
+    CsrMatrix m;
+    m.numRows = numRows;
+    m.numCols = numCols;
+    m.rowPtr.assign(numRows + 1, 0);
+
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < numRows; ++r) {
+        m.rowPtr[r] = m.values.size();
+        while (i < nnz && tripRow[order[i]] == r) {
+            const std::size_t c = tripCol[order[i]];
+            double acc = 0.0;
+            while (i < nnz && tripRow[order[i]] == r &&
+                   tripCol[order[i]] == c) {
+                acc += tripVal[order[i]];
+                ++i;
+            }
+            m.cols_.push_back(c);
+            m.values.push_back(acc);
+        }
+    }
+    m.rowPtr[numRows] = m.values.size();
+    return m;
+}
+
+} // namespace irtherm

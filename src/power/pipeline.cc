@@ -1,0 +1,265 @@
+#include "power/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+InstructionStream::InstructionStream(const WorkloadSpec &workload_,
+                                     std::uint64_t seed)
+    : workload(workload_), rng(seed)
+{
+    if (workload.phases.empty())
+        fatal("InstructionStream: workload has no phases");
+    if (workload.phases.size() != workload.phaseWeights.size())
+        fatal("InstructionStream: phase/weight mismatch");
+    phaseIndex = rng.weightedIndex(workload.phaseWeights);
+}
+
+MicroOp
+InstructionStream::next()
+{
+    // The phase dwell is specified in 10 K-cycle samples; convert to
+    // an approximate per-op switch probability assuming ~2 IPC.
+    const double ops_per_phase =
+        workload.meanPhaseDwell * 10000.0 * 2.0;
+    if (rng.uniform() < 1.0 / ops_per_phase)
+        phaseIndex = rng.weightedIndex(workload.phaseWeights);
+
+    const InstructionMix &mix = workload.phases[phaseIndex];
+    MicroOp op;
+    const double r = rng.uniform();
+    const double p_int = mix.fracInt;
+    const double p_fp = p_int + mix.fracFp;
+    const double p_load = p_fp + mix.fracLoad;
+    const double p_store = p_load + mix.fracStore;
+    const double p_branch = p_store + mix.fracBranch;
+
+    if (r < p_int) {
+        // A tenth of integer ops are long-latency multiplies.
+        op.cls = rng.uniform() < 0.1 ? OpClass::IntMul
+                                     : OpClass::IntAlu;
+    } else if (r < p_fp) {
+        op.cls = rng.uniform() < 0.5 ? OpClass::FpAdd
+                                     : OpClass::FpMul;
+    } else if (r < p_load) {
+        op.cls = OpClass::Load;
+    } else if (r < p_store) {
+        op.cls = OpClass::Store;
+    } else if (r < p_branch) {
+        op.cls = OpClass::Branch;
+        // Misprediction rate rises with the miss-heavy phases.
+        const double mispredict =
+            0.04 + 0.3 * mix.l1MissRate;
+        op.mispredicted = rng.uniform() < mispredict;
+    } else {
+        op.cls = OpClass::IntAlu; // filler / nop-ish work
+    }
+
+    if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+        op.l1Miss = rng.uniform() < mix.l1MissRate;
+        if (op.l1Miss)
+            op.l2Miss = rng.uniform() < 0.25;
+    }
+    return op;
+}
+
+PipelineSimulator::PipelineSimulator(const PipelineConfig &cfg_,
+                                     InstructionStream stream_)
+    : cfg(cfg_), stream(std::move(stream_))
+{
+    if (cfg.fetchWidth == 0 || cfg.issueWidth == 0 ||
+        cfg.commitWidth == 0 || cfg.robSize == 0) {
+        fatal("PipelineSimulator: zero-width structure");
+    }
+}
+
+WindowStats
+PipelineSimulator::runWindow(std::uint64_t cycles)
+{
+    WindowStats st;
+    st.cycles = cycles;
+    const std::uint64_t end = now + cycles;
+
+    while (now < end) {
+        // ---- commit: retire completed ops in order -------------------
+        unsigned committed = 0;
+        while (committed < cfg.commitWidth && !rob.empty() &&
+               rob.front().completesAt <= now) {
+            const OpClass cls = rob.front().cls;
+            if (cls == OpClass::Load || cls == OpClass::Store) {
+                if (lsqOccupancy > 0)
+                    --lsqOccupancy;
+            }
+            rob.pop_front();
+            ++committed;
+            ++st.committed;
+            ++st.regWrites; // result/status writeback
+        }
+
+        // ---- fetch: refill the fetch buffer --------------------------
+        if (now >= fetchStallUntil) {
+            for (unsigned f = 0;
+                 f < cfg.fetchWidth && fetchBuffer.size() < 16; ++f) {
+                fetchBuffer.push_back(stream.next());
+                ++st.fetched;
+                ++st.itbAccesses;
+            }
+        }
+
+        // ---- issue: structural constraints per cycle -----------------
+        unsigned issued = 0;
+        unsigned int_alu_used = 0;
+        unsigned fp_used = 0;
+        unsigned dports_used = 0;
+        while (issued < cfg.issueWidth && !fetchBuffer.empty() &&
+               rob.size() < cfg.robSize) {
+            const MicroOp op = fetchBuffer.front();
+
+            std::uint64_t latency = 0;
+            bool ok = true;
+            switch (op.cls) {
+              case OpClass::IntAlu:
+                ok = int_alu_used < cfg.intAluCount;
+                latency = cfg.intAluLatency;
+                if (ok) {
+                    ++int_alu_used;
+                    ++st.intAluOps;
+                }
+                break;
+              case OpClass::IntMul:
+                ok = int_alu_used < cfg.intAluCount;
+                latency = cfg.intMulLatency;
+                if (ok) {
+                    ++int_alu_used;
+                    ++st.intAluOps;
+                }
+                break;
+              case OpClass::FpAdd:
+              case OpClass::FpMul:
+                ok = fp_used < cfg.fpUnitCount;
+                latency = cfg.fpLatency;
+                if (ok) {
+                    ++fp_used;
+                    ++st.fpOps;
+                }
+                break;
+              case OpClass::Load:
+              case OpClass::Store:
+                ok = dports_used < cfg.dcachePorts &&
+                     lsqOccupancy < cfg.lsqSize;
+                if (op.l2Miss) {
+                    latency = cfg.memLatency;
+                } else if (op.l1Miss) {
+                    latency = cfg.l2Latency;
+                } else {
+                    latency = cfg.l1Latency;
+                }
+                if (ok) {
+                    ++dports_used;
+                    ++lsqOccupancy;
+                    ++st.dcacheAccesses;
+                    ++st.dtbAccesses;
+                    ++st.lsqOps;
+                    if (op.l1Miss)
+                        ++st.l2Accesses;
+                }
+                break;
+              case OpClass::Branch:
+                ok = int_alu_used < cfg.intAluCount;
+                latency = cfg.intAluLatency;
+                if (ok) {
+                    ++int_alu_used;
+                    ++st.bpredLookups;
+                    if (op.mispredicted) {
+                        ++st.mispredicts;
+                        fetchStallUntil =
+                            now + cfg.mispredictPenalty;
+                        fetchBuffer.clear();
+                        fetchBuffer.push_back(op); // keep this one
+                    }
+                }
+                break;
+            }
+            if (!ok)
+                break; // structural stall: stop issuing this cycle
+
+            ++st.regReads; // operand reads accompany every issue
+            rob.push_back({now + latency, fetchBuffer.front().cls});
+            fetchBuffer.pop_front();
+            ++issued;
+            if (op.cls == OpClass::Branch && op.mispredicted)
+                break; // nothing issues behind a flush
+        }
+
+        ++now;
+    }
+    return st;
+}
+
+std::vector<double>
+PipelineSimulator::unitActivity(const WattchPowerModel &model,
+                                const WindowStats &stats) const
+{
+    const double cycles = static_cast<double>(stats.cycles);
+    auto rate = [&](std::uint64_t count, double max_per_cycle) {
+        return std::clamp(static_cast<double>(count) /
+                              (cycles * max_per_cycle),
+                          0.0, 1.0);
+    };
+
+    std::vector<double> act(model.unitCount(), 0.0);
+    for (std::size_t i = 0; i < model.unitCount(); ++i) {
+        const std::string &n = model.specs()[i].name;
+        double a = 0.15; // control/misc floor
+        if (n == "Icache") {
+            a = rate(stats.fetched, cfg.fetchWidth);
+        } else if (n == "ITB") {
+            a = rate(stats.itbAccesses, cfg.fetchWidth);
+        } else if (n == "Bpred") {
+            a = rate(stats.bpredLookups, 1.0);
+        } else if (n == "IntReg") {
+            a = rate(stats.regReads + stats.regWrites,
+                     2.0 * cfg.issueWidth);
+        } else if (n == "IntExec") {
+            a = rate(stats.intAluOps, cfg.intAluCount);
+        } else if (n == "IntMap" || n == "IntQ") {
+            a = rate(stats.committed, cfg.commitWidth);
+        } else if (n == "FPAdd" || n == "FPMul") {
+            a = rate(stats.fpOps, cfg.fpUnitCount);
+        } else if (n == "FPReg" || n == "FPMap" || n == "FPQ") {
+            a = rate(stats.fpOps, cfg.fpUnitCount);
+        } else if (n == "Dcache") {
+            a = rate(stats.dcacheAccesses, cfg.dcachePorts);
+        } else if (n == "DTB") {
+            a = rate(stats.dtbAccesses, cfg.dcachePorts);
+        } else if (n == "LdStQ") {
+            a = rate(stats.lsqOps, cfg.dcachePorts);
+        } else if (n == "L2" || n == "L2_left" || n == "L2_right") {
+            a = rate(stats.l2Accesses, 0.25);
+        }
+        act[i] = a;
+    }
+    return act;
+}
+
+PowerTrace
+PipelineSimulator::generateTrace(const WattchPowerModel &model,
+                                 std::size_t windows,
+                                 std::uint64_t cycles_per_window,
+                                 double clock_hz)
+{
+    PowerTrace trace(model.unitNames(),
+                     static_cast<double>(cycles_per_window) /
+                         clock_hz);
+    for (std::size_t w = 0; w < windows; ++w) {
+        const WindowStats st = runWindow(cycles_per_window);
+        trace.addSample(model.dynamicPower(unitActivity(model, st)));
+    }
+    return trace;
+}
+
+} // namespace irtherm

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Cycle-approximate superscalar pipeline simulator.
+ *
+ * A deeper SimpleScalar substitute than SyntheticCpu: instructions
+ * are drawn from a phase-structured synthetic stream (instruction
+ * class, cache behaviour, branch outcome) and pushed through a
+ * model with real structural constraints — fetch and issue widths,
+ * a reorder buffer, functional-unit counts and latencies, cache
+ * ports, a load/store queue, and branch-misprediction flushes. IPC
+ * is *not* prescribed; it emerges from the structure, and per-unit
+ * access counts feed the Wattch power model.
+ *
+ * The model is deliberately in-order-completion-approximate: enough
+ * microarchitecture that memory-bound phases stall on the ROB and
+ * branchy phases pay flush penalties, without a full OoO scheduler.
+ */
+
+#ifndef IRTHERM_POWER_PIPELINE_HH
+#define IRTHERM_POWER_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "base/rng.hh"
+#include "power/power_trace.hh"
+#include "power/synthetic_cpu.hh"
+#include "power/wattch_model.hh"
+
+namespace irtherm
+{
+
+/** Abstract micro-operation classes. */
+enum class OpClass
+{
+    IntAlu,
+    IntMul,
+    FpAdd,
+    FpMul,
+    Load,
+    Store,
+    Branch,
+};
+
+/** One micro-op with its memory/control behaviour pre-drawn. */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    bool l1Miss = false;      ///< for loads/stores
+    bool l2Miss = false;      ///< implies a memory access
+    bool mispredicted = false; ///< for branches
+};
+
+/**
+ * Synthetic instruction stream: phases from a WorkloadSpec drive the
+ * class mix, miss rates, and misprediction rates.
+ */
+class InstructionStream
+{
+  public:
+    InstructionStream(const WorkloadSpec &workload,
+                      std::uint64_t seed = 0x5eedULL);
+
+    /** Draw the next micro-op (advances the phase process). */
+    MicroOp next();
+
+    /** Current phase index (for tests). */
+    std::size_t phase() const { return phaseIndex; }
+
+  private:
+    WorkloadSpec workload;
+    Rng rng;
+    std::size_t phaseIndex = 0;
+    std::size_t opsInPhase = 0;
+};
+
+/** Structural parameters of the modeled core (EV6-flavoured). */
+struct PipelineConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robSize = 80;
+    unsigned lsqSize = 32;
+    unsigned intAluCount = 4;
+    unsigned fpUnitCount = 2;
+    unsigned dcachePorts = 2;
+
+    unsigned intAluLatency = 1;
+    unsigned intMulLatency = 7;
+    unsigned fpLatency = 4;
+    unsigned l1Latency = 3;
+    unsigned l2Latency = 12;
+    unsigned memLatency = 150;
+    unsigned mispredictPenalty = 7;
+};
+
+/** Per-window statistics: cycles, commits, and unit access counts. */
+struct WindowStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t bpredLookups = 0;
+    std::uint64_t intAluOps = 0;
+    std::uint64_t fpOps = 0;
+    std::uint64_t regReads = 0;
+    std::uint64_t regWrites = 0;
+    std::uint64_t dcacheAccesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dtbAccesses = 0;
+    std::uint64_t itbAccesses = 0;
+    std::uint64_t lsqOps = 0;
+    std::uint64_t mispredicts = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+                   ? 0.0
+                   : static_cast<double>(committed) /
+                         static_cast<double>(cycles);
+    }
+};
+
+/**
+ * The pipeline model. Drive it window by window; convert each
+ * window's access counts to per-unit activity factors and on to
+ * dynamic power.
+ */
+class PipelineSimulator
+{
+  public:
+    PipelineSimulator(const PipelineConfig &cfg,
+                      InstructionStream stream);
+
+    /** Simulate exactly @p cycles cycles; returns the window stats. */
+    WindowStats runWindow(std::uint64_t cycles);
+
+    /**
+     * Convert window access counts into per-unit activity factors
+     * for the EV6 unit set (accesses per cycle, normalized by each
+     * unit's maximum service rate).
+     */
+    std::vector<double>
+    unitActivity(const WattchPowerModel &model,
+                 const WindowStats &stats) const;
+
+    /**
+     * Generate a power trace: @p windows windows of
+     * @p cycles_per_window cycles at @p clock_hz.
+     */
+    PowerTrace generateTrace(const WattchPowerModel &model,
+                             std::size_t windows,
+                             std::uint64_t cycles_per_window,
+                             double clock_hz = 3e9);
+
+  private:
+    /** An op in flight: the cycle at which its result is ready. */
+    struct InFlight
+    {
+        std::uint64_t completesAt = 0;
+        OpClass cls = OpClass::IntAlu;
+    };
+
+    PipelineConfig cfg;
+    InstructionStream stream;
+    std::uint64_t now = 0;
+    std::uint64_t fetchStallUntil = 0;
+    std::deque<InFlight> rob;
+    std::deque<MicroOp> fetchBuffer;
+    unsigned lsqOccupancy = 0;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_POWER_PIPELINE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-unit power traces, compatible with HotSpot's .ptrace format
+ * (first line: unit names; following lines: one power sample per
+ * unit, whitespace separated).
+ */
+
+#ifndef IRTHERM_POWER_POWER_TRACE_HH
+#define IRTHERM_POWER_POWER_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.hh"
+
+namespace irtherm
+{
+
+/** A fixed-interval sequence of per-unit power vectors. */
+class PowerTrace
+{
+  public:
+    /**
+     * @param unit_names      column names
+     * @param sample_interval seconds per sample
+     */
+    PowerTrace(std::vector<std::string> unit_names,
+               double sample_interval);
+
+    /** Append a sample. @pre powers.size() == unitCount() */
+    void addSample(std::vector<double> powers);
+
+    std::size_t unitCount() const { return names.size(); }
+    std::size_t sampleCount() const { return samples.size(); }
+    double sampleInterval() const { return interval; }
+    const std::vector<std::string> &unitNames() const { return names; }
+    const std::vector<double> &sample(std::size_t i) const;
+
+    /** Per-unit mean over all samples. */
+    std::vector<double> averagePowers() const;
+
+    /** Per-unit maximum over all samples. */
+    std::vector<double> peakPowers() const;
+
+    /** Total power of one sample (W). */
+    double totalPower(std::size_t i) const;
+
+    /** Average total power over the trace (W). */
+    double averageTotalPower() const;
+
+    /**
+     * Reorder columns to match a floorplan's block order; fatal()
+     * when any block has no matching column.
+     */
+    PowerTrace reorderedFor(const Floorplan &fp) const;
+
+    /**
+     * Average groups of @p factor samples into one (coarser trace).
+     * A final partial group is dropped.
+     */
+    PowerTrace decimated(std::size_t factor) const;
+
+    /** Parse HotSpot .ptrace text. */
+    static PowerTrace parsePtrace(std::istream &in,
+                                  double sample_interval);
+
+    /** Load a .ptrace file by path. */
+    static PowerTrace loadPtrace(const std::string &path,
+                                 double sample_interval);
+
+    /** Serialize to HotSpot .ptrace text. */
+    void writePtrace(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> names;
+    double interval;
+    std::vector<std::vector<double>> samples;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_POWER_POWER_TRACE_HH

@@ -1,0 +1,207 @@
+#include "power/synthetic_cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+namespace workloads
+{
+
+WorkloadSpec
+gcc()
+{
+    WorkloadSpec w;
+    w.name = "gcc";
+    // Optimizer hot loop / pointer-chasing / parse-and-branch /
+    // miss-stall phases. Dwell ~900 samples (~3 ms at 10 K cycles
+    // per sample) gives the millisecond-scale power phases whose
+    // thermal response the paper's Fig. 12 plots.
+    w.phases = {
+        {2.8, 0.58, 0.02, 0.22, 0.10, 0.18, 0.02},
+        {1.2, 0.40, 0.01, 0.33, 0.12, 0.12, 0.10},
+        {1.9, 0.48, 0.02, 0.25, 0.12, 0.22, 0.04},
+        {0.5, 0.30, 0.00, 0.40, 0.10, 0.10, 0.30},
+    };
+    w.phaseWeights = {0.40, 0.20, 0.25, 0.15};
+    w.meanPhaseDwell = 900.0;
+    w.activityNoise = 0.10;
+    return w;
+}
+
+WorkloadSpec
+mcf()
+{
+    WorkloadSpec w;
+    w.name = "mcf";
+    w.phases = {
+        {0.6, 0.35, 0.00, 0.42, 0.08, 0.12, 0.25},
+        {1.1, 0.40, 0.00, 0.35, 0.10, 0.14, 0.15},
+    };
+    w.phaseWeights = {0.7, 0.3};
+    w.meanPhaseDwell = 500.0;
+    w.activityNoise = 0.08;
+    return w;
+}
+
+WorkloadSpec
+art()
+{
+    WorkloadSpec w;
+    w.name = "art";
+    w.phases = {
+        {2.2, 0.15, 0.45, 0.22, 0.08, 0.06, 0.06},
+        {1.6, 0.20, 0.35, 0.28, 0.08, 0.08, 0.12},
+    };
+    w.phaseWeights = {0.6, 0.4};
+    w.meanPhaseDwell = 800.0;
+    w.activityNoise = 0.06;
+    return w;
+}
+
+WorkloadSpec
+bzip2()
+{
+    WorkloadSpec w;
+    w.name = "bzip2";
+    // Compression kernels: high-ILP integer with bursty
+    // sorting/transform phases, very few misses.
+    w.phases = {
+        {3.2, 0.62, 0.00, 0.20, 0.10, 0.14, 0.005},
+        {2.4, 0.55, 0.00, 0.26, 0.10, 0.16, 0.015},
+    };
+    w.phaseWeights = {0.6, 0.4};
+    w.meanPhaseDwell = 1200.0;
+    w.activityNoise = 0.06;
+    return w;
+}
+
+WorkloadSpec
+swim()
+{
+    WorkloadSpec w;
+    w.name = "swim";
+    // Stencil sweeps over large arrays: floating-point with
+    // streaming memory traffic and predictable branches.
+    w.phases = {
+        {1.8, 0.12, 0.42, 0.30, 0.10, 0.04, 0.12},
+        {1.2, 0.15, 0.35, 0.34, 0.10, 0.05, 0.20},
+    };
+    w.phaseWeights = {0.7, 0.3};
+    w.meanPhaseDwell = 1500.0;
+    w.activityNoise = 0.05;
+    return w;
+}
+
+} // namespace workloads
+
+SyntheticCpu::SyntheticCpu(const WattchPowerModel &model_,
+                           const WorkloadSpec &workload_,
+                           const Config &cfg_)
+    : model(model_), workload(workload_), cfg(cfg_), rng(cfg_.seed),
+      noise(model_.unitCount(), 0.0)
+{
+    if (workload.phases.empty())
+        fatal("SyntheticCpu: workload '", workload.name, "' has no phases");
+    if (workload.phases.size() != workload.phaseWeights.size())
+        fatal("SyntheticCpu: phase/weight count mismatch");
+    if (workload.meanPhaseDwell < 1.0)
+        fatal("SyntheticCpu: mean phase dwell below one sample");
+    phase = rng.weightedIndex(workload.phaseWeights);
+}
+
+SyntheticCpu::SyntheticCpu(const WattchPowerModel &model_,
+                           const WorkloadSpec &workload_)
+    : SyntheticCpu(model_, workload_, Config{})
+{
+}
+
+double
+SyntheticCpu::sampleInterval() const
+{
+    return static_cast<double>(cfg.cyclesPerSample) / cfg.clockHz;
+}
+
+std::vector<double>
+SyntheticCpu::unitActivity(const InstructionMix &mix) const
+{
+    const double ipc = mix.ipc;
+    const double fetch_rate =
+        std::min(1.0, ipc / cfg.issueWidth * 1.2);
+    const double mem_rate = ipc * (mix.fracLoad + mix.fracStore);
+    const double l2_rate = mem_rate * mix.l1MissRate * 8.0;
+
+    auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+
+    std::vector<double> act(model.unitCount(), 0.0);
+    for (std::size_t i = 0; i < model.unitCount(); ++i) {
+        const std::string &n = model.specs()[i].name;
+        double a = 0.2 * fetch_rate; // misc units follow fetch loosely
+        if (n == "Icache" || n == "l1i" || n == "fetch") {
+            a = fetch_rate;
+        } else if (n == "Bpred") {
+            a = clamp01(ipc * mix.fracBranch * 2.0);
+        } else if (n == "ITB") {
+            a = 0.8 * fetch_rate;
+        } else if (n == "IntReg" || n == "rob_irf") {
+            a = clamp01(ipc * (mix.fracInt + mix.fracLoad +
+                               mix.fracStore) * 0.45);
+        } else if (n == "IntExec") {
+            a = clamp01(ipc * mix.fracInt * 0.55);
+        } else if (n == "IntMap" || n == "IntQ" || n == "sched") {
+            a = clamp01(ipc / cfg.issueWidth *
+                        (mix.fracInt + mix.fracLoad + mix.fracStore) *
+                        1.4);
+        } else if (n == "LdStQ" || n == "lsq") {
+            a = clamp01(mem_rate);
+        } else if (n == "Dcache" || n == "l1d") {
+            a = clamp01(mem_rate * 1.2);
+        } else if (n == "DTB" || n == "dtlb") {
+            a = clamp01(mem_rate * 0.8);
+        } else if (n == "FPAdd" || n == "FPMul" || n == "fp0" ||
+                   n == "sse") {
+            a = clamp01(ipc * mix.fracFp * 0.6);
+        } else if (n == "FPReg" || n == "frf") {
+            a = clamp01(ipc * mix.fracFp * 0.7);
+        } else if (n == "FPMap" || n == "FPQ" || n == "fp_sched") {
+            a = clamp01(ipc * mix.fracFp * 0.5);
+        } else if (n == "L2" || n == "L2_left" || n == "L2_right" ||
+                   n == "l2cache") {
+            a = clamp01(l2_rate);
+        } else if (n == "clock" || n == "clockd1" || n == "clockd2" ||
+                   n == "clockd3") {
+            a = 1.0; // the clock network always switches
+        } else if (n == "mem_ctl" || n == "bus_etc") {
+            a = clamp01(l2_rate * 0.5);
+        }
+        act[i] = a;
+    }
+    return act;
+}
+
+PowerTrace
+SyntheticCpu::generate(std::size_t samples)
+{
+    PowerTrace trace(model.unitNames(), sampleInterval());
+    const double switch_prob = 1.0 / workload.meanPhaseDwell;
+
+    for (std::size_t s = 0; s < samples; ++s) {
+        if (rng.uniform() < switch_prob)
+            phase = rng.weightedIndex(workload.phaseWeights);
+
+        std::vector<double> act = unitActivity(workload.phases[phase]);
+        for (std::size_t u = 0; u < act.size(); ++u) {
+            // AR(1) multiplicative perturbation.
+            noise[u] = 0.95 * noise[u] +
+                       rng.gaussian(0.0, workload.activityNoise);
+            act[u] = std::clamp(act[u] * (1.0 + noise[u]), 0.0, 1.0);
+        }
+        trace.addSample(model.dynamicPower(act));
+    }
+    return trace;
+}
+
+} // namespace irtherm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Synthetic superscalar activity simulator.
+ *
+ * Substitutes for SimpleScalar running SPEC binaries (DESIGN.md §2):
+ * a workload is a set of program phases, each described by an
+ * instruction mix and a sustained IPC; a Markov process switches
+ * between phases and an AR(1) noise process perturbs per-sample
+ * activity, reproducing the phase-structured power traces of the
+ * paper's Fig. 12 (one sample per 10 K cycles).
+ *
+ * Per-unit activity factors are derived from the mix the way Wattch
+ * counts accesses: fetch-side units follow the fetch rate, integer
+ * units follow the integer issue rate, the memory units follow the
+ * load/store rate, and the L2 follows the L1 miss traffic.
+ */
+
+#ifndef IRTHERM_POWER_SYNTHETIC_CPU_HH
+#define IRTHERM_POWER_SYNTHETIC_CPU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "power/power_trace.hh"
+#include "power/wattch_model.hh"
+
+namespace irtherm
+{
+
+/** Architectural behaviour of one program phase. */
+struct InstructionMix
+{
+    double ipc = 2.0;        ///< sustained commits per cycle
+    double fracInt = 0.5;    ///< integer ALU ops
+    double fracFp = 0.0;     ///< floating-point ops
+    double fracLoad = 0.2;
+    double fracStore = 0.1;
+    double fracBranch = 0.15;
+    double l1MissRate = 0.03; ///< misses per memory op
+};
+
+/** A named workload: weighted phases plus switching dynamics. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<InstructionMix> phases;
+    std::vector<double> phaseWeights; ///< steady-state phase mix
+    double meanPhaseDwell = 300.0;    ///< mean samples per phase
+    double activityNoise = 0.10;      ///< AR(1) innovation sigma
+};
+
+namespace workloads
+{
+
+/** SPEC gcc-like: integer heavy, phase-y, branchy. */
+WorkloadSpec gcc();
+
+/** SPEC mcf-like: memory bound, low IPC, high miss rate. */
+WorkloadSpec mcf();
+
+/** SPEC art-like: floating-point loop nest. */
+WorkloadSpec art();
+
+/** SPEC bzip2-like: high-ILP integer, few misses. */
+WorkloadSpec bzip2();
+
+/** SPEC swim-like: streaming floating-point stencils. */
+WorkloadSpec swim();
+
+} // namespace workloads
+
+/** Trace generator: workload phases -> per-unit power samples. */
+class SyntheticCpu
+{
+  public:
+    struct Config
+    {
+        double clockHz = 3e9;
+        std::size_t cyclesPerSample = 10000;
+        double issueWidth = 4.0;
+        std::uint64_t seed = 0xEC6ULL;
+    };
+
+    SyntheticCpu(const WattchPowerModel &model,
+                 const WorkloadSpec &workload, const Config &cfg);
+
+    /** Convenience: default configuration. */
+    SyntheticCpu(const WattchPowerModel &model,
+                 const WorkloadSpec &workload);
+
+    /** Seconds of real time per trace sample. */
+    double sampleInterval() const;
+
+    /**
+     * Generate a dynamic-power trace of @p samples samples.
+     * Leakage is not included (add it at replay time when the
+     * temperature feedback is wanted).
+     */
+    PowerTrace generate(std::size_t samples);
+
+    /**
+     * Per-unit activity factors implied by a mix (deterministic,
+     * before noise). Exposed for tests.
+     */
+    std::vector<double> unitActivity(const InstructionMix &mix) const;
+
+  private:
+    const WattchPowerModel &model;
+    WorkloadSpec workload;
+    Config cfg;
+    Rng rng;
+    std::size_t phase = 0;
+    std::vector<double> noise; ///< AR(1) state per unit
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_POWER_SYNTHETIC_CPU_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Wattch-style per-unit power model.
+ *
+ * Each functional unit has a peak dynamic power (all its capacitance
+ * switching every cycle at nominal voltage/frequency), a conditional-
+ * clocking floor (fraction still burned when idle), and a leakage
+ * power at a reference temperature. Dynamic power scales with
+ * activity, V^2 and f; leakage scales exponentially with temperature
+ * (the feedback the paper's future-work section mentions).
+ *
+ * This module substitutes for SimpleScalar+Wattch (see DESIGN.md §2):
+ * it provides the same interface to the thermal model — per-unit
+ * power samples — without the authors' binary-level simulator.
+ */
+
+#ifndef IRTHERM_POWER_WATTCH_MODEL_HH
+#define IRTHERM_POWER_WATTCH_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace irtherm
+{
+
+/** Power characteristics of one functional unit. */
+struct UnitPowerSpec
+{
+    std::string name;
+    double peakDynamic = 0.0;   ///< W at activity 1, nominal V/f
+    double gatedFraction = 0.1; ///< power floor under clock gating
+    double leakageAtRef = 0.0;  ///< W at the reference temperature
+};
+
+/** Activity-driven power model over a fixed set of units. */
+class WattchPowerModel
+{
+  public:
+    /** Leakage temperature sensitivity, 1/K. */
+    static constexpr double leakageBeta = 0.015;
+    /** Reference temperature for leakageAtRef, K. */
+    static constexpr double leakageRefTemp = 345.0;
+
+    explicit WattchPowerModel(std::vector<UnitPowerSpec> specs);
+
+    /** EV6-like unit set matching floorplans::alphaEv6 block names. */
+    static WattchPowerModel alphaEv6();
+
+    /** Athlon64-like unit set matching floorplans::athlon64 names. */
+    static WattchPowerModel athlon64();
+
+    std::size_t unitCount() const { return specs_.size(); }
+    const std::vector<UnitPowerSpec> &specs() const { return specs_; }
+    std::vector<std::string> unitNames() const;
+
+    /** Index of the named unit; fatal() when absent. */
+    std::size_t unitIndex(const std::string &name) const;
+
+    /**
+     * Dynamic power per unit.
+     * @param activity       per-unit activity factors in [0, 1]
+     * @param voltage_scale  V / V_nominal
+     * @param freq_scale     f / f_nominal
+     */
+    std::vector<double>
+    dynamicPower(const std::vector<double> &activity,
+                 double voltage_scale = 1.0,
+                 double freq_scale = 1.0) const;
+
+    /**
+     * Temperature-dependent leakage per unit:
+     * leakageAtRef * V * exp(beta (T - Tref)).
+     * @param temps per-unit temperatures (K)
+     */
+    std::vector<double>
+    leakagePower(const std::vector<double> &temps,
+                 double voltage_scale = 1.0) const;
+
+  private:
+    std::vector<UnitPowerSpec> specs_;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_POWER_WATTCH_MODEL_HH

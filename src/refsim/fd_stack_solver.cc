@@ -1,0 +1,233 @@
+#include "refsim/fd_stack_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "numeric/iterative.hh"
+
+namespace irtherm
+{
+
+namespace
+{
+
+/** Still air filling the volume outside a layer's solid extent. */
+constexpr double airConductivity = 0.026;
+
+} // namespace
+
+FdStackSolver::FdStackSolver(double die_width, double die_height,
+                             const PackageConfig &pkg,
+                             const FdStackOptions &opts_)
+    : opts(opts_)
+{
+    if (pkg.cooling != CoolingKind::AirSink)
+        fatal("FdStackSolver: expects an AIR-SINK package");
+    pkg.check(die_width, die_height);
+    ambient = pkg.ambient;
+
+    const AirSinkSpec &as = pkg.airSink;
+    sinkSide = as.sinkSide;
+    dx = sinkSide / static_cast<double>(opts.nx);
+    dy = sinkSide / static_cast<double>(opts.ny);
+    nz = opts.dieSlabs + 1 + opts.spreaderSlabs + opts.sinkSlabs;
+
+    // z-layer thickness and nominal conductivity, bottom (junction)
+    // to top (sink surface).
+    std::vector<double> solid_k;
+    for (std::size_t s = 0; s < opts.dieSlabs; ++s) {
+        slabThickness.push_back(pkg.dieThickness /
+                                static_cast<double>(opts.dieSlabs));
+        solid_k.push_back(pkg.dieMaterial.conductivity);
+    }
+    slabThickness.push_back(as.timThickness);
+    solid_k.push_back(as.timMaterial.conductivity);
+    for (std::size_t s = 0; s < opts.spreaderSlabs; ++s) {
+        slabThickness.push_back(
+            as.spreaderThickness /
+            static_cast<double>(opts.spreaderSlabs));
+        solid_k.push_back(as.spreaderMaterial.conductivity);
+    }
+    for (std::size_t s = 0; s < opts.sinkSlabs; ++s) {
+        slabThickness.push_back(as.sinkThickness /
+                                static_cast<double>(opts.sinkSlabs));
+        solid_k.push_back(as.sinkMaterial.conductivity);
+    }
+
+    // Solid lateral extent per z-layer: the die and TIM exist only
+    // over the die footprint, the spreader over its own square, the
+    // sink everywhere.
+    const double cx = 0.5 * sinkSide;
+    const double cy = 0.5 * sinkSide;
+    struct Extent
+    {
+        double x0, y0, x1, y1;
+    };
+    std::vector<Extent> extent;
+    const Extent die_ext{cx - 0.5 * die_width, cy - 0.5 * die_height,
+                         cx + 0.5 * die_width, cy + 0.5 * die_height};
+    const Extent spr_ext{
+        cx - 0.5 * as.spreaderSide, cy - 0.5 * as.spreaderSide,
+        cx + 0.5 * as.spreaderSide, cy + 0.5 * as.spreaderSide};
+    const Extent all_ext{0.0, 0.0, sinkSide, sinkSide};
+    for (std::size_t s = 0; s < opts.dieSlabs + 1; ++s)
+        extent.push_back(die_ext); // die slabs + TIM
+    for (std::size_t s = 0; s < opts.spreaderSlabs; ++s)
+        extent.push_back(spr_ext);
+    for (std::size_t s = 0; s < opts.sinkSlabs; ++s)
+        extent.push_back(all_ext);
+
+    // Die-footprint cell window (cell centres inside the die).
+    die_ix0 = opts.nx;
+    die_iy0 = opts.ny;
+    std::size_t die_ix1 = 0, die_iy1 = 0;
+    for (std::size_t ix = 0; ix < opts.nx; ++ix) {
+        const double x = (static_cast<double>(ix) + 0.5) * dx;
+        if (x > die_ext.x0 && x < die_ext.x1) {
+            die_ix0 = std::min(die_ix0, ix);
+            die_ix1 = std::max(die_ix1, ix + 1);
+        }
+    }
+    for (std::size_t iy = 0; iy < opts.ny; ++iy) {
+        const double y = (static_cast<double>(iy) + 0.5) * dy;
+        if (y > die_ext.y0 && y < die_ext.y1) {
+            die_iy0 = std::min(die_iy0, iy);
+            die_iy1 = std::max(die_iy1, iy + 1);
+        }
+    }
+    if (die_ix0 >= die_ix1 || die_iy0 >= die_iy1)
+        fatal("FdStackSolver: die footprint covers no cells");
+    die_nx = die_ix1 - die_ix0;
+    die_ny = die_iy1 - die_iy0;
+
+    // Per-(cell, layer) conductivity.
+    auto cell_k = [&](std::size_t ix, std::size_t iy,
+                      std::size_t iz) {
+        const double x = (static_cast<double>(ix) + 0.5) * dx;
+        const double y = (static_cast<double>(iy) + 0.5) * dy;
+        const Extent &e = extent[iz];
+        const bool inside =
+            x > e.x0 && x < e.x1 && y > e.y0 && y < e.y1;
+        return inside ? solid_k[iz] : airConductivity;
+    };
+
+    SparseBuilder sb(opts.nx * opts.ny * nz, opts.nx * opts.ny * nz);
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+        const double t = slabThickness[iz];
+        for (std::size_t iy = 0; iy < opts.ny; ++iy) {
+            for (std::size_t ix = 0; ix < opts.nx; ++ix) {
+                const std::size_t c = index(ix, iy, iz);
+                const double ka = cell_k(ix, iy, iz);
+                if (ix + 1 < opts.nx) {
+                    const double kb = cell_k(ix + 1, iy, iz);
+                    sb.stampConductance(
+                        c, index(ix + 1, iy, iz),
+                        t * dy * 2.0 * ka * kb / (dx * (ka + kb)));
+                }
+                if (iy + 1 < opts.ny) {
+                    const double kb = cell_k(ix, iy + 1, iz);
+                    sb.stampConductance(
+                        c, index(ix, iy + 1, iz),
+                        t * dx * 2.0 * ka * kb / (dy * (ka + kb)));
+                }
+                if (iz + 1 < nz) {
+                    const double kb = cell_k(ix, iy, iz + 1);
+                    const double r =
+                        0.5 * t / ka +
+                        0.5 * slabThickness[iz + 1] / kb;
+                    sb.stampConductance(c, index(ix, iy, iz + 1),
+                                        dx * dy / r);
+                }
+            }
+        }
+    }
+
+    // Lumped convection distributed over the sink top.
+    const double g_cell =
+        (dx * dy / (sinkSide * sinkSide)) /
+        as.sinkToAmbientResistance;
+    for (std::size_t iy = 0; iy < opts.ny; ++iy)
+        for (std::size_t ix = 0; ix < opts.nx; ++ix)
+            sb.stampGroundConductance(index(ix, iy, nz - 1), g_cell);
+
+    g = sb.build();
+}
+
+std::size_t
+FdStackSolver::index(std::size_t ix, std::size_t iy,
+                     std::size_t iz) const
+{
+    return iz * opts.nx * opts.ny + iy * opts.nx + ix;
+}
+
+std::vector<double>
+FdStackSolver::uniformPowerMap(double total_watts) const
+{
+    return std::vector<double>(
+        die_nx * die_ny,
+        total_watts / static_cast<double>(die_nx * die_ny));
+}
+
+std::vector<double>
+FdStackSolver::centerSourcePowerMap(double total_watts,
+                                    double source_side) const
+{
+    std::vector<double> p(die_nx * die_ny, 0.0);
+    // Source centred on the die footprint, quantized to cells whose
+    // centres fall inside it.
+    const double cx = 0.5 * sinkSide;
+    const double cy = 0.5 * sinkSide;
+    std::vector<std::size_t> inside;
+    for (std::size_t jy = 0; jy < die_ny; ++jy) {
+        for (std::size_t jx = 0; jx < die_nx; ++jx) {
+            const double x =
+                (static_cast<double>(die_ix0 + jx) + 0.5) * dx;
+            const double y =
+                (static_cast<double>(die_iy0 + jy) + 0.5) * dy;
+            if (std::abs(x - cx) < 0.5 * source_side &&
+                std::abs(y - cy) < 0.5 * source_side) {
+                inside.push_back(jy * die_nx + jx);
+            }
+        }
+    }
+    if (inside.empty())
+        fatal("FdStackSolver: source smaller than one cell");
+    for (std::size_t i : inside)
+        p[i] = total_watts / static_cast<double>(inside.size());
+    return p;
+}
+
+std::vector<double>
+FdStackSolver::steadyJunctionTemperatures(
+    const std::vector<double> &die_cell_powers) const
+{
+    if (die_cell_powers.size() != die_nx * die_ny)
+        fatal("FdStackSolver: power map size mismatch");
+
+    std::vector<double> rhs(g.rows(), 0.0);
+    for (std::size_t jy = 0; jy < die_ny; ++jy) {
+        for (std::size_t jx = 0; jx < die_nx; ++jx) {
+            rhs[index(die_ix0 + jx, die_iy0 + jy, 0)] =
+                die_cell_powers[jy * die_nx + jx];
+        }
+    }
+
+    IterativeOptions io;
+    io.tolerance = 1e-11;
+    io.maxIterations = 200000;
+    const IterativeResult res = conjugateGradient(g, rhs, {}, io);
+    if (!res.converged)
+        fatal("FdStackSolver: CG failed, residual ", res.residualNorm);
+
+    std::vector<double> junction(die_nx * die_ny);
+    for (std::size_t jy = 0; jy < die_ny; ++jy) {
+        for (std::size_t jx = 0; jx < die_nx; ++jx) {
+            junction[jy * die_nx + jx] =
+                res.x[index(die_ix0 + jx, die_iy0 + jy, 0)] + ambient;
+        }
+    }
+    return junction;
+}
+
+} // namespace irtherm

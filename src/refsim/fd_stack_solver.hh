@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Independent finite-difference reference for the AIR-SINK stack.
+ *
+ * The paper validated only its oil model against ANSYS (Figs. 2-3);
+ * the conventional-package side of the comparison inherits HotSpot's
+ * compact spreader/heatsink treatment (die-footprint cells plus
+ * peripheral strip nodes). This solver checks that treatment
+ * independently: a full 3-D FD discretization over the *heatsink*
+ * extent with a per-cell material map — die and TIM cells exist only
+ * inside their footprints (air elsewhere), the spreader inside its
+ * own — and the lumped sink-to-ambient resistance distributed
+ * uniformly over the sink top. Steady-state only; the compact
+ * model's strip approximation is a steady spreading question.
+ */
+
+#ifndef IRTHERM_REFSIM_FD_STACK_SOLVER_HH
+#define IRTHERM_REFSIM_FD_STACK_SOLVER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/package.hh"
+#include "numeric/sparse.hh"
+
+namespace irtherm
+{
+
+/** Discretization options for the stack reference solver. */
+struct FdStackOptions
+{
+    std::size_t nx = 30; ///< cells across the sink extent
+    std::size_t ny = 30;
+    std::size_t dieSlabs = 2;      ///< z-slabs through the die
+    std::size_t spreaderSlabs = 2; ///< z-slabs through the spreader
+    std::size_t sinkSlabs = 3;     ///< z-slabs through the sink
+};
+
+/**
+ * 3-D FD model of die / TIM / spreader / heatsink under the lumped
+ * convection boundary. Geometry and materials come from an AIR-SINK
+ * PackageConfig; power is injected into the bottom die slab over the
+ * die footprint.
+ */
+class FdStackSolver
+{
+  public:
+    FdStackSolver(double die_width, double die_height,
+                  const PackageConfig &pkg,
+                  const FdStackOptions &opts = {});
+
+    /**
+     * Steady junction-plane temperatures over the *die footprint*
+     * (kelvin), row-major on the solver's die-cell grid; pair with
+     * dieCellsX()/dieCellsY().
+     *
+     * @param die_cell_powers watts per die cell (same grid)
+     */
+    std::vector<double>
+    steadyJunctionTemperatures(
+        const std::vector<double> &die_cell_powers) const;
+
+    std::size_t dieCellsX() const { return die_nx; }
+    std::size_t dieCellsY() const { return die_ny; }
+
+    /** Uniform total power over the die footprint. */
+    std::vector<double> uniformPowerMap(double total_watts) const;
+
+    /**
+     * Power concentrated on a centered square source of the given
+     * side (meters).
+     */
+    std::vector<double> centerSourcePowerMap(double total_watts,
+                                             double source_side) const;
+
+  private:
+    std::size_t index(std::size_t ix, std::size_t iy,
+                      std::size_t iz) const;
+
+    FdStackOptions opts;
+    double sinkSide;
+    double dx, dy;
+    std::size_t nz;
+    /** Index range of die cells within the sink-extent grid. */
+    std::size_t die_ix0, die_iy0, die_nx, die_ny;
+    std::vector<double> slabThickness; ///< per z-layer
+    CsrMatrix g;
+    double ambient;
+};
+
+} // namespace irtherm
+
+#endif // IRTHERM_REFSIM_FD_STACK_SOLVER_HH

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests of the analysis module: thermal maps, statistics, and the
+ * power reverse-engineering inversion (including the flow-direction
+ * artifact the paper warns about in Sec. 5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/estimator.hh"
+#include "analysis/inversion.hh"
+#include "analysis/stats.hh"
+#include "analysis/thermal_map.hh"
+#include "analysis/transfer.hh"
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t n)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = n;
+    o.gridNy = n;
+    return o;
+}
+
+TEST(Stats, Summary)
+{
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Stats, MaxRate)
+{
+    // 5 K in one 1 ms step -> 5000 K/s.
+    EXPECT_DOUBLE_EQ(maxRate({0.0, 5.0, 6.0}, 1e-3), 5000.0);
+}
+
+TEST(Stats, Differences)
+{
+    EXPECT_DOUBLE_EQ(rmsDifference({0.0, 0.0}, {3.0, 4.0}),
+                     std::sqrt(12.5));
+    EXPECT_DOUBLE_EQ(maxAbsDifference({0.0, 0.0}, {3.0, -4.0}), 4.0);
+    EXPECT_THROW(rmsDifference({1.0}, {1.0, 2.0}), FatalError);
+}
+
+TEST(ThermalMap, StatsAndHottestLocation)
+{
+    ThermalMap m;
+    m.nx = 2;
+    m.ny = 2;
+    m.width = 0.02;
+    m.height = 0.02;
+    m.temps = {300.0, 310.0, 320.0, 330.0};
+    EXPECT_DOUBLE_EQ(m.maxTemp(), 330.0);
+    EXPECT_DOUBLE_EQ(m.minTemp(), 300.0);
+    EXPECT_DOUBLE_EQ(m.meanTemp(), 315.0);
+    EXPECT_DOUBLE_EQ(m.gradient(), 30.0);
+    const auto [hx, hy] = m.hottestLocation();
+    EXPECT_DOUBLE_EQ(hx, 0.015);
+    EXPECT_DOUBLE_EQ(hy, 0.015);
+}
+
+TEST(ThermalMap, CsvAndPpmWellFormed)
+{
+    ThermalMap m;
+    m.nx = 2;
+    m.ny = 2;
+    m.width = 0.01;
+    m.height = 0.01;
+    m.temps = {300.0, 310.0, 320.0, 330.0};
+
+    std::ostringstream csv;
+    m.writeCsv(csv);
+    const std::string text = csv.str();
+    EXPECT_NE(text.find("x_m,y_m,temp_c"), std::string::npos);
+    // 4 data rows + header.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+
+    std::ostringstream ppm;
+    m.writePpm(ppm);
+    EXPECT_EQ(ppm.str().rfind("P3", 0), 0u);
+}
+
+TEST(ThermalMap, AsciiRenderingShadesByTemperature)
+{
+    ThermalMap m;
+    m.nx = 8;
+    m.ny = 8;
+    m.width = 0.01;
+    m.height = 0.01;
+    m.temps.assign(64, 300.0);
+    // Hot top-right quadrant (survives the renderer's averaging).
+    for (std::size_t iy = 4; iy < 8; ++iy)
+        for (std::size_t ix = 4; ix < 8; ++ix)
+            m.temps[iy * 8 + ix] = 400.0;
+
+    const std::string art = m.renderAscii(8);
+    // Rows are newline-terminated and top-of-die first.
+    ASSERT_FALSE(art.empty());
+    const std::size_t first_newline = art.find('\n');
+    ASSERT_NE(first_newline, std::string::npos);
+    // The hottest shade appears on the first rendered row (top).
+    EXPECT_NE(art.substr(0, first_newline).find('@'),
+              std::string::npos);
+    // Cool cells render as the lightest shades.
+    EXPECT_NE(art.find(' '), std::string::npos);
+}
+
+TEST(ThermalMap, AsciiRenderingHandlesUniformField)
+{
+    ThermalMap m;
+    m.nx = 4;
+    m.ny = 4;
+    m.width = 0.01;
+    m.height = 0.01;
+    m.temps.assign(16, 350.0);
+    EXPECT_NO_THROW({
+        const std::string art = m.renderAscii(4);
+        EXPECT_FALSE(art.empty());
+    });
+}
+
+TEST(ThermalMap, FromModelRequiresGridMode)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel block_model(fp,
+                                 PackageConfig::makeOilSilicon(10.0));
+    const std::vector<double> t(block_model.nodeCount(), 320.0);
+    EXPECT_THROW(ThermalMap::fromModel(block_model, t), FatalError);
+
+    const StackModel grid_model(
+        fp, PackageConfig::makeOilSilicon(10.0), gridOpts(4));
+    const std::vector<double> tg(grid_model.nodeCount(), 320.0);
+    const ThermalMap map = ThermalMap::fromModel(grid_model, tg);
+    EXPECT_EQ(map.nx, 4u);
+    EXPECT_DOUBLE_EQ(map.maxTemp(), 320.0);
+}
+
+TEST(Inversion, RecoversTruePowersWithMatchingModel)
+{
+    // When the inversion model matches the measurement model, the
+    // estimated block powers equal the true ones (linear system).
+    const Floorplan fp = floorplans::uniformChip(3, 0.012, 0.012);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0),
+                           gridOpts(9));
+
+    std::vector<double> truth(fp.blockCount(), 1.0);
+    truth[fp.blockIndex("u1_1")] = 8.0;
+    truth[fp.blockIndex("u2_0")] = 3.0;
+
+    const auto temps = model.steadyBlockTemperatures(truth);
+    PowerInversion inv(model);
+    const auto est = inv.estimatePowers(temps);
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        EXPECT_NEAR(est[i], truth[i], 0.02);
+}
+
+TEST(Inversion, ForwardPredictionMatchesModel)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0),
+                           gridOpts(6));
+    std::vector<double> p(fp.blockCount(), 2.0);
+    const auto direct = model.steadyBlockTemperatures(p);
+    PowerInversion inv(model);
+    const auto predicted = inv.predictTemperatures(p);
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_NEAR(predicted[i], direct[i], 1e-6);
+}
+
+TEST(Inversion, DirectionBlindInversionMisattributesPower)
+{
+    // The paper's Sec. 5.4 artifact: equal-power cores measured
+    // under a directional oil flow look unequal to an inversion that
+    // ignores the flow direction — downstream cores are credited
+    // with more power.
+    const Floorplan fp = floorplans::multicoreChip(4, 1, 0.02, 0.005);
+    PackageConfig directional = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight);
+    PackageConfig blind = directional;
+    blind.oilFlow.directional = false;
+
+    ModelOptions mo = gridOpts(16);
+    mo.gridNy = 4;
+    const StackModel truth_model(fp, directional, mo);
+    const StackModel blind_model(fp, blind, mo);
+
+    const std::vector<double> truth(fp.blockCount(), 5.0);
+    const auto temps = truth_model.steadyBlockTemperatures(truth);
+
+    PowerInversion inv(blind_model);
+    const auto est = inv.estimatePowers(temps);
+
+    // Downstream (right) core over-credited relative to upstream.
+    EXPECT_GT(est[fp.blockIndex("core3_0")],
+              est[fp.blockIndex("core0_0")] + 0.2);
+}
+
+TEST(Inversion, DirectionAwareInversionFixesTheArtifact)
+{
+    const Floorplan fp = floorplans::multicoreChip(4, 1, 0.02, 0.005);
+    PackageConfig directional = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight);
+    ModelOptions mo = gridOpts(16);
+    mo.gridNy = 4;
+    const StackModel model(fp, directional, mo);
+
+    const std::vector<double> truth(fp.blockCount(), 5.0);
+    const auto temps = model.steadyBlockTemperatures(truth);
+    PowerInversion inv(model);
+    const auto est = inv.estimatePowers(temps);
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        EXPECT_NEAR(est[i], 5.0, 0.05);
+}
+
+TEST(Estimator, ReconstructsHotSpotNotUnderAnySensor)
+{
+    // The Sec. 5.4 combination: sparse sensors + the model see a hot
+    // spot that no sensor sits on.
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(1.0),
+                           gridOpts(12));
+
+    // Truth: IntReg runs hot; prior assumes a flat budget.
+    std::vector<double> truth(fp.blockCount(), 1.0);
+    truth[fp.blockIndex("IntReg")] = 6.0;
+    truth[fp.blockIndex("Dcache")] = 4.0;
+    const auto true_temps = model.steadyBlockTemperatures(truth);
+
+    // Four sensors, none on IntReg.
+    std::vector<SensorSpec> sensors;
+    for (const char *name : {"L2", "Icache", "IntExec", "FPMul"}) {
+        const Block &b = fp.block(fp.blockIndex(name));
+        sensors.push_back({name, b.centerX(), b.centerY(), 0.0, 0.0});
+    }
+    std::vector<double> readings;
+    for (const char *name : {"L2", "Icache", "IntExec", "FPMul"})
+        readings.push_back(true_temps[fp.blockIndex(name)]);
+
+    const std::vector<double> prior(fp.blockCount(), 1.5);
+    ModelAssistedEstimator est(model, sensors, prior);
+    const EstimatedState state = est.estimate(readings);
+
+    // The estimator's IntReg temperature beats the best sensor
+    // reading as a proxy for the true hot spot.
+    const double true_hot = true_temps[fp.blockIndex("IntReg")];
+    const double best_sensor =
+        *std::max_element(readings.begin(), readings.end());
+    const double estimated_hot =
+        state.blockTemperatures[fp.blockIndex("IntReg")];
+    EXPECT_LT(std::abs(estimated_hot - true_hot),
+              std::abs(best_sensor - true_hot));
+}
+
+TEST(Estimator, PerfectSensorsPerfectPriorIsExact)
+{
+    const Floorplan fp = floorplans::uniformChip(3, 0.012, 0.012);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0),
+                           gridOpts(9));
+    std::vector<double> truth(fp.blockCount(), 2.0);
+    truth[4] = 7.0;
+    const auto temps = model.steadyBlockTemperatures(truth);
+
+    const auto sensors = placement::perBlockCenters(fp);
+    ModelAssistedEstimator est(model, sensors, truth, 1e-6);
+    const EstimatedState state = est.estimate(temps);
+    for (std::size_t b = 0; b < truth.size(); ++b) {
+        EXPECT_NEAR(state.blockPowers[b], truth[b], 0.05);
+        EXPECT_NEAR(state.blockTemperatures[b], temps[b], 0.05);
+    }
+}
+
+TEST(Estimator, ValidatesInputs)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel model(fp, PackageConfig::makeAirSink(1.0),
+                           gridOpts(4));
+    const std::vector<double> prior(fp.blockCount(), 1.0);
+    EXPECT_THROW(ModelAssistedEstimator(model, {}, prior),
+                 FatalError);
+    EXPECT_THROW(ModelAssistedEstimator(
+                     model, {{"s", 1.0, 1.0, 0.0, 0.0}}, prior),
+                 FatalError); // outside the die
+    ModelAssistedEstimator ok(
+        model, {{"s", 0.0025, 0.0025, 0.0, 0.0}}, prior);
+    EXPECT_THROW(ok.estimate({300.0, 301.0}), FatalError);
+}
+
+TEST(Transfer, PredictsDeploymentFromRigExactlyWithoutLeakage)
+{
+    // Linear world: rig inversion + deployment forward is exact.
+    const Floorplan fp = floorplans::uniformChip(3, 0.012, 0.012);
+    const StackModel rig(fp, PackageConfig::makeOilSilicon(10.0),
+                         gridOpts(9));
+    const StackModel dep(fp, PackageConfig::makeAirSink(1.0),
+                         gridOpts(9));
+
+    std::vector<double> powers(fp.blockCount(), 1.0);
+    powers[fp.blockIndex("u1_1")] = 6.0;
+
+    const auto measured = rig.steadyBlockTemperatures(powers);
+    const auto truth = dep.steadyBlockTemperatures(powers);
+
+    const PackageTransfer transfer(rig, dep);
+    const auto predicted = transfer.predictDeployment(measured);
+    for (std::size_t b = 0; b < truth.size(); ++b)
+        EXPECT_NEAR(predicted[b], truth[b], 0.05);
+}
+
+TEST(Transfer, RecoveredPowersMatchTruth)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel rig(fp, PackageConfig::makeOilSilicon(10.0),
+                         gridOpts(6));
+    const StackModel dep(fp, PackageConfig::makeAirSink(1.0),
+                         gridOpts(6));
+    std::vector<double> powers = {3.0, 1.0, 2.0, 0.5};
+    const auto measured = rig.steadyBlockTemperatures(powers);
+    const PackageTransfer transfer(rig, dep);
+    const auto est = transfer.recoverPowers(measured);
+    for (std::size_t b = 0; b < powers.size(); ++b)
+        EXPECT_NEAR(est[b], powers[b], 0.02);
+}
+
+TEST(Transfer, RejectsMismatchedFloorplans)
+{
+    const Floorplan a = floorplans::uniformChip(2, 0.01, 0.01);
+    const Floorplan b = floorplans::uniformChip(3, 0.01, 0.01);
+    const StackModel rig(a, PackageConfig::makeOilSilicon(10.0),
+                         gridOpts(4));
+    const StackModel dep(b, PackageConfig::makeAirSink(1.0),
+                         gridOpts(4));
+    EXPECT_THROW(PackageTransfer(rig, dep), FatalError);
+}
+
+TEST(Transfer, LeakageSeparationImprovesPrediction)
+{
+    // Ground truth includes temperature-dependent leakage; the
+    // leakage-aware transfer must beat the leakage-blind one.
+    const Floorplan fp = floorplans::alphaEv6();
+    const WattchPowerModel pm = WattchPowerModel::alphaEv6();
+    ModelOptions mo = gridOpts(12);
+
+    const StackModel rig(
+        fp, PackageConfig::makeOilSilicon(10.0), mo);
+    const StackModel dep(fp, PackageConfig::makeAirSink(1.0), mo);
+
+    // Self-consistent leakage in both configurations.
+    std::vector<double> dynamic(fp.blockCount(), 1.0);
+    dynamic[fp.blockIndex("IntReg")] = 4.0;
+    auto with_leak = [&](const StackModel &m) {
+        std::vector<double> t = m.steadyBlockTemperatures(dynamic);
+        for (int i = 0; i < 6; ++i) {
+            std::vector<double> ut(pm.unitCount());
+            for (std::size_t b = 0; b < fp.blockCount(); ++b)
+                ut[pm.unitIndex(fp.block(b).name)] = t[b];
+            const auto leak = pm.leakagePower(ut);
+            std::vector<double> total = dynamic;
+            for (std::size_t b = 0; b < fp.blockCount(); ++b)
+                total[b] += leak[pm.unitIndex(fp.block(b).name)];
+            t = m.steadyBlockTemperatures(total);
+        }
+        return t;
+    };
+    const auto measured = with_leak(rig);
+    const auto truth = with_leak(dep);
+
+    const PackageTransfer naive(rig, dep);
+    TransferOptions lo;
+    lo.leakageModel = &pm;
+    const PackageTransfer aware(rig, dep, lo);
+
+    const auto p_naive = naive.predictDeployment(measured);
+    const auto p_aware = aware.predictDeployment(measured);
+    EXPECT_LT(maxAbsDifference(p_aware, truth),
+              maxAbsDifference(p_naive, truth));
+    EXPECT_LT(maxAbsDifference(p_aware, truth), 0.5);
+}
+
+} // namespace
+} // namespace irtherm

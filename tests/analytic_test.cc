@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Exact-solution validation: configurations where the RC model has a
+ * closed-form answer, checked to tight tolerances. These pin down
+ * the assembly math itself (no discretization slack), complementing
+ * the FD cross-checks in refsim_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+#include "materials/convection.hh"
+#include "numeric/fit.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t n)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = n;
+    o.gridNy = n;
+    return o;
+}
+
+/**
+ * Uniform power, non-directional oil, no secondary path: every cell
+ * carries its own heat straight into the oil (no lateral flow by
+ * symmetry), so every cell's rise is exactly P * Rconv.
+ */
+TEST(Analytic, UniformLoadRiseEqualsPowerTimesRconv)
+{
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    pkg.oilFlow.directional = false;
+    pkg.secondary.enabled = false;
+    const StackModel model(fp, pkg, gridOpts(12));
+
+    const double total = 80.0;
+    const std::vector<double> bp(fp.blockCount(), total / 16.0);
+    const auto nodes = model.steadyNodeTemperatures(bp);
+    const auto cells = model.siliconCellTemperatures(nodes);
+
+    const double expected =
+        pkg.ambient + total * model.equivalentPrimaryResistance();
+    for (double t : cells)
+        EXPECT_NEAR(t, expected, 1e-6);
+}
+
+/**
+ * Same setup under AIR-SINK without the secondary path: uniform
+ * load leaves no lateral gradients, so the die is isothermal and
+ * the rise decomposes into the series stack TIM + spreader + sink +
+ * Rconv (vertical 1-D resistances over the die area, spreader and
+ * sink peripheries carry nothing by symmetry... the peripheries do
+ * spread, so only bound below by the no-spreading value and above
+ * by the full-area value).
+ */
+TEST(Analytic, UniformAirSinkRiseBracketedBySeriesStack)
+{
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    PackageConfig pkg = PackageConfig::makeAirSink(1.0);
+    pkg.secondary.enabled = false;
+    const StackModel model(fp, pkg, gridOpts(12));
+
+    const double total = 50.0;
+    const std::vector<double> bp(fp.blockCount(), total / 16.0);
+    const auto cells = model.siliconCellTemperatures(
+        model.steadyNodeTemperatures(bp));
+
+    const double a_die = fp.width() * fp.height();
+    const AirSinkSpec &as = pkg.airSink;
+    const double r_tim =
+        as.timThickness / (as.timMaterial.conductivity * a_die);
+    const double r_spr = as.spreaderThickness /
+                         (as.spreaderMaterial.conductivity * a_die);
+    const double r_sink = as.sinkThickness /
+                          (as.sinkMaterial.conductivity * a_die);
+    // Lower bound: perfect lateral spreading makes conduction and
+    // periphery access free; the rise cannot undercut P * Rconv.
+    const double lower = total * as.sinkToAmbientResistance;
+    // Upper allowance: the vertical ladder plus a generous copper
+    // spreading-resistance budget (the die-to-sink-periphery access
+    // cost, ~0.02 K/W for this 60 mm sink).
+    const double upper = lower + total * (r_tim + r_spr + r_sink) +
+                         total * 0.03;
+
+    for (double t : cells) {
+        EXPECT_GE(t - pkg.ambient, lower - 1e-6);
+        EXPECT_LE(t - pkg.ambient, upper + 1e-6);
+    }
+    // Copper keeps the die nearly isothermal under a uniform load
+    // (edge cells run ~1.4 K cooler: they also spread sideways).
+    const double span = *std::max_element(cells.begin(), cells.end()) -
+                        *std::min_element(cells.begin(), cells.end());
+    EXPECT_LT(span, 2.0);
+}
+
+/**
+ * The paper's Eq. 6 exactly: with a uniform load, non-directional
+ * oil, no secondary path, the warm-up is a single exponential with
+ * tau = Rconv * (Csi + Coil).
+ */
+TEST(Analytic, OilWarmupTauMatchesEq6)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    pkg.oilFlow.directional = false;
+    pkg.secondary.enabled = false;
+    const StackModel model(fp, pkg);
+
+    const double tau_analytic =
+        model.equivalentPrimaryResistance() *
+        (model.siliconCapacitance() + model.oilCapacitance());
+
+    const std::vector<double> bp(fp.blockCount(), 50.0);
+    const double steady = model.steadyBlockTemperatures(bp)[0];
+    ThermalSimulator sim(model);
+    sim.setBlockPowers(bp);
+    std::vector<double> times{0.0};
+    std::vector<double> values{pkg.ambient};
+    for (double t = 0.02; t <= 3.0 + 1e-9; t += 0.02) {
+        sim.advance(0.02);
+        times.push_back(t);
+        values.push_back(sim.blockTemperatures()[0]);
+    }
+    const ExponentialFit fit = fitExponential(times, values, steady);
+    EXPECT_NEAR(fit.tau, tau_analytic, 0.03 * tau_analytic);
+    EXPECT_LT(fit.rmsError, 0.05); // genuinely single-exponential
+}
+
+/**
+ * Conservation under the secondary path: with both paths enabled the
+ * steady heat split must satisfy the resistor-divider ratio within
+ * the lateral-coupling slack.
+ */
+TEST(Analytic, HeatSplitsFollowsConductances)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    pkg.oilFlow.directional = false;
+    const StackModel model(fp, pkg, gridOpts(8));
+
+    const std::vector<double> bp(fp.blockCount(), 25.0);
+    const auto nodes = model.steadyNodeTemperatures(bp);
+    const double q1 = model.heatThroughPrimary(nodes);
+    const double q2 = model.heatThroughSecondary(nodes);
+    EXPECT_NEAR(q1 + q2, 100.0, 1e-4);
+    // The primary path (Rconv ~ 1.0) dominates the secondary stack
+    // (~2.4 K/W): the split must land in the 60-85% band.
+    EXPECT_GT(q1 / (q1 + q2), 0.60);
+    EXPECT_LT(q1 / (q1 + q2), 0.85);
+}
+
+/**
+ * Block mode, one block powered: at steady state the *vertical*
+ * ladder under that block plus the parallel lateral paths must give
+ * a hotter block node than any neighbour — and the heat balance on
+ * the powered node must close (power in = sum of conductance *
+ * temperature-difference out).
+ */
+TEST(Analytic, NodalHeatBalanceClosesOnPoweredBlock)
+{
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.005);
+    PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    const StackModel model(fp, pkg);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    const std::size_t hot = fp.blockIndex("hot");
+    bp[hot] = 12.0;
+
+    const auto temps = model.steadyNodeTemperatures(bp);
+    const std::size_t hot_node = model.siliconNodeBegin() + hot;
+
+    // Row sum of G * T at the powered node equals its injection.
+    const CsrMatrix &g = model.conductance();
+    const auto &rp = g.rowPointers();
+    const auto &ci = g.columnIndices();
+    const auto &av = g.storedValues();
+    double out = 0.0;
+    for (std::size_t k = rp[hot_node]; k < rp[hot_node + 1]; ++k) {
+        out += av[k] *
+               (temps[ci[k]] - model.packageConfig().ambient);
+    }
+    EXPECT_NEAR(out, 12.0, 1e-5);
+
+    // The powered block is the hottest silicon node.
+    const auto cells = model.siliconCellTemperatures(temps);
+    for (std::size_t b = 0; b < cells.size(); ++b) {
+        if (b != hot) {
+            EXPECT_LT(cells[b], cells[hot]);
+        }
+    }
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the base module: logging, strings, RNG, tables,
+ * units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant ", 1, " broken"), PanicError);
+}
+
+TEST(Logging, FatalMessageContainsFragments)
+{
+    try {
+        fatal("value is ", 3.5, " too big");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value is 3.5 too big"),
+                  std::string::npos);
+    }
+}
+
+TEST(Units, CelsiusKelvinRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toKelvin(45.0), 318.15);
+    EXPECT_DOUBLE_EQ(toCelsius(toKelvin(85.0)), 85.0);
+    EXPECT_DOUBLE_EQ(toCelsius(273.15), 0.0);
+}
+
+TEST(Units, LengthAndTimeHelpers)
+{
+    EXPECT_DOUBLE_EQ(fromMillimeters(20.0), 0.02);
+    EXPECT_DOUBLE_EQ(fromMicrometers(50.0), 50e-6);
+    EXPECT_DOUBLE_EQ(fromMilliseconds(15.0), 0.015);
+    EXPECT_DOUBLE_EQ(fromMicroseconds(60.0), 60e-6);
+}
+
+TEST(Str, TrimStripsBothEnds)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Str, SplitKeepsEmptyTokens)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Str, SplitWhitespaceDropsEmpty)
+{
+    const auto parts = splitWhitespace("  a \t b\nc  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(startsWith("floorplan", "floor"));
+    EXPECT_FALSE(startsWith("floor", "floorplan"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Str, ParseDoubleAcceptsScientific)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("1.5e-3", "test"), 1.5e-3);
+    EXPECT_DOUBLE_EQ(parseDouble("  -2 ", "test"), -2.0);
+}
+
+TEST(Str, ParseDoubleRejectsGarbage)
+{
+    EXPECT_THROW(parseDouble("12x", "ctx"), FatalError);
+    EXPECT_THROW(parseDouble("", "ctx"), FatalError);
+    EXPECT_THROW(parseDouble("abc", "ctx"), FatalError);
+}
+
+TEST(Str, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(-1.0, 1), "-1.0");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(11);
+    double acc = 0.0, acc2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.gaussian(5.0, 2.0);
+        acc += v;
+        acc2 += v * v;
+    }
+    const double mean = acc / n;
+    const double var = acc2 / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng r(3);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[r.weightedIndex(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights)
+{
+    Rng r;
+    EXPECT_THROW(r.weightedIndex({}), FatalError);
+    EXPECT_THROW(r.weightedIndex({0.0, 0.0}), FatalError);
+    EXPECT_THROW(r.weightedIndex({1.0, -1.0}), FatalError);
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    TextTable t({"unit", "temp"});
+    t.addRow({"IntReg", "104.91"});
+    t.addRow("Dcache", {96.02}, 2);
+    EXPECT_EQ(t.rowCount(), 2u);
+
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("IntReg"), std::string::npos);
+    EXPECT_NE(s.find("96.02"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests of the HotSpot-style configuration file IO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "core/config_io.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+TEST(ConfigIo, ParsesMinimalOilConfig)
+{
+    std::istringstream in(
+        "# a comment\n"
+        "cooling oil\n"
+        "ambient 45.0\n"
+        "oil_velocity 12.5   # trailing comment\n"
+        "oil_direction top-to-bottom\n"
+        "model_mode grid\n"
+        "grid_nx 24\n"
+        "grid_ny 16\n");
+    const SimulationConfig cfg = parseConfig(in);
+    EXPECT_EQ(cfg.package.cooling, CoolingKind::OilSilicon);
+    EXPECT_DOUBLE_EQ(cfg.package.ambient, toKelvin(45.0));
+    EXPECT_DOUBLE_EQ(cfg.package.oilFlow.velocity, 12.5);
+    EXPECT_EQ(cfg.package.oilFlow.direction,
+              FlowDirection::TopToBottom);
+    EXPECT_EQ(cfg.model.mode, ModelMode::Grid);
+    EXPECT_EQ(cfg.model.gridNx, 24u);
+    EXPECT_EQ(cfg.model.gridNy, 16u);
+}
+
+TEST(ConfigIo, DefaultsSurviveEmptyConfig)
+{
+    std::istringstream in("\n# nothing here\n");
+    const SimulationConfig cfg = parseConfig(in);
+    EXPECT_EQ(cfg.package.cooling, CoolingKind::AirSink);
+    EXPECT_EQ(cfg.model.mode, ModelMode::Block);
+    EXPECT_DOUBLE_EQ(cfg.package.dieThickness, 0.5e-3);
+}
+
+TEST(ConfigIo, AirSinkKeysMatchHotSpotNames)
+{
+    std::istringstream in(
+        "cooling air\n"
+        "r_convec 0.3\n"
+        "c_convec 140.4\n"
+        "s_sink 0.06\n"
+        "t_sink 0.0069\n"
+        "s_spreader 0.03\n"
+        "t_interface 2e-05\n");
+    const SimulationConfig cfg = parseConfig(in);
+    EXPECT_DOUBLE_EQ(
+        cfg.package.airSink.sinkToAmbientResistance, 0.3);
+    EXPECT_DOUBLE_EQ(cfg.package.airSink.timThickness, 2e-5);
+}
+
+TEST(ConfigIo, BooleanFormats)
+{
+    std::istringstream in(
+        "oil_directional false\n"
+        "secondary_enabled 0\n"
+        "oil_cap_at_interface yes\n");
+    const SimulationConfig cfg = parseConfig(in);
+    EXPECT_FALSE(cfg.package.oilFlow.directional);
+    EXPECT_FALSE(cfg.package.secondary.enabled);
+    EXPECT_TRUE(cfg.package.oilFlow.capacitanceAtInterface);
+}
+
+TEST(ConfigIo, RejectsUnknownKey)
+{
+    std::istringstream in("warp_factor 9\n");
+    EXPECT_THROW(parseConfig(in), FatalError);
+}
+
+TEST(ConfigIo, RejectsMalformedLines)
+{
+    std::istringstream bad_arity("cooling\n");
+    EXPECT_THROW(parseConfig(bad_arity), FatalError);
+    std::istringstream bad_value("ambient warm\n");
+    EXPECT_THROW(parseConfig(bad_value), FatalError);
+    std::istringstream bad_bool("secondary_enabled maybe\n");
+    EXPECT_THROW(parseConfig(bad_bool), FatalError);
+    std::istringstream bad_dir("oil_direction sideways\n");
+    EXPECT_THROW(parseConfig(bad_dir), FatalError);
+}
+
+TEST(ConfigIo, WriteParseRoundTrip)
+{
+    SimulationConfig cfg;
+    cfg.package = PackageConfig::makeOilSilicon(
+        18.5, FlowDirection::BottomToTop, 37.0);
+    cfg.package.oilFlow.directional = false;
+    cfg.package.secondary.enabled = false;
+    cfg.package.secondary.pcbSide = 0.055;
+    cfg.model.mode = ModelMode::Grid;
+    cfg.model.gridNx = 48;
+    cfg.model.gridNy = 40;
+
+    std::stringstream ss;
+    writeConfig(ss, cfg);
+    const SimulationConfig back = parseConfig(ss);
+
+    EXPECT_EQ(back.package.cooling, CoolingKind::OilSilicon);
+    EXPECT_NEAR(back.package.ambient, cfg.package.ambient, 1e-9);
+    EXPECT_DOUBLE_EQ(back.package.oilFlow.velocity, 18.5);
+    EXPECT_EQ(back.package.oilFlow.direction,
+              FlowDirection::BottomToTop);
+    EXPECT_FALSE(back.package.oilFlow.directional);
+    EXPECT_FALSE(back.package.secondary.enabled);
+    EXPECT_DOUBLE_EQ(back.package.secondary.pcbSide, 0.055);
+    EXPECT_EQ(back.model.gridNx, 48u);
+    EXPECT_EQ(back.model.gridNy, 40u);
+}
+
+TEST(ConfigIo, MicrochannelRoundTrip)
+{
+    SimulationConfig cfg;
+    cfg.package = PackageConfig::makeMicrochannel(
+        2.5, FlowDirection::TopToBottom, 30.0);
+    cfg.package.microchannel.channelWidth = 80e-6;
+    cfg.package.microchannel.wallWidth = 60e-6;
+    cfg.model.mode = ModelMode::Grid;
+
+    std::stringstream ss;
+    writeConfig(ss, cfg);
+    const SimulationConfig back = parseConfig(ss);
+    EXPECT_EQ(back.package.cooling, CoolingKind::Microchannel);
+    EXPECT_DOUBLE_EQ(back.package.microchannel.flowVelocity, 2.5);
+    EXPECT_EQ(back.package.microchannel.direction,
+              FlowDirection::TopToBottom);
+    EXPECT_DOUBLE_EQ(back.package.microchannel.channelWidth, 80e-6);
+    EXPECT_DOUBLE_EQ(back.package.microchannel.wallWidth, 60e-6);
+}
+
+TEST(ConfigIo, NaturalConvectionRoundTrip)
+{
+    SimulationConfig cfg;
+    cfg.package = PackageConfig::makeNaturalConvection(7.5, 25.0);
+    std::stringstream ss;
+    writeConfig(ss, cfg);
+    const SimulationConfig back = parseConfig(ss);
+    EXPECT_EQ(back.package.cooling, CoolingKind::NaturalConvection);
+    EXPECT_DOUBLE_EQ(back.package.naturalConvection.coefficient, 7.5);
+}
+
+TEST(ConfigIo, CoolingNamesAccepted)
+{
+    for (const char *name : {"air", "oil", "microchannel", "natural"}) {
+        std::istringstream in(std::string("cooling ") + name + "\n");
+        EXPECT_NO_THROW(parseConfig(in)) << name;
+    }
+    std::istringstream bad("cooling peltier\n");
+    EXPECT_THROW(parseConfig(bad), FatalError);
+}
+
+TEST(ConfigIo, FlowDirectionNamesRoundTrip)
+{
+    for (FlowDirection d :
+         {FlowDirection::LeftToRight, FlowDirection::RightToLeft,
+          FlowDirection::BottomToTop, FlowDirection::TopToBottom}) {
+        EXPECT_EQ(parseFlowDirection(flowDirectionName(d)), d);
+    }
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Integration tests of the StackModel: assembly invariants, energy
+ * conservation, superposition, equal-Rconv calibration, and the
+ * qualitative AIR-SINK vs OIL-SILICON orderings the paper builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t n)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = n;
+    o.gridNy = n;
+    return o;
+}
+
+TEST(StackModel, ConductanceMatrixIsSymmetric)
+{
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    for (CoolingKind kind :
+         {CoolingKind::AirSink, CoolingKind::OilSilicon}) {
+        PackageConfig pkg = kind == CoolingKind::AirSink
+                                ? PackageConfig::makeAirSink(1.0)
+                                : PackageConfig::makeOilSilicon(10.0);
+        const StackModel model(fp, pkg, gridOpts(8));
+        EXPECT_TRUE(model.conductance().isSymmetric(1e-10));
+    }
+}
+
+TEST(StackModel, AllCapacitancesPositive)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(0.3));
+    for (double c : model.capacitance())
+        EXPECT_GT(c, 0.0);
+}
+
+TEST(StackModel, SiliconVerticalResistanceMatchesPaper)
+{
+    // Paper Sec. 4.1.2 quotes Rth,Si = 0.0125 K/W for the
+    // 20x20x0.5 mm die with k = 100.
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0));
+    EXPECT_NEAR(model.siliconVerticalResistance(), 0.0125, 1e-6);
+}
+
+TEST(StackModel, OilEquivalentResistanceMatchesCorrelation)
+{
+    // 10 m/s over the 20 mm die: Rconv ~ 1.0 K/W, and the per-cell
+    // directional stamps must integrate to exactly the plate value.
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0),
+                           gridOpts(16));
+    EXPECT_NEAR(model.equivalentPrimaryResistance(), 1.0, 0.01);
+}
+
+TEST(StackModel, AirSinkEquivalentResistanceIsConfigured)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(0.3));
+    EXPECT_NEAR(model.equivalentPrimaryResistance(), 0.3, 1e-9);
+}
+
+TEST(StackModel, VelocityCalibrationHitsTargetResistance)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const double target = 0.3;
+    const double v = oilVelocityForResistance(
+        fluids::irTransparentOil(), fp.width(),
+        fp.width() * fp.height(), target);
+    PackageConfig pkg = PackageConfig::makeOilSilicon(v);
+    const StackModel model(fp, pkg, gridOpts(8));
+    EXPECT_NEAR(model.equivalentPrimaryResistance(), target,
+                0.01 * target);
+}
+
+TEST(StackModel, SteadyEnergyBalance)
+{
+    // All injected power must leave through the two boundary paths.
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 30.0;
+    bp[fp.blockIndex("nw")] = 5.0;
+
+    for (CoolingKind kind :
+         {CoolingKind::AirSink, CoolingKind::OilSilicon}) {
+        PackageConfig pkg = kind == CoolingKind::AirSink
+                                ? PackageConfig::makeAirSink(1.0)
+                                : PackageConfig::makeOilSilicon(10.0);
+        const StackModel model(fp, pkg, gridOpts(8));
+        const std::vector<double> t = model.steadyNodeTemperatures(bp);
+        const double out = model.heatThroughPrimary(t) +
+                           model.heatThroughSecondary(t);
+        EXPECT_NEAR(out, 35.0, 35.0 * 1e-6)
+            << "cooling kind " << static_cast<int>(kind);
+    }
+}
+
+TEST(StackModel, SecondaryPathShareMatchesFig5)
+{
+    // Fig. 5: the secondary path carries a significant share of the
+    // heat under OIL-SILICON and a negligible share under AIR-SINK.
+    const Floorplan fp = floorplans::athlon64();
+    std::vector<double> bp(fp.blockCount(), 1.5);
+
+    PackageConfig oil = PackageConfig::makeOilSilicon(10.0);
+    const StackModel oil_model(fp, oil, gridOpts(8));
+    const auto oil_t = oil_model.steadyNodeTemperatures(bp);
+    const double oil_share =
+        oil_model.heatThroughSecondary(oil_t) /
+        (oil_model.heatThroughPrimary(oil_t) +
+         oil_model.heatThroughSecondary(oil_t));
+
+    PackageConfig air = PackageConfig::makeAirSink(1.0);
+    const StackModel air_model(fp, air, gridOpts(8));
+    const auto air_t = air_model.steadyNodeTemperatures(bp);
+    const double air_share =
+        air_model.heatThroughSecondary(air_t) /
+        (air_model.heatThroughPrimary(air_t) +
+         air_model.heatThroughSecondary(air_t));
+
+    EXPECT_GT(oil_share, 0.10);
+    EXPECT_LT(air_share, 0.02);
+}
+
+TEST(StackModel, SuperpositionHolds)
+{
+    // The network is linear: responses to power vectors add.
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0),
+                           gridOpts(8));
+    const double amb = model.packageConfig().ambient;
+
+    std::vector<double> p1(fp.blockCount(), 0.0);
+    std::vector<double> p2(fp.blockCount(), 0.0);
+    std::vector<double> p12(fp.blockCount(), 0.0);
+    p1[fp.blockIndex("hot")] = 10.0;
+    p2[fp.blockIndex("se")] = 4.0;
+    for (std::size_t i = 0; i < p1.size(); ++i)
+        p12[i] = p1[i] + p2[i];
+
+    const auto t1 = model.steadyBlockTemperatures(p1);
+    const auto t2 = model.steadyBlockTemperatures(p2);
+    const auto t12 = model.steadyBlockTemperatures(p12);
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_NEAR(t12[i] - amb, (t1[i] - amb) + (t2[i] - amb), 1e-5);
+    }
+}
+
+TEST(StackModel, ZeroPowerStaysAtAmbient)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(1.0));
+    const std::vector<double> bp(fp.blockCount(), 0.0);
+    const auto t = model.steadyBlockTemperatures(bp);
+    for (double v : t)
+        EXPECT_NEAR(v, model.packageConfig().ambient, 1e-9);
+}
+
+TEST(StackModel, EqualRconvHotSpotOrdering)
+{
+    // The paper's central steady-state claim (Fig. 6/10): at equal
+    // Rconv, OIL-SILICON has a much hotter hot spot, a cooler coolest
+    // block, and a comparable average.
+    const Floorplan fp =
+        floorplans::hotBlockChip(0.02, 0.02, 0.0042, 0.0042, 0.01, 0.01);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    // 2 W/mm^2 on the hot block, as in Fig. 6.
+    bp[fp.blockIndex("hot")] = 2.0e6 * 0.0042 * 0.0042;
+
+    PackageConfig air = PackageConfig::makeAirSink(1.0, 22.0);
+    PackageConfig oil = PackageConfig::makeOilSilicon(10.0, // ~1 K/W
+                                                      FlowDirection::LeftToRight,
+                                                      22.0);
+    const StackModel air_model(fp, air, gridOpts(16));
+    const StackModel oil_model(fp, oil, gridOpts(16));
+
+    const auto air_t = air_model.steadyNodeTemperatures(bp);
+    const auto oil_t = oil_model.steadyNodeTemperatures(bp);
+    const auto air_cells = air_model.siliconCellTemperatures(air_t);
+    const auto oil_cells = oil_model.siliconCellTemperatures(oil_t);
+
+    const double air_max =
+        *std::max_element(air_cells.begin(), air_cells.end());
+    const double oil_max =
+        *std::max_element(oil_cells.begin(), oil_cells.end());
+    const double air_min =
+        *std::min_element(air_cells.begin(), air_cells.end());
+    const double oil_min =
+        *std::min_element(oil_cells.begin(), oil_cells.end());
+
+    EXPECT_GT(oil_max, air_max + 20.0); // far hotter hot spot
+    EXPECT_LT(oil_min, air_min);        // cooler cool corner
+    EXPECT_GT(oil_max - oil_min, 3.0 * (air_max - air_min));
+}
+
+TEST(StackModel, FlowDirectionMovesHeat)
+{
+    // A block near the left edge runs cooler when the flow enters
+    // from the left (leading edge) than when it enters from the
+    // right.
+    const Floorplan fp =
+        floorplans::hotBlockChip(0.02, 0.02, 0.004, 0.004, 0.004, 0.01);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 20.0;
+
+    PackageConfig l2r = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::LeftToRight);
+    PackageConfig r2l = PackageConfig::makeOilSilicon(
+        10.0, FlowDirection::RightToLeft);
+
+    const StackModel m_l2r(fp, l2r, gridOpts(16));
+    const StackModel m_r2l(fp, r2l, gridOpts(16));
+
+    const auto t_l2r = m_l2r.steadyBlockTemperatures(bp);
+    const auto t_r2l = m_r2l.steadyBlockTemperatures(bp);
+    const std::size_t hot = fp.blockIndex("hot");
+    EXPECT_LT(t_l2r[hot], t_r2l[hot] - 1.0);
+}
+
+TEST(StackModel, NonDirectionalFlowIsSymmetric)
+{
+    // With directionality disabled, mirrored sources see identical
+    // temperatures.
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    PackageConfig oil = PackageConfig::makeOilSilicon(10.0);
+    oil.oilFlow.directional = false;
+    const StackModel model(fp, oil, gridOpts(8));
+
+    std::vector<double> left(fp.blockCount(), 0.0);
+    std::vector<double> right(fp.blockCount(), 0.0);
+    left[fp.blockIndex("u0_1")] = 10.0;
+    right[fp.blockIndex("u3_1")] = 10.0;
+
+    const auto tl = model.steadyBlockTemperatures(left);
+    const auto tr = model.steadyBlockTemperatures(right);
+    EXPECT_NEAR(tl[fp.blockIndex("u0_1")], tr[fp.blockIndex("u3_1")],
+                1e-6);
+}
+
+TEST(StackModel, BlockAndGridModesAgreeOnAverages)
+{
+    // Coarse agreement between the two discretizations.
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.006);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 20.0;
+
+    PackageConfig air = PackageConfig::makeAirSink(1.0);
+    const StackModel block_model(fp, air);
+    const StackModel grid_model(fp, air, gridOpts(16));
+
+    const auto tb = block_model.steadyBlockTemperatures(bp);
+    const auto tg = grid_model.steadyBlockTemperatures(bp);
+    const std::size_t hot = fp.blockIndex("hot");
+    // Block mode lumps each block into one node, so a ~10-15%
+    // difference on the hot block's ~30 K rise is the expected
+    // discretization gap, not an assembly bug.
+    EXPECT_NEAR(tb[hot], tg[hot], 5.0);
+}
+
+TEST(StackModel, DisablingSecondaryRaisesOilTemperatures)
+{
+    // Fig. 5(a): without the secondary path the same power makes the
+    // die hotter under OIL-SILICON.
+    const Floorplan fp = floorplans::athlon64();
+    std::vector<double> bp(fp.blockCount(), 1.5);
+
+    PackageConfig with_sec = PackageConfig::makeOilSilicon(10.0);
+    PackageConfig without_sec = with_sec;
+    without_sec.secondary.enabled = false;
+
+    const StackModel m1(fp, with_sec, gridOpts(8));
+    const StackModel m2(fp, without_sec, gridOpts(8));
+    const auto t1 = m1.steadyBlockTemperatures(bp);
+    const auto t2 = m2.steadyBlockTemperatures(bp);
+    for (std::size_t i = 0; i < t1.size(); ++i)
+        EXPECT_GT(t2[i], t1[i]);
+}
+
+TEST(StackModel, OilCapacitanceSmallerThanSilicon)
+{
+    // Paper Sec. 4.1.2: the oil boundary layer's capacitance is
+    // smaller than the silicon's.
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    const StackModel model(fp, PackageConfig::makeOilSilicon(10.0));
+    EXPECT_GT(model.oilCapacitance(), 0.0);
+    EXPECT_LT(model.oilCapacitance(), model.siliconCapacitance());
+}
+
+TEST(StackModel, SplitOilVariantMatchesSteadyState)
+{
+    // Moving the oil capacitance off the interface must not change
+    // the steady state (capacitors carry no DC heat).
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    PackageConfig at_iface = PackageConfig::makeOilSilicon(10.0);
+    PackageConfig split = at_iface;
+    split.oilFlow.capacitanceAtInterface = false;
+
+    std::vector<double> bp(fp.blockCount(), 5.0);
+    const StackModel m1(fp, at_iface, gridOpts(8));
+    const StackModel m2(fp, split, gridOpts(8));
+    const auto t1 = m1.steadyBlockTemperatures(bp);
+    const auto t2 = m2.steadyBlockTemperatures(bp);
+    for (std::size_t i = 0; i < t1.size(); ++i)
+        EXPECT_NEAR(t1[i], t2[i], 1e-6);
+}
+
+TEST(StackModel, PowerVectorValidation)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(1.0));
+    EXPECT_THROW(model.nodePowerVector({1.0, 2.0}), FatalError);
+}
+
+TEST(PackageConfig, RejectsBadGeometry)
+{
+    PackageConfig pkg = PackageConfig::makeAirSink(1.0);
+    pkg.airSink.spreaderSide = 0.005; // smaller than a 20 mm die
+    EXPECT_THROW(pkg.check(0.02, 0.02), FatalError);
+
+    PackageConfig oil = PackageConfig::makeOilSilicon(-1.0);
+    EXPECT_THROW(oil.check(0.02, 0.02), FatalError);
+}
+
+TEST(PackageConfig, FlowDirectionNames)
+{
+    EXPECT_STREQ(flowDirectionName(FlowDirection::LeftToRight),
+                 "left-to-right");
+    EXPECT_STREQ(flowDirectionName(FlowDirection::TopToBottom),
+                 "top-to-bottom");
+}
+
+} // namespace
+} // namespace irtherm

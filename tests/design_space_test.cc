@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests of the design-space cooling extensions: BiCGSTAB, the
+ * microchannel cold plate (upwind coolant advection), and bare-die
+ * natural convection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+#include "numeric/iterative.hh"
+#include "numeric/lu.hh"
+#include "numeric/sparse.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t n)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = n;
+    o.gridNy = n;
+    return o;
+}
+
+TEST(BiCgStab, SolvesNonSymmetricSystem)
+{
+    // A conduction chain plus a one-sided advection term.
+    const std::size_t n = 30;
+    SparseBuilder sb(n, n);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        sb.stampConductance(i, i + 1, 1.0);
+    sb.stampGroundConductance(0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        sb.add(i, i, 2.0);
+        if (i > 0)
+            sb.add(i, i - 1, -2.0); // upwind advection
+    }
+    const CsrMatrix a = sb.build();
+    ASSERT_FALSE(a.isSymmetric(1e-12));
+
+    std::vector<double> b(n, 0.0);
+    b[n / 2] = 5.0;
+    const IterativeResult res = biCgStab(a, b);
+    ASSERT_TRUE(res.converged);
+
+    // Cross-check against dense LU.
+    DenseMatrix ad(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            ad(i, j) = a.at(i, j);
+    LuDecomposition lu(ad);
+    const std::vector<double> x = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(res.x[i], x[i], 1e-7);
+}
+
+TEST(BiCgStab, MatchesCgOnSymmetricSystem)
+{
+    SparseBuilder sb(10, 10);
+    for (std::size_t i = 0; i + 1 < 10; ++i)
+        sb.stampConductance(i, i + 1, 2.0);
+    sb.stampGroundConductance(5, 1.0);
+    const CsrMatrix a = sb.build();
+    std::vector<double> b(10, 1.0);
+    const IterativeResult cg = conjugateGradient(a, b);
+    const IterativeResult bi = biCgStab(a, b);
+    ASSERT_TRUE(cg.converged);
+    ASSERT_TRUE(bi.converged);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(cg.x[i], bi.x[i], 1e-7);
+}
+
+TEST(Microchannel, SpecDerivedQuantities)
+{
+    MicrochannelSpec mc;
+    // D_h = 2*100*300/(100+300) um = 150 um.
+    EXPECT_NEAR(mc.hydraulicDiameter(), 150e-6, 1e-9);
+    // h = 4.36 * 0.61 / 150e-6 ~ 17700 W/m^2K.
+    EXPECT_NEAR(mc.filmCoefficient(), 4.36 * 0.61 / 150e-6, 1.0);
+    EXPECT_NEAR(mc.porosity(), 0.5, 1e-12);
+}
+
+TEST(Microchannel, RequiresGridMode)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    EXPECT_THROW(
+        StackModel(fp, PackageConfig::makeMicrochannel(1.0)),
+        FatalError);
+}
+
+TEST(Microchannel, MatrixIsNonSymmetricAndSolvable)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel model(fp, PackageConfig::makeMicrochannel(1.0),
+                           gridOpts(8));
+    EXPECT_TRUE(model.hasAdvection());
+    EXPECT_FALSE(model.conductance().isSymmetric(1e-9));
+
+    const std::vector<double> bp(fp.blockCount(), 5.0);
+    const auto t = model.steadyBlockTemperatures(bp);
+    for (double v : t) {
+        EXPECT_GT(v, model.packageConfig().ambient);
+        EXPECT_LT(v, model.packageConfig().ambient + 100.0);
+    }
+}
+
+TEST(Microchannel, EnergyBalanceThroughOutlets)
+{
+    // All heat must leave as outlet coolant enthalpy plus the
+    // secondary path.
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel model(fp, PackageConfig::makeMicrochannel(1.0),
+                           gridOpts(8));
+    const std::vector<double> bp(fp.blockCount(), 10.0);
+    const auto t = model.steadyNodeTemperatures(bp);
+    EXPECT_NEAR(model.heatThroughPrimary(t) +
+                    model.heatThroughSecondary(t),
+                40.0, 40.0 * 1e-6);
+}
+
+TEST(Microchannel, CaloricHeatingMakesDownstreamHotter)
+{
+    // Uniform power: cells near the coolant outlet run hotter than
+    // cells near the inlet — the microchannel analogue of the
+    // paper's oil flow-direction effect, via a different mechanism.
+    const Floorplan fp = floorplans::uniformChip(4, 0.012, 0.012);
+    const StackModel model(
+        fp,
+        PackageConfig::makeMicrochannel(1.0,
+                                        FlowDirection::LeftToRight),
+        gridOpts(16));
+    const std::vector<double> bp(fp.blockCount(), 3.0);
+    const auto temps = model.steadyBlockTemperatures(bp);
+    EXPECT_GT(temps[fp.blockIndex("u3_1")],
+              temps[fp.blockIndex("u0_1")] + 0.5);
+}
+
+TEST(Microchannel, FasterCoolantReducesCaloricGradient)
+{
+    const Floorplan fp = floorplans::uniformChip(4, 0.012, 0.012);
+    const std::vector<double> bp(fp.blockCount(), 3.0);
+
+    auto outlet_minus_inlet = [&](double velocity) {
+        const StackModel model(
+            fp,
+            PackageConfig::makeMicrochannel(
+                velocity, FlowDirection::LeftToRight),
+            gridOpts(16));
+        const auto temps = model.steadyBlockTemperatures(bp);
+        return temps[fp.blockIndex("u3_1")] -
+               temps[fp.blockIndex("u0_1")];
+    };
+    EXPECT_GT(outlet_minus_inlet(0.5), outlet_minus_inlet(3.0));
+}
+
+TEST(Microchannel, TransientReachesSteady)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    // No secondary path: the PCB under natural convection has a
+    // ~300 s time constant that would dominate the settling check.
+    PackageConfig pkg = PackageConfig::makeMicrochannel(1.0);
+    pkg.secondary.enabled = false;
+    const StackModel model(fp, pkg, gridOpts(6));
+    const std::vector<double> bp(fp.blockCount(), 8.0);
+    const auto steady = model.steadyBlockTemperatures(bp);
+
+    SimulatorOptions so;
+    so.implicitStep = 2e-3;
+    ThermalSimulator sim(model, so);
+    sim.setBlockPowers(bp);
+    sim.advance(2.0);
+    const auto t = sim.blockTemperatures();
+    for (std::size_t b = 0; b < t.size(); ++b)
+        EXPECT_NEAR(t[b], steady[b], 0.3);
+}
+
+TEST(Microchannel, OutperformsAirSinkAtPeak)
+{
+    // The reason microchannels exist: far lower junction rise for
+    // the same power.
+    const Floorplan fp = floorplans::centerSourceChip(0.012, 0.003);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 30.0;
+
+    const StackModel micro(fp, PackageConfig::makeMicrochannel(1.5),
+                           gridOpts(12));
+    const StackModel air(fp, PackageConfig::makeAirSink(1.0),
+                         gridOpts(12));
+    auto hottest = [](const std::vector<double> &v) {
+        return *std::max_element(v.begin(), v.end());
+    };
+    const double m_max = hottest(micro.siliconCellTemperatures(
+        micro.steadyNodeTemperatures(bp)));
+    const double a_max = hottest(air.siliconCellTemperatures(
+        air.steadyNodeTemperatures(bp)));
+    EXPECT_LT(m_max, a_max);
+}
+
+TEST(NaturalConvection, RunsVeryHot)
+{
+    // The fanless bare die is by far the worst performer — the
+    // design-space anchor point.
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel natural(
+        fp, PackageConfig::makeNaturalConvection(10.0), gridOpts(6));
+    const StackModel air(fp, PackageConfig::makeAirSink(1.0),
+                         gridOpts(6));
+    const std::vector<double> bp(fp.blockCount(), 0.5);
+    const auto tn = natural.steadyBlockTemperatures(bp);
+    const auto ta = air.steadyBlockTemperatures(bp);
+    for (std::size_t b = 0; b < tn.size(); ++b)
+        EXPECT_GT(tn[b], ta[b]);
+}
+
+TEST(NaturalConvection, EnergyBalance)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const StackModel model(
+        fp, PackageConfig::makeNaturalConvection(10.0), gridOpts(6));
+    const std::vector<double> bp(fp.blockCount(), 0.25);
+    const auto t = model.steadyNodeTemperatures(bp);
+    EXPECT_NEAR(model.heatThroughPrimary(t) +
+                    model.heatThroughSecondary(t),
+                1.0, 1e-6);
+}
+
+TEST(PackageConfig, RejectsBadMicrochannelGeometry)
+{
+    PackageConfig cfg = PackageConfig::makeMicrochannel(1.0);
+    cfg.microchannel.channelWidth = -1.0;
+    EXPECT_THROW(cfg.check(0.01, 0.01), FatalError);
+
+    PackageConfig nat = PackageConfig::makeNaturalConvection(0.0);
+    EXPECT_THROW(nat.check(0.01, 0.01), FatalError);
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests of the DTM substrate: sensors and placement, the IR camera
+ * model, and the DTM controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "dtm/ir_camera.hh"
+#include "dtm/policy.hh"
+#include "dtm/sensor.hh"
+#include "floorplan/presets.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t n)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = n;
+    o.gridNy = n;
+    return o;
+}
+
+struct HotChip
+{
+    Floorplan fp;
+    StackModel model;
+    std::vector<double> node_temps;
+
+    HotChip()
+        : fp(floorplans::hotBlockChip(0.02, 0.02, 0.004, 0.004, 0.014,
+                                      0.014)),
+          model(fp, PackageConfig::makeOilSilicon(10.0), gridOpts(16))
+    {
+        std::vector<double> bp(fp.blockCount(), 0.2);
+        bp[fp.blockIndex("hot")] = 25.0;
+        node_temps = model.steadyNodeTemperatures(bp);
+    }
+};
+
+TEST(Sensor, ReadsBlockTemperatureAtCenter)
+{
+    HotChip c;
+    const Block &hot = c.fp.block(c.fp.blockIndex("hot"));
+    SensorArray arr({{"s", hot.centerX(), hot.centerY(), 0.0, 0.0}});
+    Rng rng;
+    const auto r = arr.read(c.model, c.node_temps, rng);
+    const auto cells = c.model.siliconCellTemperatures(c.node_temps);
+    const double max_cell =
+        *std::max_element(cells.begin(), cells.end());
+    // The sensor at the hot centre must be within a couple K of the
+    // true maximum.
+    EXPECT_NEAR(r[0], max_cell, 3.0);
+}
+
+TEST(Sensor, NoiseAndQuantizationApplied)
+{
+    HotChip c;
+    SensorArray noisy({{"s", 0.01, 0.01, 2.0, 0.0}});
+    Rng rng(5);
+    // With sigma = 2 K, repeated reads differ.
+    const double a = noisy.read(c.model, c.node_temps, rng)[0];
+    const double b = noisy.read(c.model, c.node_temps, rng)[0];
+    EXPECT_NE(a, b);
+
+    SensorArray coarse({{"s", 0.01, 0.01, 0.0, 0.5}});
+    const double q = coarse.read(c.model, c.node_temps, rng)[0];
+    EXPECT_NEAR(std::remainder(q, 0.5), 0.0, 1e-9);
+}
+
+TEST(Sensor, OutsideDieIsFatal)
+{
+    HotChip c;
+    SensorArray arr({{"s", 0.05, 0.05, 0.0, 0.0}});
+    Rng rng;
+    EXPECT_THROW(arr.read(c.model, c.node_temps, rng), FatalError);
+}
+
+TEST(Placement, PerBlockCoversEveryBlock)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const auto sensors = placement::perBlockCenters(fp);
+    EXPECT_EQ(sensors.size(), fp.blockCount());
+}
+
+TEST(Placement, UniformGridCount)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const auto sensors = placement::uniformGrid(fp, 4, 3);
+    EXPECT_EQ(sensors.size(), 12u);
+    for (const SensorSpec &s : sensors) {
+        EXPECT_GT(s.x, 0.0);
+        EXPECT_LT(s.x, fp.width());
+    }
+}
+
+TEST(Placement, HottestGuidedFindsTheHotSpot)
+{
+    HotChip c;
+    const auto cells = c.model.siliconCellTemperatures(c.node_temps);
+    const auto sensors = placement::hottestGuided(
+        cells, 16, 16, c.fp.width(), c.fp.height(), 3, 0.003);
+    ASSERT_GE(sensors.size(), 1u);
+    // The first sensor must land inside the hot block.
+    const Block &hot = c.fp.block(c.fp.blockIndex("hot"));
+    EXPECT_GE(sensors[0].x, hot.x);
+    EXPECT_LE(sensors[0].x, hot.right());
+    EXPECT_GE(sensors[0].y, hot.y);
+    EXPECT_LE(sensors[0].y, hot.top());
+    // Separation respected.
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+        for (std::size_t j = i + 1; j < sensors.size(); ++j) {
+            EXPECT_GE(std::hypot(sensors[i].x - sensors[j].x,
+                                 sensors[i].y - sensors[j].y),
+                      0.003);
+        }
+    }
+}
+
+TEST(Placement, WorstCaseErrorDropsWithSensorCount)
+{
+    HotChip c;
+    const auto one = placement::uniformGrid(c.fp, 1, 1);
+    const auto many = placement::uniformGrid(c.fp, 6, 6);
+    const double e1 =
+        worstCaseSensingError(c.model, c.node_temps, one);
+    const double e2 =
+        worstCaseSensingError(c.model, c.node_temps, many);
+    EXPECT_LT(e2, e1);
+    EXPECT_GE(e2, 0.0);
+}
+
+TEST(Placement, MinimaxCoversAllScenarios)
+{
+    // Two maps with hot spots in opposite corners: one sensor can
+    // only cover one of them; two minimax sensors cover both.
+    const std::size_t n = 8;
+    std::vector<double> map_a(n * n, 300.0);
+    std::vector<double> map_b(n * n, 300.0);
+    map_a[0 * n + 0] = 360.0;          // bottom-left hot
+    map_b[(n - 1) * n + (n - 1)] = 355.0; // top-right hot
+
+    const auto one = placement::minimaxGuided(
+        {map_a, map_b}, n, n, 0.01, 0.01, 1);
+    const auto two = placement::minimaxGuided(
+        {map_a, map_b}, n, n, 0.01, 0.01, 2);
+
+    auto worst = [&](const std::vector<SensorSpec> &s) {
+        return std::max(
+            mapSensingError(map_a, n, n, 0.01, 0.01, s),
+            mapSensingError(map_b, n, n, 0.01, 0.01, s));
+    };
+    EXPECT_GT(worst(one), 10.0); // one sensor must miss one corner
+    EXPECT_NEAR(worst(two), 0.0, 1e-9);
+}
+
+TEST(Placement, MinimaxBeatsSingleMapGuidanceAcrossScenarios)
+{
+    // hottestGuided trained on map A overfits it; minimax over both
+    // maps is at least as good on the worst case.
+    const std::size_t n = 8;
+    std::vector<double> map_a(n * n, 300.0);
+    std::vector<double> map_b(n * n, 300.0);
+    map_a[2 * n + 2] = 350.0;
+    map_b[5 * n + 6] = 352.0;
+
+    const auto overfit = placement::hottestGuided(
+        map_a, n, n, 0.01, 0.01, 1, 0.001);
+    const auto robust = placement::minimaxGuided(
+        {map_a, map_b}, n, n, 0.01, 0.01, 2);
+
+    auto worst = [&](const std::vector<SensorSpec> &s) {
+        return std::max(
+            mapSensingError(map_a, n, n, 0.01, 0.01, s),
+            mapSensingError(map_b, n, n, 0.01, 0.01, s));
+    };
+    EXPECT_LT(worst(robust), worst(overfit));
+}
+
+TEST(Placement, MapSensingErrorValidation)
+{
+    std::vector<double> map(4, 300.0);
+    map[3] = 320.0;
+    const std::vector<SensorSpec> at_hot = {
+        {"s", 0.0075, 0.0075, 0.0, 0.0}};
+    EXPECT_NEAR(mapSensingError(map, 2, 2, 0.01, 0.01, at_hot), 0.0,
+                1e-12);
+    const std::vector<SensorSpec> off_hot = {
+        {"s", 0.0025, 0.0025, 0.0, 0.0}};
+    EXPECT_NEAR(mapSensingError(map, 2, 2, 0.01, 0.01, off_hot),
+                20.0, 1e-12);
+    EXPECT_THROW(mapSensingError(map, 3, 3, 0.01, 0.01, at_hot),
+                 FatalError);
+}
+
+TEST(IrCamera, FrameTimingAndCount)
+{
+    IrCameraSpec spec;
+    spec.frameInterval = 4e-3;
+    spec.exposureFraction = 0.5;
+    IrCamera cam(spec);
+    // 20 ms of 1 ms samples on a 2x2 field -> 5 frames.
+    std::vector<std::vector<double>> fields(
+        20, std::vector<double>(4, 300.0));
+    const auto frames = cam.capture(1e-3, fields, 2, 2);
+    ASSERT_EQ(frames.size(), 5u);
+    EXPECT_NEAR(frames[0].time, 4e-3, 1e-12);
+    EXPECT_NEAR(frames[4].time, 20e-3, 1e-12);
+}
+
+TEST(IrCamera, ExposureAveragesTransients)
+{
+    // A single-sample spike inside the exposure window is diluted by
+    // the time average.
+    IrCameraSpec spec;
+    spec.frameInterval = 10e-3;
+    spec.exposureFraction = 1.0;
+    IrCamera cam(spec);
+    std::vector<std::vector<double>> fields(
+        10, std::vector<double>(1, 300.0));
+    fields[7][0] = 400.0; // 1 ms spike
+    const auto frames = cam.capture(1e-3, fields, 1, 1);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_NEAR(frames[0].pixels[0], 310.0, 1e-9);
+}
+
+TEST(IrCamera, SpatialBinningAverages)
+{
+    IrCameraSpec spec;
+    spec.frameInterval = 1e-3;
+    spec.pixelBinning = 2;
+    IrCamera cam(spec);
+    std::vector<std::vector<double>> fields(
+        1, {300.0, 310.0, 320.0, 330.0});
+    const auto frames = cam.capture(1e-3, fields, 2, 2);
+    ASSERT_EQ(frames.size(), 1u);
+    ASSERT_EQ(frames[0].pixels.size(), 1u);
+    EXPECT_NEAR(frames[0].pixels[0], 315.0, 1e-9);
+}
+
+TEST(IrCamera, MissesSubFrameViolations)
+{
+    // The paper's Sec. 5.1 point: a 3 ms excursion is invisible to a
+    // camera with an 8 ms frame time when the average stays below
+    // threshold.
+    IrCameraSpec spec;
+    spec.frameInterval = 8e-3;
+    IrCamera cam(spec);
+
+    // True trace: 1 kHz samples, 3 ms excursion to 90 C on a 70 C
+    // baseline.
+    std::vector<std::vector<double>> fields(
+        16, std::vector<double>(1, toKelvin(70.0)));
+    for (int i = 4; i < 7; ++i)
+        fields[i][0] = toKelvin(90.0);
+
+    std::vector<double> truth;
+    for (const auto &f : fields)
+        truth.push_back(f[0]);
+    const double threshold = toKelvin(85.0);
+    EXPECT_EQ(countViolations(truth, threshold), 1u);
+
+    const auto frames = cam.capture(1e-3, fields, 1, 1);
+    std::vector<double> seen;
+    for (const auto &f : frames)
+        seen.push_back(f.pixels[0]);
+    EXPECT_EQ(countViolations(seen, threshold), 0u);
+}
+
+TEST(IrCamera, RejectsBadConfig)
+{
+    IrCameraSpec bad;
+    bad.frameInterval = -1.0;
+    EXPECT_THROW(IrCamera cam(bad), FatalError);
+    IrCameraSpec bin;
+    bin.pixelBinning = 3;
+    IrCamera cam(bin);
+    std::vector<std::vector<double>> fields(
+        1, std::vector<double>(4, 300.0));
+    EXPECT_THROW(cam.capture(1e-3, fields, 2, 2), FatalError);
+}
+
+TEST(Dtm, TriggersAboveThresholdOnly)
+{
+    DtmConfig cfg;
+    cfg.action = DtmAction::Dvfs;
+    cfg.triggerThreshold = toKelvin(85.0);
+    cfg.samplingInterval = 1e-4;
+    cfg.engagementDuration = 1e-3;
+    DtmController ctrl(cfg, {"IntReg"});
+
+    auto act = ctrl.step(0.0, toKelvin(80.0));
+    EXPECT_FALSE(ctrl.engaged());
+    EXPECT_DOUBLE_EQ(act.frequencyScale, 1.0);
+
+    act = ctrl.step(1e-4, toKelvin(86.0));
+    EXPECT_TRUE(ctrl.engaged());
+    EXPECT_DOUBLE_EQ(act.frequencyScale, cfg.dvfsFrequencyScale);
+    EXPECT_EQ(ctrl.engagements(), 1u);
+}
+
+TEST(Dtm, StaysEngagedForDuration)
+{
+    DtmConfig cfg;
+    cfg.action = DtmAction::Dvfs;
+    cfg.triggerThreshold = toKelvin(85.0);
+    cfg.samplingInterval = 1e-4;
+    cfg.engagementDuration = 5e-4;
+    DtmController ctrl(cfg, {"u"});
+
+    ctrl.step(0.0, toKelvin(90.0)); // engage
+    // Cool immediately, but the engagement must persist for 0.5 ms.
+    auto act = ctrl.step(2e-4, toKelvin(70.0));
+    EXPECT_TRUE(ctrl.engaged());
+    act = ctrl.step(6e-4, toKelvin(70.0));
+    EXPECT_FALSE(ctrl.engaged());
+    (void)act;
+}
+
+TEST(Dtm, EngagedTimeAccumulates)
+{
+    DtmConfig cfg;
+    cfg.action = DtmAction::Dvfs;
+    cfg.triggerThreshold = toKelvin(85.0);
+    cfg.engagementDuration = 1e-3;
+    DtmController ctrl(cfg, {"u"});
+
+    double t = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        ctrl.step(t, toKelvin(90.0));
+        t += 1e-4;
+    }
+    EXPECT_NEAR(ctrl.engagedTime(), 9e-4, 1e-9);
+    EXPECT_GT(ctrl.performancePenalty(t), 0.0);
+}
+
+TEST(Dtm, FetchGateScalesFrontEndUnits)
+{
+    DtmConfig cfg;
+    cfg.action = DtmAction::FetchGate;
+    cfg.triggerThreshold = toKelvin(85.0);
+    cfg.fetchDutyCycle = 0.5;
+    DtmController ctrl(cfg, {"Icache", "IntReg"});
+
+    const auto act = ctrl.step(0.0, toKelvin(90.0));
+    ASSERT_EQ(act.unitScale.size(), 2u);
+    EXPECT_DOUBLE_EQ(act.unitScale[0], 0.5);  // gated directly
+    EXPECT_DOUBLE_EQ(act.unitScale[1], 0.75); // starves downstream
+}
+
+TEST(Dtm, NoneActionNeverEngages)
+{
+    DtmConfig cfg;
+    cfg.action = DtmAction::None;
+    cfg.triggerThreshold = toKelvin(85.0);
+    DtmController ctrl(cfg, {"u"});
+    ctrl.step(0.0, toKelvin(150.0));
+    EXPECT_FALSE(ctrl.engaged());
+    EXPECT_DOUBLE_EQ(ctrl.performancePenalty(1.0), 0.0);
+}
+
+TEST(Dtm, TimeMustNotMoveBackwards)
+{
+    DtmConfig cfg;
+    cfg.triggerThreshold = toKelvin(85.0);
+    DtmController ctrl(cfg, {"u"});
+    ctrl.step(1.0, toKelvin(50.0));
+    EXPECT_THROW(ctrl.step(0.5, toKelvin(50.0)), FatalError);
+}
+
+} // namespace
+} // namespace irtherm

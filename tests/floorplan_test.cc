@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for floorplans: geometry, .flp round trip, adjacency,
+ * presets, and grid rasterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "floorplan/floorplan.hh"
+#include "floorplan/grid_mapping.hh"
+#include "floorplan/presets.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+TEST(Block, AreaAndOverlap)
+{
+    const Block b{"b", 1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(b.area(), 12.0);
+    EXPECT_DOUBLE_EQ(b.right(), 4.0);
+    EXPECT_DOUBLE_EQ(b.top(), 6.0);
+    EXPECT_DOUBLE_EQ(b.centerX(), 2.5);
+    EXPECT_DOUBLE_EQ(b.overlapArea(0.0, 0.0, 2.0, 3.0), 1.0);
+    EXPECT_DOUBLE_EQ(b.overlapArea(10.0, 10.0, 11.0, 11.0), 0.0);
+}
+
+TEST(Floorplan, RejectsDuplicatesAndBadDims)
+{
+    Floorplan fp;
+    fp.addBlock({"a", 0.0, 0.0, 1.0, 1.0});
+    EXPECT_THROW(fp.addBlock({"a", 1.0, 0.0, 1.0, 1.0}), FatalError);
+    EXPECT_THROW(fp.addBlock({"b", 0.0, 0.0, 0.0, 1.0}), FatalError);
+    EXPECT_THROW(fp.addBlock({"", 0.0, 0.0, 1.0, 1.0}), FatalError);
+}
+
+TEST(Floorplan, ValidateCatchesOverlap)
+{
+    Floorplan fp;
+    fp.addBlock({"a", 0.0, 0.0, 2.0, 2.0});
+    fp.addBlock({"b", 1.0, 1.0, 2.0, 2.0});
+    EXPECT_THROW(fp.validate(), FatalError);
+}
+
+TEST(Floorplan, BlockLookup)
+{
+    Floorplan fp;
+    fp.addBlock({"x", 0.0, 0.0, 1.0, 1.0});
+    EXPECT_EQ(fp.blockIndex("x"), 0u);
+    EXPECT_TRUE(fp.hasBlock("x"));
+    EXPECT_FALSE(fp.hasBlock("y"));
+    EXPECT_THROW(fp.blockIndex("y"), FatalError);
+}
+
+TEST(Floorplan, SharedEdgeLengths)
+{
+    Floorplan fp;
+    fp.addBlock({"a", 0.0, 0.0, 1.0, 2.0});
+    fp.addBlock({"b", 1.0, 0.5, 1.0, 1.0}); // right of a, partial
+    fp.addBlock({"c", 0.0, 2.0, 1.0, 1.0}); // above a, full width
+    fp.addBlock({"d", 5.0, 5.0, 1.0, 1.0}); // far away
+    EXPECT_DOUBLE_EQ(fp.sharedEdgeLength(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(fp.sharedEdgeLength(0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(fp.sharedEdgeLength(0, 3), 0.0);
+    // Symmetric.
+    EXPECT_DOUBLE_EQ(fp.sharedEdgeLength(1, 0),
+                     fp.sharedEdgeLength(0, 1));
+}
+
+TEST(Floorplan, FlpRoundTrip)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    std::stringstream ss;
+    fp.writeFlp(ss);
+    const Floorplan fp2 = Floorplan::parseFlp(ss);
+    ASSERT_EQ(fp2.blockCount(), fp.blockCount());
+    for (std::size_t i = 0; i < fp.blockCount(); ++i) {
+        EXPECT_EQ(fp2.block(i).name, fp.block(i).name);
+        EXPECT_NEAR(fp2.block(i).x, fp.block(i).x, 1e-12);
+        EXPECT_NEAR(fp2.block(i).area(), fp.block(i).area(), 1e-15);
+    }
+}
+
+TEST(Floorplan, FlpParserRejectsShortLines)
+{
+    std::istringstream in("blk 0.001 0.001 0.0\n");
+    EXPECT_THROW(Floorplan::parseFlp(in), FatalError);
+}
+
+TEST(Floorplan, FlpParserSkipsComments)
+{
+    std::istringstream in(
+        "# comment\n\nblk 0.001 0.002 0.0 0.0\n");
+    const Floorplan fp = Floorplan::parseFlp(in);
+    EXPECT_EQ(fp.blockCount(), 1u);
+    EXPECT_DOUBLE_EQ(fp.block(0).height, 0.002);
+}
+
+TEST(Presets, AlphaEv6HasPaperBlocks)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    // The 18 block names of the paper's Fig. 11.
+    for (const char *name :
+         {"L2_left", "L2", "L2_right", "Icache", "Dcache", "Bpred",
+          "DTB", "FPAdd", "FPReg", "FPMul", "FPMap", "IntMap", "IntQ",
+          "IntReg", "IntExec", "FPQ", "LdStQ", "ITB"}) {
+        EXPECT_TRUE(fp.hasBlock(name)) << name;
+    }
+    EXPECT_EQ(fp.blockCount(), 18u);
+    // Full coverage of the bounding box.
+    EXPECT_NEAR(fp.coveredArea() / fp.dieArea(), 1.0, 1e-9);
+}
+
+TEST(Presets, AlphaEv6IntRegOnTopEdge)
+{
+    // The paper's flow-direction result depends on IntReg sitting on
+    // the top edge of the chip (Sec. 4.2).
+    const Floorplan fp = floorplans::alphaEv6();
+    const Block &intreg = fp.block(fp.blockIndex("IntReg"));
+    EXPECT_NEAR(intreg.top(), fp.height(), 1e-12);
+    // And Dcache in the middle band, away from the top edge.
+    const Block &dcache = fp.block(fp.blockIndex("Dcache"));
+    EXPECT_LT(dcache.top(), 0.85 * fp.height());
+}
+
+TEST(Presets, Athlon64HasPaperBlocks)
+{
+    const Floorplan fp = floorplans::athlon64();
+    for (const char *name :
+         {"blank1", "blank2", "blank3", "blank4", "mem_ctl", "clock",
+          "l2cache", "fetch", "rob_irf", "sched", "clockd1", "clockd2",
+          "clockd3", "lsq", "dtlb", "fp_sched", "frf", "sse", "l1i",
+          "bus_etc", "l1d", "fp0"}) {
+        EXPECT_TRUE(fp.hasBlock(name)) << name;
+    }
+    EXPECT_EQ(fp.blockCount(), 22u);
+    EXPECT_NEAR(fp.coveredArea() / fp.dieArea(), 1.0, 1e-9);
+}
+
+TEST(Presets, UniformChipTilesExactly)
+{
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    EXPECT_EQ(fp.blockCount(), 16u);
+    EXPECT_NEAR(fp.width(), 0.02, 1e-15);
+    EXPECT_NEAR(fp.coveredArea(), 4e-4, 1e-12);
+}
+
+TEST(Presets, CenterSourceChipGeometry)
+{
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.002);
+    EXPECT_EQ(fp.blockCount(), 9u);
+    const Block &hot = fp.block(fp.blockIndex("hot"));
+    EXPECT_NEAR(hot.centerX(), 0.01, 1e-12);
+    EXPECT_NEAR(hot.area(), 4e-6, 1e-15);
+    EXPECT_NEAR(fp.coveredArea() / fp.dieArea(), 1.0, 1e-9);
+}
+
+TEST(Presets, HotBlockChipRejectsEdgeSources)
+{
+    EXPECT_THROW(
+        floorplans::hotBlockChip(0.02, 0.02, 0.004, 0.004, 0.0, 0.01),
+        FatalError);
+}
+
+TEST(Presets, MulticoreChipNamesAndCount)
+{
+    const Floorplan fp = floorplans::multicoreChip(4, 2, 0.02, 0.01);
+    EXPECT_EQ(fp.blockCount(), 8u);
+    EXPECT_TRUE(fp.hasBlock("core0_0"));
+    EXPECT_TRUE(fp.hasBlock("core3_1"));
+}
+
+TEST(Presets, TiledFloorplanReplicatesCores)
+{
+    const Floorplan core = floorplans::alphaEv6();
+    const Floorplan fp = floorplans::tiledFloorplan(core, 2, 1);
+    EXPECT_EQ(fp.blockCount(), 2 * core.blockCount());
+    EXPECT_TRUE(fp.hasBlock("c0_0.IntReg"));
+    EXPECT_TRUE(fp.hasBlock("c1_0.IntReg"));
+    EXPECT_NEAR(fp.width(), 2.0 * core.width(), 1e-12);
+    EXPECT_NEAR(fp.height(), core.height(), 1e-12);
+    // The second tile's blocks are translated copies.
+    const Block &a = fp.block(fp.blockIndex("c0_0.Dcache"));
+    const Block &b = fp.block(fp.blockIndex("c1_0.Dcache"));
+    EXPECT_NEAR(b.x - a.x, core.width(), 1e-12);
+    EXPECT_NEAR(b.y, a.y, 1e-12);
+    EXPECT_NEAR(fp.coveredArea() / fp.dieArea(), 1.0, 1e-9);
+}
+
+TEST(Presets, TiledFloorplanRejectsZeroTiles)
+{
+    const Floorplan core = floorplans::uniformChip(2, 0.01, 0.01);
+    EXPECT_THROW(floorplans::tiledFloorplan(core, 0, 1), FatalError);
+}
+
+TEST(GridMapping, PowerIsConserved)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const GridMapping map(fp, 16, 16);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("IntReg")] = 5.0;
+    bp[fp.blockIndex("L2")] = 10.0;
+    const std::vector<double> cp = map.blockPowersToCells(bp);
+    double total = 0.0;
+    for (double p : cp)
+        total += p;
+    EXPECT_NEAR(total, 15.0, 1e-9);
+}
+
+TEST(GridMapping, TemperatureRoundTripOnConstantField)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const GridMapping map(fp, 8, 8);
+    const std::vector<double> cells(map.cellCount(), 350.0);
+    const std::vector<double> bt = map.cellTemperaturesToBlocks(cells);
+    for (double t : bt)
+        EXPECT_NEAR(t, 350.0, 1e-9);
+    const std::vector<double> bm = map.cellMaximaToBlocks(cells);
+    for (double t : bm)
+        EXPECT_NEAR(t, 350.0, 1e-9);
+}
+
+TEST(GridMapping, CoverageSumsToCellArea)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.01, 0.01);
+    const GridMapping map(fp, 4, 4);
+    // Every cell must be fully covered by exactly the blocks over it.
+    for (std::size_t c = 0; c < map.cellCount(); ++c) {
+        double cover = 0.0;
+        for (std::size_t b = 0; b < fp.blockCount(); ++b)
+            cover += map.coverage(b, c);
+        EXPECT_NEAR(cover, 1.0, 1e-9);
+    }
+}
+
+TEST(GridMapping, CellCentersInsideDie)
+{
+    const Floorplan fp = floorplans::athlon64();
+    const GridMapping map(fp, 10, 10);
+    EXPECT_GT(map.cellCenterX(0), 0.0);
+    EXPECT_LT(map.cellCenterX(9), fp.width());
+    EXPECT_GT(map.cellCenterY(0), 0.0);
+    EXPECT_LT(map.cellCenterY(9), fp.height());
+}
+
+} // namespace
+} // namespace irtherm

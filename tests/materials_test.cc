@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for materials: property sanity and the Cengel flat-plate
+ * correlations against hand-computed values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "materials/convection.hh"
+#include "materials/fluid.hh"
+#include "materials/material.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+TEST(Materials, PresetsAreSane)
+{
+    for (const SolidMaterial &m :
+         {materials::silicon(), materials::copper(),
+          materials::thermalInterface(), materials::interconnectStack(),
+          materials::c4Underfill(), materials::packageSubstrate(),
+          materials::solderBalls(), materials::printedCircuitBoard()}) {
+        EXPECT_NO_THROW(m.check());
+        EXPECT_GT(m.diffusivity(), 0.0);
+    }
+}
+
+TEST(Materials, SiliconMatchesHotSpotDefaults)
+{
+    const SolidMaterial si = materials::silicon();
+    EXPECT_DOUBLE_EQ(si.conductivity, 100.0);
+    EXPECT_DOUBLE_EQ(si.volumetricHeatCapacity, 1.75e6);
+}
+
+TEST(Materials, CopperSpreadsBetterThanSilicon)
+{
+    EXPECT_GT(materials::copper().conductivity,
+              materials::silicon().conductivity);
+}
+
+TEST(Fluids, PresetsAreSane)
+{
+    for (const Fluid &f :
+         {fluids::irTransparentOil(), fluids::air(), fluids::water()}) {
+        EXPECT_NO_THROW(f.check());
+        EXPECT_GT(f.prandtl(), 0.0);
+    }
+}
+
+TEST(Fluids, OilPrandtlNumber)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    // Pr = rho nu cp / k = 850 * 3.27e-5 * 1900 / 0.13
+    EXPECT_NEAR(oil.prandtl(), 406.2, 1.0);
+}
+
+TEST(Convection, ReynoldsNumber)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    EXPECT_NEAR(reynoldsNumber(oil, 10.0, 0.02), 6116.2, 1.0);
+}
+
+TEST(Convection, PaperOperatingPointGivesUnitResistance)
+{
+    // The paper's Fig. 2 setup: 10 m/s oil over a 20x20 mm die yields
+    // Rconv ~ 1.0 K/W.
+    const Fluid oil = fluids::irTransparentOil();
+    const double h = averageHeatTransferCoefficient(oil, 10.0, 0.02);
+    EXPECT_NEAR(h, 2499.0, 10.0);
+    const double r = convectionResistance(h, 0.02 * 0.02);
+    EXPECT_NEAR(r, 1.0, 0.01);
+}
+
+TEST(Convection, LocalCoefficientIsHalfAverageAtTrailingEdge)
+{
+    // h(L) = hL / 2 for laminar flat plate (0.332 vs 0.664 prefactor
+    // with the same Re and Pr dependence).
+    const Fluid oil = fluids::irTransparentOil();
+    const double h_avg = averageHeatTransferCoefficient(oil, 10.0, 0.02);
+    const double h_local = localHeatTransferCoefficient(oil, 10.0, 0.02);
+    EXPECT_NEAR(h_local, 0.5 * h_avg, 1e-9 * h_avg);
+}
+
+TEST(Convection, LocalCoefficientDecaysDownstream)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    double prev = 1e300;
+    for (double x : {0.002, 0.005, 0.01, 0.015, 0.02}) {
+        const double h = localHeatTransferCoefficient(oil, 10.0, x);
+        EXPECT_LT(h, prev);
+        prev = h;
+    }
+}
+
+TEST(Convection, CellAverageOverWholePlateEqualsAverage)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    const double h_avg = averageHeatTransferCoefficient(oil, 10.0, 0.02);
+    const double h_cells =
+        cellAveragedCoefficient(oil, 10.0, 0.0, 0.02);
+    EXPECT_NEAR(h_cells, h_avg, 1e-9 * h_avg);
+}
+
+TEST(Convection, CellAveragesIntegrateToPlateAverage)
+{
+    // Splitting the plate into cells must conserve total h*A: the
+    // grid model relies on this to hit the configured Rconv exactly.
+    const Fluid oil = fluids::irTransparentOil();
+    const double L = 0.02;
+    const std::size_t n = 16;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = L * static_cast<double>(i) / n;
+        const double x1 = L * static_cast<double>(i + 1) / n;
+        acc += cellAveragedCoefficient(oil, 10.0, x0, x1) * (x1 - x0);
+    }
+    const double h_avg = averageHeatTransferCoefficient(oil, 10.0, L);
+    EXPECT_NEAR(acc / L, h_avg, 1e-9 * h_avg);
+}
+
+TEST(Convection, BoundaryLayerThicknessMatchesEq4)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    // dt = 4.91 L / (Pr^(1/3) sqrt(Re)) ~ 170 um at the paper's point.
+    const double dt = thermalBoundaryLayerThickness(oil, 10.0, 0.02);
+    EXPECT_NEAR(dt, 1.70e-4, 5e-6);
+}
+
+TEST(Convection, BoundaryLayerGrowsDownstream)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    const double d1 = localBoundaryLayerThickness(oil, 10.0, 0.005);
+    const double d2 = localBoundaryLayerThickness(oil, 10.0, 0.02);
+    EXPECT_LT(d1, d2);
+    // dt ~ sqrt(x): quadrupling x doubles dt.
+    EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(Convection, FasterFlowThinsTheBoundaryLayer)
+{
+    const Fluid oil = fluids::irTransparentOil();
+    EXPECT_GT(thermalBoundaryLayerThickness(oil, 5.0, 0.02),
+              thermalBoundaryLayerThickness(oil, 20.0, 0.02));
+}
+
+TEST(Convection, ResistanceRejectsBadArgs)
+{
+    EXPECT_THROW(convectionResistance(0.0, 1.0), FatalError);
+    EXPECT_THROW(convectionResistance(100.0, -1.0), FatalError);
+}
+
+TEST(Convection, TurbulentExceedsLaminarAtHighRe)
+{
+    const Fluid air = fluids::air();
+    const double u = 30.0, l = 0.5; // Re ~ 9.6e5, beyond transition
+    EXPECT_GT(reynoldsNumber(air, u, l), laminarTransitionReynolds);
+    const double ht = turbulentAverageCoefficient(air, u, l);
+    setQuiet(true);
+    const double hl = averageHeatTransferCoefficient(air, u, l);
+    setQuiet(false);
+    EXPECT_GT(ht, hl);
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests of the cycle-approximate pipeline simulator: structural
+ * behaviour (IPC emerges from hazards), workload differentiation,
+ * and the activity/power hookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "power/pipeline.hh"
+#include "power/synthetic_cpu.hh"
+#include "power/wattch_model.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+PipelineConfig
+defaultCfg()
+{
+    return PipelineConfig{};
+}
+
+TEST(InstructionStream, RespectsMixProportions)
+{
+    WorkloadSpec wl = workloads::gcc();
+    InstructionStream s(wl, 42);
+    std::size_t loads = 0, branches = 0, fps = 0;
+    const std::size_t n = 50000;
+    for (std::size_t i = 0; i < n; ++i) {
+        const MicroOp op = s.next();
+        if (op.cls == OpClass::Load)
+            ++loads;
+        if (op.cls == OpClass::Branch)
+            ++branches;
+        if (op.cls == OpClass::FpAdd || op.cls == OpClass::FpMul)
+            ++fps;
+    }
+    // gcc phases: loads ~22-40%, branches ~10-22%, fp ~0-2%.
+    EXPECT_GT(static_cast<double>(loads) / n, 0.15);
+    EXPECT_LT(static_cast<double>(loads) / n, 0.45);
+    EXPECT_GT(static_cast<double>(branches) / n, 0.05);
+    EXPECT_LT(static_cast<double>(fps) / n, 0.05);
+}
+
+TEST(InstructionStream, MissesOnlyOnMemoryOps)
+{
+    InstructionStream s(workloads::mcf(), 7);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = s.next();
+        if (op.l1Miss) {
+            EXPECT_TRUE(op.cls == OpClass::Load ||
+                        op.cls == OpClass::Store);
+        }
+        if (op.mispredicted) {
+            EXPECT_EQ(op.cls, OpClass::Branch);
+        }
+    }
+}
+
+TEST(Pipeline, IpcBoundedByIssueWidth)
+{
+    PipelineSimulator sim(defaultCfg(),
+                          InstructionStream(workloads::gcc()));
+    const WindowStats st = sim.runWindow(50000);
+    EXPECT_GT(st.ipc(), 0.2);
+    EXPECT_LE(st.ipc(), 4.0);
+}
+
+/** Single-phase workload so a short window samples exactly one mix. */
+WorkloadSpec
+onePhase(const InstructionMix &mix)
+{
+    WorkloadSpec w;
+    w.name = "test";
+    w.phases = {mix};
+    w.phaseWeights = {1.0};
+    return w;
+}
+
+TEST(Pipeline, MemoryBoundMixHasLowerIpc)
+{
+    // Misses stall the ROB head; the emergent IPC of a miss-heavy
+    // mix must fall well below a compute mix's. This is the
+    // structural behaviour SyntheticCpu merely prescribes.
+    InstructionMix compute{2.8, 0.60, 0.02, 0.18, 0.08, 0.12, 0.005};
+    InstructionMix membound{0.6, 0.35, 0.00, 0.42, 0.08, 0.12, 0.30};
+    PipelineSimulator c_sim(defaultCfg(),
+                            InstructionStream(onePhase(compute), 5));
+    PipelineSimulator m_sim(defaultCfg(),
+                            InstructionStream(onePhase(membound), 5));
+    const double c_ipc = c_sim.runWindow(200000).ipc();
+    const double m_ipc = m_sim.runWindow(200000).ipc();
+    EXPECT_LT(m_ipc, 0.6 * c_ipc);
+}
+
+TEST(Pipeline, WiderMachineCommitsMore)
+{
+    PipelineConfig narrow = defaultCfg();
+    narrow.fetchWidth = 1;
+    narrow.issueWidth = 1;
+    narrow.commitWidth = 1;
+    narrow.intAluCount = 1;
+    PipelineSimulator n_sim(narrow,
+                            InstructionStream(workloads::gcc(), 3));
+    PipelineSimulator w_sim(defaultCfg(),
+                            InstructionStream(workloads::gcc(), 3));
+    EXPECT_LT(n_sim.runWindow(100000).ipc(),
+              w_sim.runWindow(100000).ipc());
+    // And the narrow machine can never exceed 1 IPC.
+    PipelineSimulator n2(narrow,
+                         InstructionStream(workloads::gcc(), 4));
+    EXPECT_LE(n2.runWindow(50000).ipc(), 1.0 + 1e-9);
+}
+
+TEST(Pipeline, SlowMemoryHurtsIpc)
+{
+    PipelineConfig fast = defaultCfg();
+    PipelineConfig slow = defaultCfg();
+    slow.memLatency = 600;
+    PipelineSimulator f_sim(fast,
+                            InstructionStream(workloads::mcf(), 9));
+    PipelineSimulator s_sim(slow,
+                            InstructionStream(workloads::mcf(), 9));
+    EXPECT_GT(f_sim.runWindow(200000).ipc(),
+              s_sim.runWindow(200000).ipc());
+}
+
+TEST(Pipeline, ActivityFactorsBounded)
+{
+    const WattchPowerModel model = WattchPowerModel::alphaEv6();
+    PipelineSimulator sim(defaultCfg(),
+                          InstructionStream(workloads::art()));
+    const WindowStats st = sim.runWindow(50000);
+    const auto act = sim.unitActivity(model, st);
+    ASSERT_EQ(act.size(), model.unitCount());
+    for (double a : act) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+}
+
+TEST(Pipeline, FpWorkloadLightsUpFpUnits)
+{
+    const WattchPowerModel model = WattchPowerModel::alphaEv6();
+    PipelineSimulator art_sim(defaultCfg(),
+                              InstructionStream(workloads::art()));
+    PipelineSimulator gcc_sim(defaultCfg(),
+                              InstructionStream(workloads::gcc()));
+    const auto art_act = art_sim.unitActivity(
+        model, art_sim.runWindow(100000));
+    const auto gcc_act = gcc_sim.unitActivity(
+        model, gcc_sim.runWindow(100000));
+    const std::size_t fpmul = model.unitIndex("FPMul");
+    EXPECT_GT(art_act[fpmul], 2.0 * gcc_act[fpmul]);
+}
+
+TEST(Pipeline, GeneratedTraceIsWellFormed)
+{
+    const WattchPowerModel model = WattchPowerModel::alphaEv6();
+    PipelineSimulator sim(defaultCfg(),
+                          InstructionStream(workloads::gcc()));
+    const PowerTrace trace = sim.generateTrace(model, 50, 10000);
+    EXPECT_EQ(trace.sampleCount(), 50u);
+    EXPECT_NEAR(trace.sampleInterval(), 10000.0 / 3e9, 1e-12);
+    EXPECT_GT(trace.averageTotalPower(), 1.0);
+    const auto peak = trace.peakPowers();
+    for (std::size_t u = 0; u < model.unitCount(); ++u)
+        EXPECT_LE(peak[u], model.specs()[u].peakDynamic + 1e-9);
+}
+
+TEST(Pipeline, DeterministicUnderSeed)
+{
+    const WattchPowerModel model = WattchPowerModel::alphaEv6();
+    PipelineSimulator a(defaultCfg(),
+                        InstructionStream(workloads::gcc(), 99));
+    PipelineSimulator b(defaultCfg(),
+                        InstructionStream(workloads::gcc(), 99));
+    const PowerTrace ta = a.generateTrace(model, 20, 10000);
+    const PowerTrace tb = b.generateTrace(model, 20, 10000);
+    for (std::size_t s = 0; s < 20; ++s)
+        for (std::size_t u = 0; u < model.unitCount(); ++u)
+            EXPECT_DOUBLE_EQ(ta.sample(s)[u], tb.sample(s)[u]);
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across
+ * the whole configuration space — every flow direction, both
+ * cooling kinds, secondary path on/off, and a sweep of grid
+ * resolutions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "core/package.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+ModelOptions
+gridOpts(std::size_t nx, std::size_t ny)
+{
+    ModelOptions o;
+    o.mode = ModelMode::Grid;
+    o.gridNx = nx;
+    o.gridNy = ny;
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Properties over every (cooling kind, secondary path) combination.
+// ---------------------------------------------------------------------
+
+using PackageParam = std::tuple<CoolingKind, bool>;
+
+class PackageProperty : public ::testing::TestWithParam<PackageParam>
+{
+  protected:
+    PackageConfig
+    makeConfig() const
+    {
+        const auto [kind, secondary] = GetParam();
+        PackageConfig pkg = kind == CoolingKind::AirSink
+                                ? PackageConfig::makeAirSink(1.0)
+                                : PackageConfig::makeOilSilicon(10.0);
+        pkg.secondary.enabled = secondary;
+        return pkg;
+    }
+};
+
+TEST_P(PackageProperty, EnergyBalanceHolds)
+{
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 20.0;
+    bp[fp.blockIndex("se")] = 3.0;
+
+    const StackModel model(fp, makeConfig(), gridOpts(8, 8));
+    const auto t = model.steadyNodeTemperatures(bp);
+    EXPECT_NEAR(model.heatThroughPrimary(t) +
+                    model.heatThroughSecondary(t),
+                23.0, 23.0 * 1e-6);
+}
+
+TEST_P(PackageProperty, AmbientShiftIsPureOffset)
+{
+    // Linearity in the boundary condition: raising the ambient by
+    // dT raises every temperature by exactly dT.
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    std::vector<double> bp(fp.blockCount(), 1.0);
+    bp[fp.blockIndex("hot")] = 15.0;
+
+    PackageConfig cold = makeConfig();
+    cold.ambient = toKelvin(20.0);
+    PackageConfig warm = makeConfig();
+    warm.ambient = toKelvin(45.0);
+
+    const StackModel m_cold(fp, cold, gridOpts(8, 8));
+    const StackModel m_warm(fp, warm, gridOpts(8, 8));
+    const auto t_cold = m_cold.steadyBlockTemperatures(bp);
+    const auto t_warm = m_warm.steadyBlockTemperatures(bp);
+    for (std::size_t b = 0; b < t_cold.size(); ++b)
+        EXPECT_NEAR(t_warm[b] - t_cold[b], 25.0, 1e-6);
+}
+
+TEST_P(PackageProperty, PowerScalingIsLinear)
+{
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 10.0;
+    std::vector<double> bp3 = bp;
+    bp3[fp.blockIndex("hot")] = 30.0;
+
+    const StackModel model(fp, makeConfig(), gridOpts(8, 8));
+    const double amb = model.packageConfig().ambient;
+    const auto t1 = model.steadyBlockTemperatures(bp);
+    const auto t3 = model.steadyBlockTemperatures(bp3);
+    for (std::size_t b = 0; b < t1.size(); ++b)
+        EXPECT_NEAR(t3[b] - amb, 3.0 * (t1[b] - amb), 1e-5);
+}
+
+TEST_P(PackageProperty, TransientApproachesSteadyMonotonically)
+{
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 20.0;
+
+    const StackModel model(fp, makeConfig());
+    const double steady =
+        model.steadyBlockTemperatures(bp)[fp.blockIndex("hot")];
+
+    ThermalSimulator sim(model);
+    sim.setBlockPowers(bp);
+    double prev = model.packageConfig().ambient;
+    for (int i = 0; i < 10; ++i) {
+        sim.advance(0.2);
+        const double now =
+            sim.blockTemperatures()[fp.blockIndex("hot")];
+        EXPECT_GE(now, prev - 1e-9); // heating never reverses
+        EXPECT_LE(now, steady + 0.1); // never overshoots steady
+        prev = now;
+    }
+}
+
+TEST_P(PackageProperty, SteadyTemperaturesAboveAmbient)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    std::vector<double> bp(fp.blockCount(), 0.5);
+    const StackModel model(fp, makeConfig(), gridOpts(8, 8));
+    const auto t = model.steadyNodeTemperatures(bp);
+    for (double v : t)
+        EXPECT_GE(v, model.packageConfig().ambient - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPackages, PackageProperty,
+    ::testing::Combine(::testing::Values(CoolingKind::AirSink,
+                                         CoolingKind::OilSilicon),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<PackageParam> &info) {
+        const CoolingKind kind = std::get<0>(info.param);
+        const bool secondary = std::get<1>(info.param);
+        return std::string(kind == CoolingKind::AirSink ? "Air"
+                                                        : "Oil") +
+               (secondary ? "WithSecondary" : "NoSecondary");
+    });
+
+// ---------------------------------------------------------------------
+// Properties over every flow direction.
+// ---------------------------------------------------------------------
+
+class DirectionProperty
+    : public ::testing::TestWithParam<FlowDirection>
+{
+};
+
+TEST_P(DirectionProperty, TotalConvectionIndependentOfDirection)
+{
+    // Rotating the flow redistributes h(x) but conserves the total
+    // conductance (the integral of h over the plate).
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    const StackModel model(
+        fp, PackageConfig::makeOilSilicon(10.0, GetParam()),
+        gridOpts(16, 16));
+    EXPECT_NEAR(model.equivalentPrimaryResistance(), 1.0, 0.01);
+}
+
+TEST_P(DirectionProperty, EnergyBalancePerDirection)
+{
+    const Floorplan fp = floorplans::uniformChip(2, 0.02, 0.02);
+    const StackModel model(
+        fp, PackageConfig::makeOilSilicon(10.0, GetParam()),
+        gridOpts(8, 8));
+    const std::vector<double> bp(fp.blockCount(), 5.0);
+    const auto t = model.steadyNodeTemperatures(bp);
+    EXPECT_NEAR(model.heatThroughPrimary(t) +
+                    model.heatThroughSecondary(t),
+                20.0, 20.0 * 1e-6);
+}
+
+TEST_P(DirectionProperty, DownstreamIsHotterThanUpstream)
+{
+    // Uniform power: whatever the direction, the downstream edge of
+    // the die runs hotter than the leading edge.
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    const FlowDirection dir = GetParam();
+    const StackModel model(fp,
+                           PackageConfig::makeOilSilicon(10.0, dir),
+                           gridOpts(16, 16));
+    const std::vector<double> bp(fp.blockCount(), 2.0);
+    const auto temps = model.steadyBlockTemperatures(bp);
+
+    auto block_temp = [&](const std::string &n) {
+        return temps[fp.blockIndex(n)];
+    };
+    switch (dir) {
+      case FlowDirection::LeftToRight:
+        EXPECT_GT(block_temp("u3_1"), block_temp("u0_1"));
+        break;
+      case FlowDirection::RightToLeft:
+        EXPECT_GT(block_temp("u0_1"), block_temp("u3_1"));
+        break;
+      case FlowDirection::BottomToTop:
+        EXPECT_GT(block_temp("u1_3"), block_temp("u1_0"));
+        break;
+      case FlowDirection::TopToBottom:
+        EXPECT_GT(block_temp("u1_0"), block_temp("u1_3"));
+        break;
+    }
+}
+
+TEST_P(DirectionProperty, MirrorSymmetryOfOpposedFlows)
+{
+    // A source at position x under left-to-right flow must see the
+    // same temperature as the mirrored source under right-to-left.
+    const FlowDirection dir = GetParam();
+    if (dir == FlowDirection::BottomToTop ||
+        dir == FlowDirection::TopToBottom) {
+        GTEST_SKIP() << "x-mirror applies to horizontal flows";
+    }
+    const Floorplan fp = floorplans::uniformChip(4, 0.02, 0.02);
+    const FlowDirection opposite =
+        dir == FlowDirection::LeftToRight
+            ? FlowDirection::RightToLeft
+            : FlowDirection::LeftToRight;
+
+    const StackModel m1(fp, PackageConfig::makeOilSilicon(10.0, dir),
+                        gridOpts(12, 12));
+    const StackModel m2(fp,
+                        PackageConfig::makeOilSilicon(10.0, opposite),
+                        gridOpts(12, 12));
+
+    std::vector<double> left(fp.blockCount(), 0.0);
+    std::vector<double> right(fp.blockCount(), 0.0);
+    left[fp.blockIndex("u0_2")] = 10.0;
+    right[fp.blockIndex("u3_2")] = 10.0;
+
+    const auto t1 = m1.steadyBlockTemperatures(left);
+    const auto t2 = m2.steadyBlockTemperatures(right);
+    EXPECT_NEAR(t1[fp.blockIndex("u0_2")],
+                t2[fp.blockIndex("u3_2")], 1e-6);
+    EXPECT_NEAR(t1[fp.blockIndex("u3_2")],
+                t2[fp.blockIndex("u0_2")], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDirections, DirectionProperty,
+    ::testing::Values(FlowDirection::LeftToRight,
+                      FlowDirection::RightToLeft,
+                      FlowDirection::BottomToTop,
+                      FlowDirection::TopToBottom),
+    [](const ::testing::TestParamInfo<FlowDirection> &info) {
+        switch (info.param) {
+          case FlowDirection::LeftToRight:
+            return std::string("LeftToRight");
+          case FlowDirection::RightToLeft:
+            return std::string("RightToLeft");
+          case FlowDirection::BottomToTop:
+            return std::string("BottomToTop");
+          case FlowDirection::TopToBottom:
+            return std::string("TopToBottom");
+        }
+        return std::string("Unknown");
+    });
+
+// ---------------------------------------------------------------------
+// Grid-refinement convergence.
+// ---------------------------------------------------------------------
+
+class GridConvergence : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GridConvergence, HotSpotWithinBandOfReference)
+{
+    // The hot-spot temperature at resolution n must lie within a
+    // shrinking band around the fine-grid reference value.
+    const std::size_t n = GetParam();
+    const Floorplan fp = floorplans::centerSourceChip(0.02, 0.004);
+    std::vector<double> bp(fp.blockCount(), 0.0);
+    bp[fp.blockIndex("hot")] = 20.0;
+    const PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+
+    const StackModel fine(fp, pkg, gridOpts(40, 40));
+    const auto ref_cells =
+        fine.siliconCellTemperatures(fine.steadyNodeTemperatures(bp));
+    const double ref =
+        *std::max_element(ref_cells.begin(), ref_cells.end());
+
+    const StackModel coarse(fp, pkg, gridOpts(n, n));
+    const auto cells = coarse.siliconCellTemperatures(
+        coarse.steadyNodeTemperatures(bp));
+    const double value =
+        *std::max_element(cells.begin(), cells.end());
+
+    // Band tightens with resolution: ~18% at 8x8 down to ~4% at 32x32.
+    const double band = 1.4 / static_cast<double>(n);
+    EXPECT_NEAR(value, ref,
+                band * (ref - coarse.packageConfig().ambient));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridConvergence,
+                         ::testing::Values(8, 12, 16, 24, 32),
+                         [](const ::testing::TestParamInfo<std::size_t>
+                                &info) {
+                             return "N" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace irtherm
