@@ -13,18 +13,44 @@
 #define IRTHERM_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "base/units.hh"
 #include "floorplan/presets.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "power/power_trace.hh"
 #include "power/synthetic_cpu.hh"
 #include "power/wattch_model.hh"
 
 namespace irtherm::bench
 {
+
+/**
+ * Dump the process-wide metrics registry as JSON next to the bench
+ * output when IRTHERM_METRICS_OUT=<file> is set. Call at the end of
+ * main() so a bench run can be profiled (solver iteration counts,
+ * step-size distributions) without touching its printed rows.
+ */
+inline void
+dumpMetricsIfRequested()
+{
+    const char *path = std::getenv("IRTHERM_METRICS_OUT");
+    if (!path || !*path)
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench: cannot write metrics to " << path
+                  << "\n";
+        return;
+    }
+    obs::writeMetricsJson(out, obs::MetricsRegistry::global());
+    std::cout << "wrote metrics to " << path << "\n";
+}
 
 inline void
 banner(const std::string &id, const std::string &what,

@@ -234,5 +234,6 @@ main()
                 "(paper: about the same)\n",
                 bench::meanOf(air_res.chip_mean),
                 bench::meanOf(oil_res.chip_mean));
+    bench::dumpMetricsIfRequested();
     return 0;
 }

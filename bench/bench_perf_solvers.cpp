@@ -10,6 +10,8 @@
 
 #include <vector>
 
+#include "bench_common.hh"
+
 #include "core/package.hh"
 #include "core/simulator.hh"
 #include "core/stack_model.hh"
@@ -98,4 +100,14 @@ BENCHMARK(BM_BackwardEulerStepGrid)->Arg(16)->Arg(32);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::dumpMetricsIfRequested();
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace irtherm
 {
@@ -10,21 +11,101 @@ namespace
 {
 
 std::atomic<bool> quietFlag{false};
+std::atomic<int> levelThreshold{static_cast<int>(LogLevel::Info)};
+
+std::mutex sinkMutex;
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    std::cerr << logLevelName(level) << ": " << msg << "\n";
+}
+
+/** Guarded by sinkMutex. An empty function means "use defaultSink". */
+LogSink &
+currentSink()
+{
+    static LogSink sink;
+    return sink;
+}
 
 } // namespace
 
-void
-warn(const std::string &msg)
+LogSink
+setLogSink(LogSink sink)
 {
-    if (!quietFlag.load(std::memory_order_relaxed))
-        std::cerr << "warn: " << msg << "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    LogSink previous = std::move(currentSink());
+    currentSink() = std::move(sink);
+    return previous;
 }
 
 void
-inform(const std::string &msg)
+setLogLevel(LogLevel level)
 {
-    if (!quietFlag.load(std::memory_order_relaxed))
-        std::cerr << "info: " << msg << "\n";
+    levelThreshold.store(static_cast<int>(level),
+                         std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelThreshold.load(std::memory_order_relaxed));
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Silent:
+        return "silent";
+    }
+    return "?";
+}
+
+LogLevel
+parseLogLevel(const std::string &text)
+{
+    for (LogLevel level :
+         {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Silent}) {
+        if (text == logLevelName(level))
+            return level;
+    }
+    fatal("unknown log level '", text,
+          "' (expected debug|info|warn|error|silent)");
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Silent)
+        return;
+    if (static_cast<int>(level) <
+        levelThreshold.load(std::memory_order_relaxed))
+        return;
+    if (quietFlag.load(std::memory_order_relaxed) &&
+        level < LogLevel::Error)
+        return;
+
+    LogSink sink;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        sink = currentSink();
+    }
+    if (sink)
+        sink(level, msg);
+    else
+        defaultSink(level, msg);
 }
 
 void

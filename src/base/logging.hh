@@ -7,13 +7,22 @@
  * invariant violations that should never happen regardless of user
  * input. Because irtherm is a library rather than a standalone
  * simulator, both report via exceptions so embedding applications and
- * tests can recover; warn()/inform() print to stderr and never stop
- * the caller.
+ * tests can recover.
+ *
+ * Non-throwing diagnostics route through a pluggable sink with
+ * severity levels: debugLog() < inform() < warn(). The default sink
+ * writes "level: message" lines to stderr; setLogSink() lets an
+ * embedding application redirect everything (e.g. into its own
+ * logger or an event trace), and setLogLevel() filters by severity
+ * before the message string is even built. setQuiet() is the legacy
+ * big hammer kept for tests: while quiet, nothing reaches the sink
+ * regardless of level.
  */
 
 #ifndef IRTHERM_BASE_LOGGING_HH
 #define IRTHERM_BASE_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +48,48 @@ class PanicError : public std::logic_error
         : std::logic_error("panic: " + msg)
     {}
 };
+
+/** Severity of a non-throwing diagnostic. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,  ///< reserved for sinks; fatal()/panic() still throw
+    Silent = 4, ///< threshold-only value: suppresses everything
+};
+
+/** Receives every emitted diagnostic that passes the level filter. */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the diagnostic sink. Passing an empty function restores
+ * the default stderr sink. Returns the previous sink.
+ */
+LogSink setLogSink(LogSink sink);
+
+/** Drop messages below @p level (default LogLevel::Info). */
+void setLogLevel(LogLevel level);
+
+/** Current severity threshold. */
+LogLevel logLevel();
+
+/** Lowercase name ("debug", "info", "warn", "error", "silent"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name (case-sensitive, as printed); fatal() otherwise. */
+LogLevel parseLogLevel(const std::string &text);
+
+/**
+ * Deliver @p msg at @p level to the sink, applying the level
+ * threshold and the quiet flag. Building the message is the
+ * caller's job; prefer warn()/inform()/debugLog(), which skip
+ * formatting entirely for filtered-out levels.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Globally silence everything below Error (useful in tests). */
+void setQuiet(bool quiet);
 
 namespace detail
 {
@@ -77,14 +128,38 @@ panic(Args &&...args)
     throw PanicError(detail::formatMessage(std::forward<Args>(args)...));
 }
 
-/** Print a warning to stderr; execution continues. */
-void warn(const std::string &msg);
+/** Emit a warning; execution continues. Fragments fold via operator<<. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Warn) {
+        logMessage(LogLevel::Warn,
+                   detail::formatMessage(std::forward<Args>(args)...));
+    }
+}
 
-/** Print an informational message to stderr; execution continues. */
-void inform(const std::string &msg);
+/** Emit an informational message; execution continues. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Info) {
+        logMessage(LogLevel::Info,
+                   detail::formatMessage(std::forward<Args>(args)...));
+    }
+}
 
-/** Globally silence warn()/inform() (useful in tests). */
-void setQuiet(bool quiet);
+/** Emit a debug-level message (off unless setLogLevel(Debug)). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Debug) {
+        logMessage(LogLevel::Debug,
+                   detail::formatMessage(std::forward<Args>(args)...));
+    }
+}
 
 } // namespace irtherm
 

@@ -67,4 +67,32 @@ TextTable::print(std::ostream &os) const
         print_row(row);
 }
 
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto cell = [](const std::string &s) {
+        if (s.find_first_of(",\"\n\r") == std::string::npos)
+            return s;
+        std::string quoted = "\"";
+        for (char c : s) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                os << ",";
+            os << cell(row[c]);
+        }
+        os << "\n";
+    };
+    print_row(header);
+    for (const auto &row : rows)
+        print_row(row);
+}
+
 } // namespace irtherm

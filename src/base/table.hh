@@ -45,6 +45,12 @@ class TextTable
     /** Render with padding and a header separator line. */
     void print(std::ostream &os) const;
 
+    /**
+     * Render as RFC-4180-style CSV: header row then data rows,
+     * cells containing commas/quotes/newlines double-quoted.
+     */
+    void printCsv(std::ostream &os) const;
+
   private:
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;

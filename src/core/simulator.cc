@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/event_trace.hh"
 
 namespace irtherm
 {
@@ -10,7 +11,15 @@ namespace irtherm
 ThermalSimulator::ThermalSimulator(const StackModel &model,
                                    const SimulatorOptions &opts_)
     : stack(model), opts(opts_), rise(model.nodeCount(), 0.0),
-      nodePower(model.nodeCount(), 0.0)
+      nodePower(model.nodeCount(), 0.0),
+      advancesMetric(obs::MetricsRegistry::global().counter(
+          "core.simulator.advances")),
+      advanceTimer(obs::MetricsRegistry::global().timer(
+          "core.simulator.advance_time")),
+      steadyInitTimer(obs::MetricsRegistry::global().timer(
+          "core.simulator.steady_init_time")),
+      simTimeGauge(obs::MetricsRegistry::global().gauge(
+          "core.simulator.sim_time_s"))
 {
     IntegratorKind kind = opts.integrator;
     if (kind == IntegratorKind::Auto) {
@@ -40,8 +49,11 @@ void
 ThermalSimulator::initializeSteady(
     const std::vector<double> &block_powers)
 {
+    obs::ScopedTimer span(steadyInitTimer);
     const std::vector<double> abs_temps =
         stack.steadyNodeTemperatures(block_powers);
+    IRTHERM_EVENT("core.steady_init",
+                  {"nodes", abs_temps.size()});
     const double ambient = stack.packageConfig().ambient;
     for (std::size_t i = 0; i < rise.size(); ++i)
         rise[i] = abs_temps[i] - ambient;
@@ -60,12 +72,15 @@ ThermalSimulator::advance(double dt)
 {
     if (dt <= 0.0)
         fatal("ThermalSimulator::advance: non-positive dt");
+    obs::ScopedTimer span(advanceTimer);
     if (rk4) {
         rk4->advance(rise, nodePower, dt);
     } else {
         be->advance(rise, nodePower, dt);
     }
     now += dt;
+    advancesMetric.add();
+    simTimeGauge.set(now);
 }
 
 std::vector<double>

@@ -21,6 +21,7 @@
 
 #include "core/stack_model.hh"
 #include "numeric/ode.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -98,6 +99,12 @@ class ThermalSimulator
 
     std::unique_ptr<Rk4Integrator> rk4;
     std::unique_ptr<BackwardEulerIntegrator> be;
+
+    // Phase timings and progress (process-wide aggregates).
+    obs::Counter &advancesMetric;
+    obs::Timer &advanceTimer;
+    obs::Timer &steadyInitTimer;
+    obs::Gauge &simTimeGauge;
 };
 
 } // namespace irtherm

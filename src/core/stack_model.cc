@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "materials/convection.hh"
 #include "numeric/iterative.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -683,7 +684,12 @@ StackModel::steadyNodeTemperatures(
     IterativeOptions opts;
     opts.tolerance = 1e-11;
     opts.maxIterations = 100000;
+    auto &reg = obs::MetricsRegistry::global();
+    obs::ScopedTimer span(reg.timer("core.steady.solve_time"));
     IterativeResult res = solveLinear(g_, p, !advection, {}, opts);
+    reg.counter("core.steady.solves").add();
+    reg.histogram("core.steady.cg_iterations")
+        .observe(static_cast<double>(res.iterations));
     if (!res.converged) {
         fatal("steadyNodeTemperatures: CG failed, residual ",
               res.residualNorm);

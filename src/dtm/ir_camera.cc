@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -91,8 +93,14 @@ IrCamera::capture(double sample_interval,
             static_cast<double>(bin * bin);
         for (double &v : frame.pixels)
             v /= cells_per_pixel;
+        IRTHERM_EVENT("dtm.ir_camera.frame",
+                      {"sim_time_s", frame.time},
+                      {"pixels", frame.pixels.size()});
         frames.push_back(std::move(frame));
     }
+    static obs::Counter &captured =
+        obs::MetricsRegistry::global().counter("dtm.ir_camera.frames");
+    captured.add(frames.size());
     return frames;
 }
 

@@ -3,9 +3,38 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
+
+namespace
+{
+
+/** Process-wide DTM telemetry handles (shared by all controllers). */
+struct DtmMetrics
+{
+    obs::Counter &steps;
+    obs::Counter &engagements;
+    obs::Gauge &dutyCycle;
+
+    static DtmMetrics &
+    instance()
+    {
+        static DtmMetrics m{
+            obs::MetricsRegistry::global().counter(
+                "dtm.controller.steps"),
+            obs::MetricsRegistry::global().counter(
+                "dtm.controller.engagements"),
+            obs::MetricsRegistry::global().gauge(
+                "dtm.controller.duty_cycle"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 DtmController::DtmController(const DtmConfig &cfg_,
                              const std::vector<std::string> &unit_names)
@@ -54,6 +83,9 @@ DtmController::step(double now, double sensed_max_temp)
     lastStepTime = now;
     first = false;
 
+    DtmMetrics &m = DtmMetrics::instance();
+    m.steps.add();
+
     const bool hot = sensed_max_temp > cfg.triggerThreshold;
     if (engagedNow) {
         // Stay engaged for the full duration, and keep extending it
@@ -62,12 +94,20 @@ DtmController::step(double now, double sensed_max_temp)
             engageUntil = now + cfg.engagementDuration;
         } else if (now >= engageUntil) {
             engagedNow = false;
+            IRTHERM_EVENT("dtm.disengage", {"sim_time_s", now},
+                          {"temp_k", sensed_max_temp});
         }
     } else if (hot && cfg.action != DtmAction::None) {
         engagedNow = true;
         engageUntil = now + cfg.engagementDuration;
         ++engageCount;
+        m.engagements.add();
+        IRTHERM_EVENT("dtm.engage", {"sim_time_s", now},
+                      {"temp_k", sensed_max_temp},
+                      {"threshold_k", cfg.triggerThreshold});
     }
+    if (now > 0.0)
+        m.dutyCycle.set(totalEngaged / now);
 
     DtmActuation act;
     if (engagedNow) {

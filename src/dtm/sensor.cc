@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -50,6 +52,9 @@ std::vector<double>
 SensorArray::read(const StackModel &model,
                   const std::vector<double> &node_temps, Rng &rng) const
 {
+    static obs::Counter &reads =
+        obs::MetricsRegistry::global().counter("dtm.sensor.reads");
+    reads.add(sensors_.size());
     std::vector<double> out(sensors_.size());
     for (std::size_t i = 0; i < sensors_.size(); ++i) {
         const SensorSpec &s = sensors_[i];
@@ -69,7 +74,10 @@ SensorArray::readMax(const StackModel &model,
                      Rng &rng) const
 {
     const std::vector<double> r = read(model, node_temps, rng);
-    return *std::max_element(r.begin(), r.end());
+    const double sensed = *std::max_element(r.begin(), r.end());
+    IRTHERM_EVENT("dtm.sensor.read_max", {"temp_k", sensed},
+                  {"sensors", r.size()});
+    return sensed;
 }
 
 namespace placement
@@ -149,9 +157,8 @@ hottestGuided(const std::vector<double> &cell_temps, std::size_t nx,
         }
     }
     if (out.size() < count) {
-        warn("placement::hottestGuided: only " +
-             std::to_string(out.size()) + " of " +
-             std::to_string(count) + " sensors placed");
+        warn("placement::hottestGuided: only ", out.size(), " of ",
+             count, " sensors placed");
     }
     return out;
 }

@@ -100,8 +100,7 @@ Floorplan::validate(double tolerance) const
 
     const double coverage = coveredArea() / dieArea();
     if (coverage < 0.99) {
-        warn("Floorplan: blocks cover only " +
-             std::to_string(100.0 * coverage) +
+        warn("Floorplan: blocks cover only ", 100.0 * coverage,
              "% of the bounding box");
     }
 }

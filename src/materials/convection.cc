@@ -21,8 +21,7 @@ averageHeatTransferCoefficient(const Fluid &fluid, double velocity,
 {
     const double re = reynoldsNumber(fluid, velocity, length);
     if (re > laminarTransitionReynolds) {
-        warn("averageHeatTransferCoefficient: Re=" +
-             std::to_string(re) +
+        warn("averageHeatTransferCoefficient: Re=", re,
              " beyond laminar transition; laminar correlation applied");
     }
     const double pr = fluid.prandtl();

@@ -50,6 +50,7 @@ conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
     // r = b - A x
     std::vector<double> r = b;
     a.multiplyAccumulate(res.x, r, -1.0);
+    res.initialResidualNorm = norm2(r);
 
     const double bnorm = std::max(norm2(b), 1e-300);
     std::vector<double> z(n), p(n), ap(n);
@@ -118,6 +119,7 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
 
     std::vector<double> r = b;
     a.multiplyAccumulate(res.x, r, -1.0);
+    res.initialResidualNorm = norm2(r);
     const std::vector<double> r_hat = r; // shadow residual
     const double bnorm = std::max(norm2(b), 1e-300);
 
@@ -215,6 +217,11 @@ gaussSeidel(const CsrMatrix &a, const std::vector<double> &b,
     const auto &ci = a.columnIndices();
     const auto &av = a.storedValues();
     const double bnorm = std::max(norm2(b), 1e-300);
+    {
+        std::vector<double> r0 = b;
+        a.multiplyAccumulate(res.x, r0, -1.0);
+        res.initialResidualNorm = norm2(r0);
+    }
 
     for (std::size_t it = 0; it < opts.maxIterations; ++it) {
         for (std::size_t r = 0; r < n; ++r) {

@@ -26,6 +26,9 @@ struct IterativeResult
     std::vector<double> x;      ///< solution vector
     std::size_t iterations = 0; ///< iterations actually used
     double residualNorm = 0.0;  ///< final ||b - Ax||_2
+    /** ||b - A x0||_2 before the first iteration: how good the
+     *  starting guess was (warm-start quality telemetry). */
+    double initialResidualNorm = 0.0;
     bool converged = false;     ///< tolerance met within budget
 };
 

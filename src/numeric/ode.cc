@@ -47,7 +47,15 @@ Rk4Integrator::Rk4Integrator(const CsrMatrix &g_,
                              std::vector<double> capacitance,
                              const Rk4Options &opts_)
     : g(g_), invC(std::move(capacitance)), opts(opts_),
-      lastStep(opts_.initialStep)
+      lastStep(opts_.initialStep),
+      stepsMetric(
+          obs::MetricsRegistry::global().counter("numeric.rk4.steps")),
+      rejectedMetric(obs::MetricsRegistry::global().counter(
+          "numeric.rk4.rejected_steps")),
+      stepSizeHist(obs::MetricsRegistry::global().histogram(
+          "numeric.rk4.step_size_s")),
+      errorHist(obs::MetricsRegistry::global().histogram(
+          "numeric.rk4.error_estimate_k"))
 {
     checkSizes(g, invC);
     for (double &c : invC)
@@ -122,6 +130,9 @@ Rk4Integrator::advance(std::vector<double> &temps,
             temps = half2;
             t += h;
             ++steps;
+            stepsMetric.add();
+            stepSizeHist.observe(h);
+            errorHist.observe(err);
             // Grow conservatively; the 0.9 safety factor avoids
             // accept/reject oscillation.
             const double grow =
@@ -131,6 +142,7 @@ Rk4Integrator::advance(std::vector<double> &temps,
             h *= std::clamp(grow, 0.5, 2.0);
             h = std::max(h, opts.minStep);
         } else {
+            rejectedMetric.add();
             h = std::max(0.5 * h, opts.minStep);
         }
     }
@@ -140,7 +152,15 @@ Rk4Integrator::advance(std::vector<double> &temps,
 BackwardEulerIntegrator::BackwardEulerIntegrator(
     const CsrMatrix &g, std::vector<double> capacitance, double dt_,
     const IterativeOptions &solver)
-    : capOverDt(std::move(capacitance)), dt(dt_), solverOpts(solver)
+    : capOverDt(std::move(capacitance)), dt(dt_), solverOpts(solver),
+      solvesMetric(
+          obs::MetricsRegistry::global().counter("numeric.be.solves")),
+      iterationsHist(obs::MetricsRegistry::global().histogram(
+          "numeric.be.cg_iterations")),
+      warmStartHist(obs::MetricsRegistry::global().histogram(
+          "numeric.be.warm_start_residual")),
+      residualGauge(obs::MetricsRegistry::global().gauge(
+          "numeric.be.last_residual"))
 {
     checkSizes(g, capOverDt);
     if (dt <= 0.0)
@@ -162,6 +182,10 @@ BackwardEulerIntegrator::step(std::vector<double> &temps,
         rhs[i] = capOverDt[i] * temps[i] + power[i];
     IterativeResult r =
         solveLinear(system, rhs, symmetric, temps, solverOpts);
+    solvesMetric.add();
+    iterationsHist.observe(static_cast<double>(r.iterations));
+    warmStartHist.observe(r.initialResidualNorm);
+    residualGauge.set(r.residualNorm);
     if (!r.converged) {
         fatal("BackwardEulerIntegrator: CG failed to converge, residual ",
               r.residualNorm);
@@ -188,7 +212,11 @@ CrankNicolsonIntegrator::CrankNicolsonIntegrator(
     const CsrMatrix &g_, std::vector<double> capacitance, double dt_,
     const IterativeOptions &solver)
     : g(g_), capOverDt(std::move(capacitance)), dt(dt_),
-      solverOpts(solver)
+      solverOpts(solver),
+      solvesMetric(
+          obs::MetricsRegistry::global().counter("numeric.cn.solves")),
+      iterationsHist(obs::MetricsRegistry::global().histogram(
+          "numeric.cn.cg_iterations"))
 {
     checkSizes(g, capOverDt);
     if (dt <= 0.0)
@@ -223,6 +251,8 @@ CrankNicolsonIntegrator::step(std::vector<double> &temps,
     g.multiplyAccumulate(temps, rhs, -0.5);
     IterativeResult r =
         solveLinear(system, rhs, symmetric, temps, solverOpts);
+    solvesMetric.add();
+    iterationsHist.observe(static_cast<double>(r.iterations));
     if (!r.converged) {
         fatal("CrankNicolsonIntegrator: CG failed to converge, residual ",
               r.residualNorm);

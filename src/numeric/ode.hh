@@ -25,6 +25,7 @@
 
 #include "numeric/iterative.hh"
 #include "numeric/sparse.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -78,6 +79,12 @@ class Rk4Integrator
     Rk4Options opts;
     double lastStep;
     std::size_t steps = 0;
+
+    // Process-wide telemetry (aggregated across all instances).
+    obs::Counter &stepsMetric;
+    obs::Counter &rejectedMetric;
+    obs::Histogram &stepSizeHist;
+    obs::Histogram &errorHist;
 };
 
 /**
@@ -114,6 +121,11 @@ class BackwardEulerIntegrator
     double dt;
     IterativeOptions solverOpts;
     bool symmetric = true;            ///< CG vs BiCGSTAB dispatch
+
+    obs::Counter &solvesMetric;
+    obs::Histogram &iterationsHist;
+    obs::Histogram &warmStartHist;
+    obs::Gauge &residualGauge;
 };
 
 /**
@@ -140,6 +152,9 @@ class CrankNicolsonIntegrator
     double dt;
     IterativeOptions solverOpts;
     bool symmetric = true;            ///< CG vs BiCGSTAB dispatch
+
+    obs::Counter &solvesMetric;
+    obs::Histogram &iterationsHist;
 };
 
 /**

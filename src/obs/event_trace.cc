@@ -1,0 +1,116 @@
+#include "obs/event_trace.hh"
+
+#include "base/logging.hh"
+
+namespace irtherm::obs
+{
+
+EventTrace::EventTrace(std::size_t capacity_) : cap(capacity_)
+{
+    if (cap == 0)
+        fatal("EventTrace: zero capacity");
+    ring.resize(cap);
+    epoch = std::chrono::steady_clock::now();
+}
+
+void
+EventTrace::setCapacity(std::size_t capacity_)
+{
+    if (capacity_ == 0)
+        fatal("EventTrace: zero capacity");
+    std::lock_guard<std::mutex> lock(mu);
+    cap = capacity_;
+    ring.assign(cap, TraceEvent{});
+    head = 0;
+    count = 0;
+}
+
+std::size_t
+EventTrace::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cap;
+}
+
+void
+EventTrace::setEnabled(bool enabled_)
+{
+    on.store(enabled_, std::memory_order_relaxed);
+}
+
+void
+EventTrace::record(std::string type, std::vector<EventField> fields)
+{
+    if (!enabled())
+        return;
+    const double wall =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - epoch)
+            .count();
+    std::lock_guard<std::mutex> lock(mu);
+    TraceEvent &slot = ring[head];
+    if (count == cap)
+        ++droppedCount; // overwriting the oldest event
+    else
+        ++count;
+    slot.seq = seq++;
+    slot.wallSeconds = wall;
+    slot.type = std::move(type);
+    slot.fields = std::move(fields);
+    head = (head + 1) % cap;
+}
+
+std::size_t
+EventTrace::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return count;
+}
+
+std::uint64_t
+EventTrace::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return seq;
+}
+
+std::uint64_t
+EventTrace::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return droppedCount;
+}
+
+std::vector<TraceEvent>
+EventTrace::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    const std::size_t first = (head + cap - count) % cap;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(first + i) % cap]);
+    return out;
+}
+
+void
+EventTrace::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (TraceEvent &e : ring)
+        e = TraceEvent{};
+    head = 0;
+    count = 0;
+    seq = 0;
+    droppedCount = 0;
+    epoch = std::chrono::steady_clock::now();
+}
+
+EventTrace &
+EventTrace::global()
+{
+    static EventTrace trace;
+    return trace;
+}
+
+} // namespace irtherm::obs

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Structured event tracing: timestamped typed events with key/value
+ * payloads in a bounded ring buffer, exportable as JSONL.
+ *
+ * Events are meant for *state transitions* (DTM engage/disengage,
+ * sensor polls, steady-state initialization), not per-substep
+ * telemetry — aggregates belong in the MetricsRegistry. The ring is
+ * bounded: once full, the oldest event is overwritten and a dropped
+ * counter increments, so a week-long DTM replay cannot grow memory
+ * without bound.
+ *
+ * Recording is off by default. The IRTHERM_EVENT macro checks the
+ * enabled flag *before* building the payload, and compiles away
+ * entirely under IRTHERM_METRICS_ENABLED=0, so dormant trace points
+ * cost one predictable branch at most.
+ */
+
+#ifndef IRTHERM_OBS_EVENT_TRACE_HH
+#define IRTHERM_OBS_EVENT_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh" // kMetricsEnabled
+
+namespace irtherm::obs
+{
+
+/** One key/value payload entry: either numeric or text. */
+struct EventField
+{
+    EventField(std::string k, double v)
+        : key(std::move(k)), num(v), numeric(true)
+    {}
+    EventField(std::string k, int v)
+        : EventField(std::move(k), static_cast<double>(v))
+    {}
+    EventField(std::string k, std::size_t v)
+        : EventField(std::move(k), static_cast<double>(v))
+    {}
+    EventField(std::string k, std::string v)
+        : key(std::move(k)), text(std::move(v)), numeric(false)
+    {}
+    EventField(std::string k, const char *v)
+        : EventField(std::move(k), std::string(v))
+    {}
+
+    std::string key;
+    std::string text;
+    double num = 0.0;
+    bool numeric = true;
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    std::uint64_t seq = 0;   ///< global sequence number (monotonic)
+    double wallSeconds = 0.0;///< wall time since trace construction
+    std::string type;        ///< e.g. "dtm.engage"
+    std::vector<EventField> fields;
+};
+
+/**
+ * Bounded, thread-safe event ring buffer.
+ */
+class EventTrace
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 65536;
+
+    explicit EventTrace(std::size_t capacity = kDefaultCapacity);
+
+    /** Replace the capacity; existing events are discarded. */
+    void setCapacity(std::size_t capacity);
+
+    std::size_t capacity() const;
+
+    /** Start / stop recording (cheap relaxed-atomic check). */
+    void setEnabled(bool enabled);
+
+    bool
+    enabled() const
+    {
+        return kMetricsEnabled && on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append one event. No-op while disabled. Prefer the
+     * IRTHERM_EVENT macro, which skips payload construction when
+     * the trace is off (or compiled out).
+     */
+    void record(std::string type, std::vector<EventField> fields);
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Total events ever recorded (including since-overwritten). */
+    std::uint64_t recorded() const;
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /** Copy of the buffered events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Drop all buffered events and zero the counters. */
+    void clear();
+
+    /** The process-wide trace used by all irtherm trace points. */
+    static EventTrace &global();
+
+  private:
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring; ///< ring storage, capacity() slots
+    std::size_t cap;
+    std::size_t head = 0;  ///< next slot to write
+    std::size_t count = 0; ///< valid slots
+    std::uint64_t seq = 0;
+    std::uint64_t droppedCount = 0;
+    std::atomic<bool> on{false};
+    std::chrono::steady_clock::time_point epoch;
+};
+
+} // namespace irtherm::obs
+
+#if IRTHERM_METRICS_ENABLED
+/**
+ * Record an event on the global trace iff recording is enabled.
+ * Usage: IRTHERM_EVENT("dtm.engage", {"sim_time_s", now},
+ *                      {"temp_k", temp});
+ */
+#define IRTHERM_EVENT(type, ...)                                        \
+    do {                                                                \
+        auto &irthermEvtTrace = ::irtherm::obs::EventTrace::global();   \
+        if (irthermEvtTrace.enabled())                                  \
+            irthermEvtTrace.record((type), {__VA_ARGS__});              \
+    } while (0)
+#else
+#define IRTHERM_EVENT(type, ...)                                        \
+    do {                                                                \
+    } while (0)
+#endif
+
+#endif // IRTHERM_OBS_EVENT_TRACE_HH

@@ -1,0 +1,269 @@
+#include "obs/export.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/table.hh"
+
+namespace irtherm::obs
+{
+
+namespace
+{
+
+/** Shortest round-trippable decimal for a double (JSON-safe). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shorter %g form when it round-trips exactly.
+    char shortBuf[40];
+    std::snprintf(shortBuf, sizeof(shortBuf), "%g", v);
+    double back = 0.0;
+    std::sscanf(shortBuf, "%lf", &back);
+    return back == v ? shortBuf : buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+void
+appendHistogramJson(std::ostringstream &os, const Histogram &h)
+{
+    os << "{\"count\":" << h.count()
+       << ",\"sum\":" << jsonNumber(h.sum())
+       << ",\"mean\":" << jsonNumber(h.mean());
+    if (h.count() > 0) {
+        os << ",\"min\":" << jsonNumber(h.min())
+           << ",\"max\":" << jsonNumber(h.max());
+    }
+    os << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        const std::uint64_t c = h.bucketCount(i);
+        if (c == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"lo\":" << jsonNumber(Histogram::bucketLowerBound(i))
+           << ",\"hi\":" << jsonNumber(Histogram::bucketUpperBound(i))
+           << ",\"count\":" << c << "}";
+    }
+    os << "]}";
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+metricsToJson(const MetricsRegistry &reg)
+{
+    const auto names = reg.names();
+
+    std::ostringstream os;
+    os << "{\"schema\":\"irtherm.stats.v1\",\"metrics_enabled\":"
+       << (kMetricsEnabled ? "true" : "false");
+
+    for (const MetricKind kind :
+         {MetricKind::Counter, MetricKind::Gauge, MetricKind::Timer,
+          MetricKind::Histogram}) {
+        switch (kind) {
+          case MetricKind::Counter:
+            os << ",\"counters\":{";
+            break;
+          case MetricKind::Gauge:
+            os << ",\"gauges\":{";
+            break;
+          case MetricKind::Timer:
+            os << ",\"timers\":{";
+            break;
+          case MetricKind::Histogram:
+            os << ",\"histograms\":{";
+            break;
+        }
+        bool first = true;
+        for (const auto &[name, k] : names) {
+            if (k != kind)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << jsonString(name) << ":";
+            switch (kind) {
+              case MetricKind::Counter:
+                os << reg.counterAt(name).value();
+                break;
+              case MetricKind::Gauge:
+                os << jsonNumber(reg.gaugeAt(name).value());
+                break;
+              case MetricKind::Timer: {
+                const Timer &t = reg.timerAt(name);
+                os << "{\"count\":" << t.count()
+                   << ",\"total_s\":" << jsonNumber(t.totalSeconds())
+                   << ",\"mean_s\":" << jsonNumber(t.meanSeconds())
+                   << "}";
+                break;
+              }
+              case MetricKind::Histogram:
+                appendHistogramJson(os, reg.histogramAt(name));
+                break;
+            }
+        }
+        os << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+writeMetricsJson(std::ostream &os, const MetricsRegistry &reg)
+{
+    os << metricsToJson(reg) << "\n";
+}
+
+namespace
+{
+
+/** Uniform per-metric summary row: count, value, mean, min, max. */
+struct MetricRow
+{
+    std::string kind;
+    std::string count;
+    std::string value;
+    std::string mean;
+    std::string min;
+    std::string max;
+};
+
+MetricRow
+summarize(const MetricsRegistry &reg, const std::string &name,
+          MetricKind kind)
+{
+    MetricRow row;
+    switch (kind) {
+      case MetricKind::Counter:
+        row.kind = "counter";
+        row.value = std::to_string(reg.counterAt(name).value());
+        break;
+      case MetricKind::Gauge:
+        row.kind = "gauge";
+        row.value = jsonNumber(reg.gaugeAt(name).value());
+        break;
+      case MetricKind::Timer: {
+        const Timer &t = reg.timerAt(name);
+        row.kind = "timer";
+        row.count = std::to_string(t.count());
+        row.value = jsonNumber(t.totalSeconds());
+        row.mean = jsonNumber(t.meanSeconds());
+        break;
+      }
+      case MetricKind::Histogram: {
+        const Histogram &h = reg.histogramAt(name);
+        row.kind = "histogram";
+        row.count = std::to_string(h.count());
+        row.value = jsonNumber(h.sum());
+        row.mean = jsonNumber(h.mean());
+        if (h.count() > 0) {
+            row.min = jsonNumber(h.min());
+            row.max = jsonNumber(h.max());
+        }
+        break;
+      }
+    }
+    return row;
+}
+
+TextTable
+metricsTable(const MetricsRegistry &reg)
+{
+    TextTable t({"metric", "kind", "count", "value", "mean", "min",
+                 "max"});
+    for (const auto &[name, kind] : reg.names()) {
+        const MetricRow row = summarize(reg, name, kind);
+        t.addRow({name, row.kind, row.count, row.value, row.mean,
+                  row.min, row.max});
+    }
+    return t;
+}
+
+} // namespace
+
+void
+writeMetricsCsv(std::ostream &os, const MetricsRegistry &reg)
+{
+    metricsTable(reg).printCsv(os);
+}
+
+void
+printMetricsSummary(std::ostream &os, const MetricsRegistry &reg)
+{
+    metricsTable(reg).print(os);
+}
+
+void
+writeTraceJsonl(std::ostream &os, const EventTrace &trace)
+{
+    for (const TraceEvent &e : trace.snapshot()) {
+        os << "{\"seq\":" << e.seq
+           << ",\"wall_s\":" << jsonNumber(e.wallSeconds)
+           << ",\"type\":" << jsonString(e.type) << ",\"fields\":{";
+        bool first = true;
+        for (const EventField &f : e.fields) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << jsonString(f.key) << ":";
+            if (f.numeric)
+                os << jsonNumber(f.num);
+            else
+                os << jsonString(f.text);
+        }
+        os << "}}\n";
+    }
+}
+
+} // namespace irtherm::obs

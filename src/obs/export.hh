@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Exporters for the metrics registry and the event trace.
+ *
+ * Formats:
+ *  - JSON stats document (schema "irtherm.stats.v1"): one object
+ *    with counters / gauges / timers / histograms sections keyed by
+ *    metric name. Histograms list only their non-empty buckets.
+ *  - CSV flat dump via the base/table machinery: one row per metric
+ *    with name, kind, and summary values.
+ *  - JSONL trace: one JSON object per line per event, in recording
+ *    order.
+ *  - Human summary: aligned TextTable for end-of-run CLI output.
+ */
+
+#ifndef IRTHERM_OBS_EXPORT_HH
+#define IRTHERM_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+
+namespace irtherm::obs
+{
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Serialize the registry as an "irtherm.stats.v1" JSON document. */
+std::string metricsToJson(const MetricsRegistry &reg);
+
+/** Write metricsToJson(reg) to @p os. */
+void writeMetricsJson(std::ostream &os, const MetricsRegistry &reg);
+
+/** One CSV row per metric: name, kind, count, value, mean, min, max. */
+void writeMetricsCsv(std::ostream &os, const MetricsRegistry &reg);
+
+/** One JSON object per line per buffered event, oldest first. */
+void writeTraceJsonl(std::ostream &os, const EventTrace &trace);
+
+/** Aligned human-readable registry summary (CLI end-of-run). */
+void printMetricsSummary(std::ostream &os, const MetricsRegistry &reg);
+
+} // namespace irtherm::obs
+
+#endif // IRTHERM_OBS_EXPORT_HH

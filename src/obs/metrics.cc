@@ -1,0 +1,232 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace irtherm::obs
+{
+
+namespace
+{
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Timer:
+        return "timer";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+void
+checkName(const std::string &name)
+{
+    if (name.empty())
+        fatal("MetricsRegistry: empty metric name");
+    for (char c : name) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '"')
+            fatal("MetricsRegistry: invalid character in metric name '",
+                  name, "'");
+    }
+}
+
+} // namespace
+
+std::size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value > 0.0))
+        return 0;
+    const int e = std::ilogb(value);
+    if (e < kMinExp)
+        return 0;
+    if (e >= kMaxExp)
+        return kBucketCount - 1;
+    return static_cast<std::size_t>(e - kMinExp) + 1;
+}
+
+double
+Histogram::bucketLowerBound(std::size_t i)
+{
+    if (i == 0)
+        return 0.0;
+    return std::ldexp(1.0, kMinExp + static_cast<int>(i) - 1);
+}
+
+double
+Histogram::bucketUpperBound(std::size_t i)
+{
+    if (i >= kBucketCount - 1)
+        return std::ldexp(1.0, kMaxExp + 1);
+    return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+}
+
+void
+Histogram::reset()
+{
+    n.store(0, std::memory_order_relaxed);
+    total.store(0.0, std::memory_order_relaxed);
+    low.store(1e300, std::memory_order_relaxed);
+    high.store(-1e300, std::memory_order_relaxed);
+    for (auto &b : buckets)
+        b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Cell &
+MetricsRegistry::cell(const std::string &name, MetricKind kind)
+{
+    checkName(name);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cells.find(name);
+    if (it == cells.end()) {
+        Cell c;
+        c.kind = kind;
+        switch (kind) {
+          case MetricKind::Counter:
+            c.counter = std::make_unique<Counter>();
+            break;
+          case MetricKind::Gauge:
+            c.gauge = std::make_unique<Gauge>();
+            break;
+          case MetricKind::Timer:
+            c.timer = std::make_unique<Timer>();
+            break;
+          case MetricKind::Histogram:
+            c.histogram = std::make_unique<Histogram>();
+            break;
+        }
+        it = cells.emplace(name, std::move(c)).first;
+    } else if (it->second.kind != kind) {
+        fatal("MetricsRegistry: metric '", name, "' is a ",
+              kindName(it->second.kind), ", requested as ",
+              kindName(kind));
+    }
+    return it->second;
+}
+
+const MetricsRegistry::Cell &
+MetricsRegistry::cellAt(const std::string &name, MetricKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cells.find(name);
+    if (it == cells.end())
+        fatal("MetricsRegistry: unknown metric '", name, "'");
+    if (it->second.kind != kind) {
+        fatal("MetricsRegistry: metric '", name, "' is a ",
+              kindName(it->second.kind), ", requested as ",
+              kindName(kind));
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *cell(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *cell(name, MetricKind::Gauge).gauge;
+}
+
+Timer &
+MetricsRegistry::timer(const std::string &name)
+{
+    return *cell(name, MetricKind::Timer).timer;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *cell(name, MetricKind::Histogram).histogram;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cells.find(name) != cells.end();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cells.size();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[name, c] : cells) {
+        switch (c.kind) {
+          case MetricKind::Counter:
+            c.counter->reset();
+            break;
+          case MetricKind::Gauge:
+            c.gauge->reset();
+            break;
+          case MetricKind::Timer:
+            c.timer->reset();
+            break;
+          case MetricKind::Histogram:
+            c.histogram->reset();
+            break;
+        }
+    }
+}
+
+std::vector<std::pair<std::string, MetricKind>>
+MetricsRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, MetricKind>> out;
+    out.reserve(cells.size());
+    for (const auto &[name, c] : cells)
+        out.emplace_back(name, c.kind);
+    return out;
+}
+
+const Counter &
+MetricsRegistry::counterAt(const std::string &name) const
+{
+    return *cellAt(name, MetricKind::Counter).counter;
+}
+
+const Gauge &
+MetricsRegistry::gaugeAt(const std::string &name) const
+{
+    return *cellAt(name, MetricKind::Gauge).gauge;
+}
+
+const Timer &
+MetricsRegistry::timerAt(const std::string &name) const
+{
+    return *cellAt(name, MetricKind::Timer).timer;
+}
+
+const Histogram &
+MetricsRegistry::histogramAt(const std::string &name) const
+{
+    return *cellAt(name, MetricKind::Histogram).histogram;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+} // namespace irtherm::obs

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, timers, and
+ * log-scale histograms with stable, cheap-to-update handles.
+ *
+ * Hot paths (integrator sub-steps, CG solves, DTM polls) obtain a
+ * reference to their instrument once — typically in a constructor or
+ * a function-local static — and update it with a relaxed atomic
+ * operation per event. The registry itself is only locked when a
+ * metric is first registered or when an exporter walks it.
+ *
+ * Naming convention: `subsystem.object.metric`, e.g.
+ * `numeric.rk4.steps` or `dtm.controller.engagements`. Units are
+ * suffixed where ambiguous (`_s`, `_k`).
+ *
+ * Compile-time gating: when built with IRTHERM_METRICS_ENABLED=0
+ * (CMake option IRTHERM_ENABLE_METRICS=OFF) every update method
+ * compiles to an empty inline body, so perf-sensitive builds pay
+ * nothing. Registration and export still work — exporters then
+ * report zeros rather than disappearing, keeping output schemas
+ * stable across builds.
+ */
+
+#ifndef IRTHERM_OBS_METRICS_HH
+#define IRTHERM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef IRTHERM_METRICS_ENABLED
+#define IRTHERM_METRICS_ENABLED 1
+#endif
+
+namespace irtherm::obs
+{
+
+/** True when the instrumentation is compiled in. */
+constexpr bool kMetricsEnabled = IRTHERM_METRICS_ENABLED != 0;
+
+namespace detail
+{
+
+/** Lock-free add for atomic<double> (portable pre-C++20-library). */
+inline void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+inline void
+atomicMin(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+inline void
+atomicMax(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace detail
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        if constexpr (kMetricsEnabled)
+            v.fetch_add(n, std::memory_order_relaxed);
+        else
+            (void)n;
+    }
+
+    std::uint64_t value() const { return v.load(std::memory_order_relaxed); }
+
+    void reset() { v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        if constexpr (kMetricsEnabled)
+            v.store(value, std::memory_order_relaxed);
+        else
+            (void)value;
+    }
+
+    void
+    add(double delta)
+    {
+        if constexpr (kMetricsEnabled)
+            detail::atomicAdd(v, delta);
+        else
+            (void)delta;
+    }
+
+    double value() const { return v.load(std::memory_order_relaxed); }
+
+    void reset() { v.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v{0.0};
+};
+
+/** Accumulated wall time plus invocation count. */
+class Timer
+{
+  public:
+    void
+    addNanos(std::uint64_t ns)
+    {
+        if constexpr (kMetricsEnabled) {
+            total.fetch_add(ns, std::memory_order_relaxed);
+            calls.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            (void)ns;
+        }
+    }
+
+    std::uint64_t count() const
+    {
+        return calls.load(std::memory_order_relaxed);
+    }
+
+    double totalSeconds() const
+    {
+        return 1e-9 *
+               static_cast<double>(total.load(std::memory_order_relaxed));
+    }
+
+    double
+    meanSeconds() const
+    {
+        const std::uint64_t c = count();
+        return c == 0 ? 0.0 : totalSeconds() / static_cast<double>(c);
+    }
+
+    void
+    reset()
+    {
+        total.store(0, std::memory_order_relaxed);
+        calls.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> calls{0};
+};
+
+/** RAII wall-clock span feeding a Timer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &timer) : t(timer)
+    {
+        if constexpr (kMetricsEnabled)
+            start = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if constexpr (kMetricsEnabled) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            t.addNanos(static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Timer &t;
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Log2-bucketed histogram for positive quantities spanning many
+ * decades (step sizes in seconds, iteration counts, residuals).
+ *
+ * Bucket 0 collects non-positive and sub-2^kMinExp values; bucket i
+ * (i >= 1) covers [2^(kMinExp+i-1), 2^(kMinExp+i)). Values above
+ * 2^kMaxExp land in the top bucket. Besides the buckets the
+ * histogram tracks count / sum / min / max so exporters can report
+ * the mean and extremes exactly.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kMinExp = -40; ///< smallest resolved 2^e
+    static constexpr int kMaxExp = 24;  ///< largest resolved 2^e
+    static constexpr std::size_t kBucketCount =
+        static_cast<std::size_t>(kMaxExp - kMinExp) + 1;
+
+    void
+    observe(double value)
+    {
+        if constexpr (kMetricsEnabled) {
+            n.fetch_add(1, std::memory_order_relaxed);
+            detail::atomicAdd(total, value);
+            detail::atomicMin(low, value);
+            detail::atomicMax(high, value);
+            buckets[bucketIndex(value)].fetch_add(
+                1, std::memory_order_relaxed);
+        } else {
+            (void)value;
+        }
+    }
+
+    /** Bucket for @p value (exposed for tests). */
+    static std::size_t bucketIndex(double value);
+
+    /** Inclusive lower bound of bucket @p i (0 for the underflow). */
+    static double bucketLowerBound(std::size_t i);
+
+    /** Exclusive upper bound of bucket @p i. */
+    static double bucketUpperBound(std::size_t i);
+
+    std::uint64_t count() const { return n.load(std::memory_order_relaxed); }
+    double sum() const { return total.load(std::memory_order_relaxed); }
+
+    /** Smallest observed value; meaningless when count() == 0. */
+    double min() const { return low.load(std::memory_order_relaxed); }
+
+    /** Largest observed value; meaningless when count() == 0. */
+    double max() const { return high.load(std::memory_order_relaxed); }
+
+    double
+    mean() const
+    {
+        const std::uint64_t c = count();
+        return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+    }
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets.at(i).load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<double> total{0.0};
+    std::atomic<double> low{1e300};
+    std::atomic<double> high{-1e300};
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+};
+
+/** Discriminator for registry entries. */
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Timer,
+    Histogram,
+};
+
+/**
+ * Thread-safe name -> instrument map.
+ *
+ * Registration returns a reference with a stable address for the
+ * lifetime of the registry; re-registering the same name returns the
+ * same instrument (so every Rk4Integrator instance aggregates into
+ * one process-wide counter). Registering a name under a different
+ * kind is a programming error and fatal()s.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** True if @p name is registered (any kind). */
+    bool has(const std::string &name) const;
+
+    /** Number of registered metrics. */
+    std::size_t size() const;
+
+    /**
+     * Zero every value while keeping all registrations (handles held
+     * by live objects stay valid). Used by tests and by the CLI
+     * between phases when isolation is wanted.
+     */
+    void reset();
+
+    /** Name/kind pairs, sorted by name (export walk). */
+    std::vector<std::pair<std::string, MetricKind>> names() const;
+
+    /** @pre the name is registered with the matching kind. */
+    const Counter &counterAt(const std::string &name) const;
+    const Gauge &gaugeAt(const std::string &name) const;
+    const Timer &timerAt(const std::string &name) const;
+    const Histogram &histogramAt(const std::string &name) const;
+
+    /** The process-wide registry used by all irtherm instrumentation. */
+    static MetricsRegistry &global();
+
+  private:
+    struct Cell
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Timer> timer;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Cell &cell(const std::string &name, MetricKind kind);
+    const Cell &cellAt(const std::string &name, MetricKind kind) const;
+
+    mutable std::mutex mu;
+    std::map<std::string, Cell> cells;
+};
+
+} // namespace irtherm::obs
+
+#endif // IRTHERM_OBS_METRICS_HH

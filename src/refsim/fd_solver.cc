@@ -7,6 +7,7 @@
 #include "materials/convection.hh"
 #include "numeric/iterative.hh"
 #include "numeric/ode.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -175,7 +176,12 @@ FdSolver::steadyJunctionTemperatures(
     IterativeOptions io;
     io.tolerance = 1e-11;
     io.maxIterations = 200000;
+    auto &reg = obs::MetricsRegistry::global();
+    obs::ScopedTimer span(reg.timer("refsim.fd.steady_solve_time"));
     IterativeResult res = conjugateGradient(g, p, {}, io);
+    reg.counter("refsim.fd.steady_solves").add();
+    reg.histogram("refsim.fd.steady_cg_iterations")
+        .observe(static_cast<double>(res.iterations));
     if (!res.converged)
         fatal("FdSolver: steady CG failed, residual ", res.residualNorm);
 
@@ -222,10 +228,13 @@ FdSolver::transientFromAmbient(const std::vector<double> &cell_powers,
         out.push_back(s);
     };
 
+    auto &sweeps =
+        obs::MetricsRegistry::global().counter("refsim.fd.cn_sweeps");
     record(0.0);
     for (std::size_t s = 1; s <= total_samples; ++s) {
         for (std::size_t k = 0; k < steps_per_sample; ++k)
             cn.step(rise, p);
+        sweeps.add(steps_per_sample);
         record(static_cast<double>(s * steps_per_sample) *
                opts.timeStep);
     }

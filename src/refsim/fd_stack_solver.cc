@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "numeric/iterative.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -216,7 +217,12 @@ FdStackSolver::steadyJunctionTemperatures(
     IterativeOptions io;
     io.tolerance = 1e-11;
     io.maxIterations = 200000;
+    auto &reg = obs::MetricsRegistry::global();
+    obs::ScopedTimer span(reg.timer("refsim.fdstack.steady_solve_time"));
     const IterativeResult res = conjugateGradient(g, rhs, {}, io);
+    reg.counter("refsim.fdstack.steady_solves").add();
+    reg.histogram("refsim.fdstack.steady_cg_iterations")
+        .observe(static_cast<double>(res.iterations));
     if (!res.converged)
         fatal("FdStackSolver: CG failed, residual ", res.residualNorm);
 

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "base/logging.hh"
@@ -18,6 +19,7 @@
 #include "core/stack_model.hh"
 #include "floorplan/presets.hh"
 #include "numeric/fit.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
@@ -263,6 +265,47 @@ TEST(Simulator, RejectsNonPositiveDt)
     ThermalSimulator sim(model);
     EXPECT_THROW(sim.advance(0.0), FatalError);
     EXPECT_THROW(sim.advance(-1.0), FatalError);
+}
+
+TEST(Simulator, AdvancePopulatesGlobalMetrics)
+{
+    if (!obs::kMetricsEnabled)
+        GTEST_SKIP() << "instrumentation compiled out";
+    const WarmupSetup s;
+    const StackModel model(s.fp, PackageConfig::makeOilSilicon(10.0));
+    ThermalSimulator sim(model); // block mode -> adaptive RK4
+    sim.setBlockPowers(s.powers);
+
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    const std::uint64_t advances_before =
+        reg.counter("core.simulator.advances").value();
+    const std::uint64_t steps_before =
+        reg.counter("numeric.rk4.steps").value();
+
+    sim.advance(1e-3);
+
+    EXPECT_TRUE(reg.has("core.simulator.advances"));
+    EXPECT_TRUE(reg.has("core.simulator.advance_time"));
+    EXPECT_TRUE(reg.has("core.simulator.sim_time_s"));
+    EXPECT_TRUE(reg.has("numeric.rk4.steps"));
+    EXPECT_TRUE(reg.has("numeric.rk4.step_size_s"));
+    EXPECT_TRUE(reg.has("numeric.rk4.error_estimate_k"));
+    EXPECT_EQ(reg.counter("core.simulator.advances").value(),
+              advances_before + 1);
+    EXPECT_GT(reg.counter("numeric.rk4.steps").value(), steps_before);
+    EXPECT_DOUBLE_EQ(reg.gaugeAt("core.simulator.sim_time_s").value(),
+                     sim.time());
+
+    // The grid/backward-Euler path registers its names on first use.
+    SimulatorOptions so;
+    so.integrator = IntegratorKind::BackwardEuler;
+    so.implicitStep = 1e-3;
+    ThermalSimulator besim(model, so);
+    besim.setBlockPowers(s.powers);
+    besim.advance(1e-3);
+    EXPECT_TRUE(reg.has("numeric.be.solves"));
+    EXPECT_TRUE(reg.has("numeric.be.cg_iterations"));
+    EXPECT_TRUE(reg.has("numeric.be.warm_start_residual"));
 }
 
 } // namespace
