@@ -11,16 +11,53 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "legacy_solvers.hh"
 
+#include "base/thread_pool.hh"
+#include "numeric/ode.hh"
 #include "core/package.hh"
 #include "core/simulator.hh"
 #include "core/stack_model.hh"
 #include "floorplan/presets.hh"
+#include "numeric/grid_stencil.hh"
+#include "numeric/iterative.hh"
 
 using namespace irtherm;
 
 namespace
 {
+
+/**
+ * Physical-flavoured n x n x 5 grid system (four silicon layers plus
+ * an uncoupled film layer with a ground path), the same topology
+ * FdSolver assembles. Used for the stencil-vs-CSR and
+ * parallel-vs-serial comparisons below.
+ */
+GridStencilOperator
+makeGridOperator(std::size_t n)
+{
+    const std::size_t nzSi = 4;
+    GridStencilOperator op(n, n, nzSi + 1);
+    for (std::size_t iz = 0; iz < nzSi; ++iz) {
+        for (std::size_t iy = 0; iy < n; ++iy) {
+            for (std::size_t ix = 0; ix < n; ++ix) {
+                if (ix + 1 < n)
+                    op.stampLinkX(ix, iy, iz, 0.8);
+                if (iy + 1 < n)
+                    op.stampLinkY(ix, iy, iz, 0.8);
+                if (iz + 1 < nzSi)
+                    op.stampLinkZ(ix, iy, iz, 4.0);
+            }
+        }
+    }
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            op.stampLinkZ(ix, iy, nzSi - 1, 0.05);
+            op.stampGround(ix, iy, nzSi, 0.02);
+        }
+    }
+    return op;
+}
 
 ModelOptions
 gridOpts(std::size_t n)
@@ -97,6 +134,123 @@ BM_BackwardEulerStepGrid(benchmark::State &state)
         static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_BackwardEulerStepGrid)->Arg(16)->Arg(32);
+
+/**
+ * Steady CG on the grid system through the pre-PR configuration
+ * (legacy_solvers.hh: assembled CSR, Jacobi, redundant norm2 pass,
+ * serial kernels) vs the current defaults (matrix-free stencil,
+ * SSOR, thread-pooled kernels). range(0) is the lateral grid size;
+ * range(1) selects 0 = baseline, 1 = optimized.
+ */
+void
+BM_SteadyCgGrid(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const bool optimized = state.range(1) != 0;
+    const GridStencilOperator op = makeGridOperator(n);
+    const CsrMatrix csr = op.toCsr();
+    const std::vector<double> b(op.rows(), 1.0);
+
+    IterativeOptions opts;
+    opts.tolerance = 1e-11;
+    opts.maxIterations = 200000;
+
+    ThreadPool::setParallelEnabled(optimized);
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const IterativeResult res =
+            optimized ? conjugateGradient(op, b, {}, opts)
+                      : legacy::conjugateGradient(csr, b, {}, opts);
+        iterations = res.iterations;
+        benchmark::DoNotOptimize(res.x.data());
+    }
+    ThreadPool::setParallelEnabled(true);
+    state.SetLabel((optimized ? "optimized " : "baseline ") +
+                   std::to_string(iterations) + " iters");
+}
+BENCHMARK(BM_SteadyCgGrid)
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({32, 0})->Args({32, 1});
+
+/**
+ * Single-thread transient throughput: the pre-PR Crank-Nicolson step
+ * (per-step rhs allocation, workspace rebuilt per solve) vs the
+ * cached stencil-path integrator.
+ */
+void
+BM_TransientCnGrid(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const bool optimized = state.range(1) != 0;
+    const GridStencilOperator op = makeGridOperator(n);
+    const CsrMatrix csr = op.toCsr();
+    const std::vector<double> cap(op.rows(), 1.0);
+    const std::vector<double> power(op.rows(), 0.5);
+    const double dt = 1e-3;
+
+    ThreadPool::setParallelEnabled(false);
+    std::vector<double> t(op.rows(), 0.0);
+    if (optimized) {
+        CrankNicolsonIntegrator cn(op, cap, dt);
+        for (auto _ : state)
+            cn.step(t, power);
+    } else {
+        legacy::CrankNicolson cn(csr, cap, dt);
+        for (auto _ : state)
+            cn.step(t, power);
+    }
+    ThreadPool::setParallelEnabled(true);
+    state.SetLabel(optimized ? "optimized" : "baseline");
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TransientCnGrid)
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({32, 0})->Args({32, 1});
+
+/** Stencil matvec vs the equivalent assembled-CSR matvec. */
+void
+BM_MatvecGrid(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const bool stencil = state.range(1) != 0;
+    const GridStencilOperator op = makeGridOperator(n);
+    const CsrMatrix csr = op.toCsr();
+    std::vector<double> x(op.rows(), 1.0), y(op.rows());
+    for (auto _ : state) {
+        if (stencil)
+            op.apply(x, y);
+        else
+            csr.apply(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetLabel(stencil ? "stencil" : "csr");
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * op.rows()));
+}
+BENCHMARK(BM_MatvecGrid)
+    ->Args({32, 0})->Args({32, 1})
+    ->Args({64, 0})->Args({64, 1});
+
+/** Thread-pooled vs serial execution of the same stencil matvec. */
+void
+BM_MatvecParallelVsSerial(benchmark::State &state)
+{
+    const bool parallel = state.range(0) != 0;
+    const GridStencilOperator op = makeGridOperator(64);
+    std::vector<double> x(op.rows(), 1.0), y(op.rows());
+    ThreadPool::setParallelEnabled(parallel);
+    for (auto _ : state) {
+        op.apply(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    ThreadPool::setParallelEnabled(true);
+    state.SetLabel(parallel ? std::to_string(
+                                  ThreadPool::plannedGlobalThreads()) +
+                                  " threads"
+                            : "serial");
+}
+BENCHMARK(BM_MatvecParallelVsSerial)->Arg(0)->Arg(1);
 
 } // namespace
 

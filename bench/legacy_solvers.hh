@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Faithful replicas of the pre-optimization solver paths, kept so the
+ * perf benches and the BENCH_perf.json trajectory measure against the
+ * real "before": Jacobi-only CG with a redundant per-iteration
+ * norm2 pass, the fill-then-accumulate matvec pattern, per-call
+ * workspace allocation, and a Crank-Nicolson step that allocates its
+ * rhs and re-derives the preconditioner every solve. Serial by
+ * construction (plain loops, no pool) — run with
+ * ThreadPool::setParallelEnabled(false) anyway so the library kernels
+ * invoked underneath (multiplyAccumulate) match the old behaviour.
+ *
+ * Benchmarks only; the library never calls this code.
+ */
+
+#ifndef IRTHERM_BENCH_LEGACY_SOLVERS_HH
+#define IRTHERM_BENCH_LEGACY_SOLVERS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+#include "numeric/iterative.hh"
+#include "numeric/sparse.hh"
+
+namespace irtherm::legacy
+{
+
+inline double
+norm2(const std::vector<double> &v)
+{
+    double acc = 0.0;
+    for (double x : v)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+inline double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+inline IterativeResult
+conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
+                  const std::vector<double> &x0,
+                  const IterativeOptions &opts)
+{
+    const std::size_t n = a.rows();
+
+    IterativeResult res;
+    res.x = x0.empty() ? std::vector<double>(n, 0.0) : x0;
+
+    std::vector<double> diag = a.diagonal();
+    std::vector<double> r = b;
+    a.multiplyAccumulate(res.x, r, -1.0);
+    res.initialResidualNorm = norm2(r);
+
+    const double bnorm = std::max(norm2(b), 1e-300);
+    std::vector<double> z(n), p(n), ap(n);
+    for (std::size_t i = 0; i < n; ++i)
+        z[i] = r[i] / diag[i];
+    p = z;
+    double rz = dot(r, z);
+
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+        res.residualNorm = norm2(r);
+        if (res.residualNorm <= opts.tolerance * bnorm) {
+            res.converged = true;
+            res.iterations = it;
+            return res;
+        }
+
+        std::fill(ap.begin(), ap.end(), 0.0);
+        a.multiplyAccumulate(p, ap, 1.0);
+        const double pap = dot(p, ap);
+        if (pap <= 0.0)
+            fatal("legacy CG: matrix not positive definite");
+        const double alpha = rz / pap;
+        for (std::size_t i = 0; i < n; ++i) {
+            res.x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            z[i] = r[i] / diag[i];
+        const double rz_next = dot(r, z);
+        const double beta = rz_next / rz;
+        rz = rz_next;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = z[i] + beta * p[i];
+    }
+
+    res.residualNorm = norm2(r);
+    res.iterations = opts.maxIterations;
+    res.converged = res.residualNorm <= opts.tolerance * bnorm;
+    return res;
+}
+
+/** Pre-optimization Crank-Nicolson: system assembled once, but every
+ *  step allocates its rhs and every solve rebuilds CG workspace and
+ *  Jacobi diagonal from scratch. */
+class CrankNicolson
+{
+  public:
+    CrankNicolson(const CsrMatrix &g_, std::vector<double> capacitance,
+                  double dt, const IterativeOptions &solver = {})
+        : g(g_), capOverDt(std::move(capacitance)), opts(solver)
+    {
+        for (double &c : capOverDt)
+            c /= dt;
+        SparseBuilder b(g.rows(), g.cols());
+        const auto &rp = g.rowPointers();
+        const auto &ci = g.columnIndices();
+        const auto &av = g.storedValues();
+        for (std::size_t r = 0; r < g.rows(); ++r)
+            for (std::size_t k = rp[r]; k < rp[r + 1]; ++k)
+                b.add(r, ci[k], 0.5 * av[k]);
+        for (std::size_t r = 0; r < g.rows(); ++r)
+            b.add(r, r, capOverDt[r]);
+        system = b.build();
+    }
+
+    void
+    step(std::vector<double> &temps, const std::vector<double> &power)
+    {
+        std::vector<double> rhs(temps.size());
+        for (std::size_t i = 0; i < rhs.size(); ++i)
+            rhs[i] = capOverDt[i] * temps[i] + power[i];
+        g.multiplyAccumulate(temps, rhs, -0.5);
+        IterativeResult r =
+            legacy::conjugateGradient(system, rhs, temps, opts);
+        if (!r.converged)
+            fatal("legacy CN: CG failed to converge");
+        temps = std::move(r.x);
+    }
+
+  private:
+    const CsrMatrix &g;
+    CsrMatrix system;
+    std::vector<double> capOverDt;
+    IterativeOptions opts;
+};
+
+} // namespace irtherm::legacy
+
+#endif // IRTHERM_BENCH_LEGACY_SOLVERS_HH

@@ -1,0 +1,274 @@
+#include "base/thread_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+namespace
+{
+
+// Cumulative usage counters, aggregated across every pool instance so
+// the obs exporter can report them without owning a pool.
+std::atomic<std::uint64_t> g_regions{0};
+std::atomic<std::uint64_t> g_chunks{0};
+std::atomic<std::uint64_t> g_serialFallbacks{0};
+std::atomic<std::uint64_t> g_regionNanos{0};
+
+std::atomic<bool> g_parallelEnabled{true};
+
+// Requested size for the global pool; 0 = env / hardware default.
+std::atomic<std::size_t> g_requestedThreads{0};
+std::atomic<bool> g_globalCreated{false};
+
+// Workers must never dispatch a nested region back into the pool:
+// the pool runs one region at a time and a nested wait would
+// deadlock. Nested calls run inline instead.
+thread_local bool t_insideWorker = false;
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("IRTHERM_THREADS")) {
+        char *endp = nullptr;
+        const long v = std::strtol(env, &endp, 10);
+        if (endp != env && *endp == '\0' && v > 0)
+            return static_cast<std::size_t>(std::min<long>(v, 256));
+        if (*env != '\0')
+            warn("IRTHERM_THREADS='", env,
+                 "' is not a positive integer; using hardware count");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::size_t
+chunkCount(std::size_t begin, std::size_t end, std::size_t grain)
+{
+    return (end - begin + grain - 1) / grain;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        fatal("ThreadPool: thread count must be >= 1");
+    workers.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    wakeCv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_insideWorker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> j;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            wakeCv.wait(lock, [&] {
+                return stopping || (current && generation != seen);
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            j = current;
+        }
+        runChunks(*j);
+    }
+}
+
+void
+ThreadPool::runChunks(Job &j)
+{
+    // Claim chunks dynamically; determinism is unaffected because
+    // chunk *boundaries* are fixed and reductions recombine partials
+    // by chunk index, not by completion order.
+    std::size_t c;
+    while ((c = j.nextChunk.fetch_add(1, std::memory_order_relaxed)) <
+           j.numChunks) {
+        const std::size_t b = j.begin + c * j.grain;
+        const std::size_t e = std::min(j.end, b + j.grain);
+        try {
+            (*j.fn)(b, e);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(j.errMu);
+            if (!j.firstError)
+                j.firstError = std::current_exception();
+        }
+        if (j.chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            j.numChunks) {
+            // Last chunk: wake the caller. Taking the pool lock
+            // pairs with the caller's wait so the notify is not lost.
+            std::lock_guard<std::mutex> lock(mu);
+            doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        fatal("ThreadPool::parallelFor: zero grain");
+
+    const std::size_t total = chunkCount(begin, end, grain);
+    if (workers.empty() || total == 1 || t_insideWorker ||
+        !parallelEnabled()) {
+        g_serialFallbacks.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t b = begin; b < end; b += grain)
+            fn(b, std::min(end, b + grain));
+        return;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> region(regionMu);
+    auto j = std::make_shared<Job>();
+    j->fn = &fn;
+    j->begin = begin;
+    j->end = end;
+    j->grain = grain;
+    j->numChunks = total;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        current = j;
+        ++generation;
+    }
+    wakeCv.notify_all();
+
+    // The caller is an executor too. While it runs chunks it is
+    // "inside" the region exactly like a worker: a nested parallelFor
+    // issued from one of its own chunks must take the inline path, or
+    // it would re-lock regionMu and self-deadlock.
+    t_insideWorker = true;
+    runChunks(*j);
+    t_insideWorker = false;
+
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        doneCv.wait(lock, [&] {
+            return j->chunksDone.load(std::memory_order_acquire) ==
+                   total;
+        });
+        current.reset();
+    }
+
+    g_regions.fetch_add(1, std::memory_order_relaxed);
+    g_chunks.fetch_add(total, std::memory_order_relaxed);
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    g_regionNanos.fetch_add(static_cast<std::uint64_t>(ns),
+                            std::memory_order_relaxed);
+
+    if (j->firstError)
+        std::rethrow_exception(j->firstError);
+}
+
+double
+ThreadPool::parallelReduceSum(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<double(std::size_t, std::size_t)> &fn)
+{
+    if (end <= begin)
+        return 0.0;
+    if (grain == 0)
+        fatal("ThreadPool::parallelReduceSum: zero grain");
+
+    const std::size_t total = chunkCount(begin, end, grain);
+    if (workers.empty() || total == 1 || t_insideWorker ||
+        !parallelEnabled()) {
+        // Same chunk walk as the parallel path so the summation
+        // order — and therefore the bits — match exactly.
+        g_serialFallbacks.fetch_add(1, std::memory_order_relaxed);
+        double acc = 0.0;
+        for (std::size_t b = begin; b < end; b += grain)
+            acc += fn(b, std::min(end, b + grain));
+        return acc;
+    }
+
+    std::vector<double> partials(total, 0.0);
+    parallelFor(begin, end, grain,
+                [&](std::size_t b, std::size_t e) {
+                    partials[(b - begin) / grain] = fn(b, e);
+                });
+    double acc = 0.0;
+    for (double p : partials)
+        acc += p;
+    return acc;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(plannedGlobalThreads());
+    g_globalCreated.store(true, std::memory_order_relaxed);
+    return pool;
+}
+
+std::size_t
+ThreadPool::plannedGlobalThreads()
+{
+    const std::size_t req =
+        g_requestedThreads.load(std::memory_order_relaxed);
+    return req > 0 ? req : defaultThreadCount();
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t n)
+{
+    if (g_globalCreated.load(std::memory_order_relaxed)) {
+        warn("ThreadPool::setGlobalThreads(", n,
+             ") ignored: global pool already created");
+        return;
+    }
+    g_requestedThreads.store(n, std::memory_order_relaxed);
+}
+
+void
+ThreadPool::setParallelEnabled(bool enabled)
+{
+    g_parallelEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+ThreadPool::parallelEnabled()
+{
+    return g_parallelEnabled.load(std::memory_order_relaxed);
+}
+
+ThreadPool::Stats
+ThreadPool::cumulativeStats()
+{
+    Stats s;
+    s.parallelRegions = g_regions.load(std::memory_order_relaxed);
+    s.chunks = g_chunks.load(std::memory_order_relaxed);
+    s.serialFallbacks =
+        g_serialFallbacks.load(std::memory_order_relaxed);
+    s.regionNanos = g_regionNanos.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace irtherm

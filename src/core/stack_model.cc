@@ -684,6 +684,10 @@ StackModel::steadyNodeTemperatures(
     IterativeOptions opts;
     opts.tolerance = 1e-11;
     opts.maxIterations = 100000;
+    // The stack network mixes regular grid cells with irregular strip
+    // and package nodes, so it stays CSR (no stencil operator); SSOR
+    // preconditioning still applies through the CSR path.
+    opts.preconditioner = PreconditionerKind::Ssor;
     auto &reg = obs::MetricsRegistry::global();
     obs::ScopedTimer span(reg.timer("core.steady.solve_time"));
     IterativeResult res = solveLinear(g_, p, !advection, {}, opts);

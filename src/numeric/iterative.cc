@@ -1,19 +1,73 @@
 #include "numeric/iterative.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "obs/metrics.hh"
 
 namespace irtherm
 {
 
+namespace
+{
+
+/**
+ * Reduction chunk size. Both the serial and parallel reduction paths
+ * accumulate per-chunk partial sums at these boundaries and combine
+ * them in ascending chunk order, so the floating-point result is
+ * bit-identical at any thread count.
+ */
+constexpr std::size_t kReduceChunk = 1024;
+
+/** Below this many elements a pool dispatch costs more than it saves. */
+constexpr std::size_t kParallelThreshold = 4096;
+
+double
+reduceChunked(std::size_t n,
+              const std::function<double(std::size_t, std::size_t)> &fn)
+{
+    if (n >= kParallelThreshold && ThreadPool::parallelEnabled()) {
+        ThreadPool &pool = ThreadPool::global();
+        if (pool.threadCount() > 1)
+            return pool.parallelReduceSum(0, n, kReduceChunk, fn);
+    }
+    double total = 0.0;
+    for (std::size_t b = 0; b < n; b += kReduceChunk)
+        total += fn(b, std::min(n, b + kReduceChunk));
+    return total;
+}
+
+} // namespace
+
+void
+forEachRange(std::size_t n,
+             const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n >= kParallelThreshold && ThreadPool::parallelEnabled()) {
+        ThreadPool &pool = ThreadPool::global();
+        if (pool.threadCount() > 1) {
+            const std::size_t grain = std::max<std::size_t>(
+                kReduceChunk, n / (4 * pool.threadCount()));
+            pool.parallelFor(0, n, grain, fn);
+            return;
+        }
+    }
+    fn(0, n);
+}
+
 double
 norm2(const std::vector<double> &v)
 {
-    double acc = 0.0;
-    for (double x : v)
-        acc += x * x;
-    return std::sqrt(acc);
+    const double *vd = v.data();
+    return std::sqrt(reduceChunked(
+        v.size(), [vd](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i)
+                s += vd[i] * vd[i];
+            return s;
+        }));
 }
 
 double
@@ -21,17 +75,29 @@ dot(const std::vector<double> &a, const std::vector<double> &b)
 {
     if (a.size() != b.size())
         fatal("dot: size mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        acc += a[i] * b[i];
-    return acc;
+    const double *ad = a.data();
+    const double *bd = b.data();
+    return reduceChunked(a.size(),
+                         [ad, bd](std::size_t lo, std::size_t hi) {
+                             double s = 0.0;
+                             for (std::size_t i = lo; i < hi; ++i)
+                                 s += ad[i] * bd[i];
+                             return s;
+                         });
 }
 
 IterativeResult
-conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
+conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
                   const std::vector<double> &x0,
-                  const IterativeOptions &opts)
+                  const IterativeOptions &opts,
+                  const Preconditioner *precond, CgWorkspace *ws)
 {
+    static obs::Timer &solveTimer =
+        obs::MetricsRegistry::global().timer("numeric.cg.solve_time_s");
+    static obs::Counter &iterCounter =
+        obs::MetricsRegistry::global().counter("numeric.cg.iterations");
+    obs::ScopedTimer span(solveTimer);
+
     const std::size_t n = a.rows();
     if (a.cols() != n || b.size() != n)
         fatal("conjugateGradient: dimension mismatch");
@@ -41,55 +107,91 @@ conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
     if (res.x.size() != n)
         fatal("conjugateGradient: bad initial guess size");
 
-    std::vector<double> diag = a.diagonal();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (diag[i] <= 0.0)
-            fatal("conjugateGradient: non-positive diagonal at ", i);
+    std::unique_ptr<Preconditioner> owned;
+    if (!precond) {
+        owned = a.makePreconditioner(opts.preconditioner,
+                                     opts.ssorOmega);
+        precond = owned.get();
     }
 
+    CgWorkspace local;
+    if (!ws)
+        ws = &local;
+    std::vector<double> &r = ws->r;
+    std::vector<double> &z = ws->z;
+    std::vector<double> &p = ws->p;
+    std::vector<double> &ap = ws->ap;
+
     // r = b - A x
-    std::vector<double> r = b;
-    a.multiplyAccumulate(res.x, r, -1.0);
-    res.initialResidualNorm = norm2(r);
+    r = b;
+    a.applyAccumulate(res.x, r, -1.0);
+    double rr = dot(r, r);
+    res.initialResidualNorm = std::sqrt(rr);
 
     const double bnorm = std::max(norm2(b), 1e-300);
-    std::vector<double> z(n), p(n), ap(n);
-    for (std::size_t i = 0; i < n; ++i)
-        z[i] = r[i] / diag[i];
+    precond->apply(r, z);
     p = z;
+    ap.resize(n);
     double rz = dot(r, z);
 
+    double *xd = res.x.data();
+    double *rd = r.data();
+    double *zd = z.data();
+    double *pd = p.data();
+    double *apd = ap.data();
+
     for (std::size_t it = 0; it < opts.maxIterations; ++it) {
-        res.residualNorm = norm2(r);
+        res.residualNorm = std::sqrt(rr);
         if (res.residualNorm <= opts.tolerance * bnorm) {
             res.converged = true;
             res.iterations = it;
+            iterCounter.add(it);
             return res;
         }
 
-        std::fill(ap.begin(), ap.end(), 0.0);
-        a.multiplyAccumulate(p, ap, 1.0);
+        a.apply(p, ap);
         const double pap = dot(p, ap);
         if (pap <= 0.0)
             fatal("conjugateGradient: matrix not positive definite");
         const double alpha = rz / pap;
-        for (std::size_t i = 0; i < n; ++i) {
-            res.x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        for (std::size_t i = 0; i < n; ++i)
-            z[i] = r[i] / diag[i];
+
+        // Fused: update x and r and accumulate the new ||r||^2 in one
+        // pass (the pre-refactor code made three).
+        rr = reduceChunked(n, [&](std::size_t lo, std::size_t hi) {
+            double s = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                xd[i] += alpha * pd[i];
+                rd[i] -= alpha * apd[i];
+                s += rd[i] * rd[i];
+            }
+            return s;
+        });
+
+        precond->apply(r, z);
+        zd = z.data();
         const double rz_next = dot(r, z);
         const double beta = rz_next / rz;
         rz = rz_next;
-        for (std::size_t i = 0; i < n; ++i)
-            p[i] = z[i] + beta * p[i];
+        forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                pd[i] = zd[i] + beta * pd[i];
+        });
     }
 
-    res.residualNorm = norm2(r);
+    res.residualNorm = std::sqrt(rr);
     res.iterations = opts.maxIterations;
     res.converged = res.residualNorm <= opts.tolerance * bnorm;
+    iterCounter.add(res.iterations);
     return res;
+}
+
+IterativeResult
+conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
+                  const std::vector<double> &x0,
+                  const IterativeOptions &opts)
+{
+    CsrOperator op(a);
+    return conjugateGradient(op, b, x0, opts);
 }
 
 IterativeResult
@@ -105,17 +207,9 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
     if (res.x.size() != n)
         fatal("biCgStab: bad initial guess size");
 
-    std::vector<double> diag = a.diagonal();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (diag[i] == 0.0)
-            fatal("biCgStab: zero diagonal at ", i);
-    }
-    auto precond = [&](const std::vector<double> &v,
-                       std::vector<double> &out) {
-        out.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = v[i] / diag[i];
-    };
+    CsrOperator op(a);
+    const std::unique_ptr<Preconditioner> precond =
+        op.makePreconditioner(opts.preconditioner, opts.ssorOmega);
 
     std::vector<double> r = b;
     a.multiplyAccumulate(res.x, r, -1.0);
@@ -127,6 +221,10 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
     std::vector<double> v(n, 0.0), p(n, 0.0);
     std::vector<double> p_hat(n), s(n), s_hat(n), t(n);
 
+    // Iterations actually performed; breakdown exits break out with
+    // the loop index instead of reporting the full budget.
+    std::size_t used = opts.maxIterations;
+
     for (std::size_t it = 0; it < opts.maxIterations; ++it) {
         res.residualNorm = norm2(r);
         if (res.residualNorm <= opts.tolerance * bnorm) {
@@ -136,8 +234,10 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
         }
 
         const double rho_next = dot(r_hat, r);
-        if (rho_next == 0.0)
+        if (rho_next == 0.0) {
+            used = it;
             break; // breakdown; return best effort
+        }
         if (it == 0) {
             p = r;
         } else {
@@ -147,12 +247,13 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
         }
         rho = rho_next;
 
-        precond(p, p_hat);
-        std::fill(v.begin(), v.end(), 0.0);
-        a.multiplyAccumulate(p_hat, v, 1.0);
+        precond->apply(p, p_hat);
+        a.apply(p_hat, v);
         const double rhv = dot(r_hat, v);
-        if (rhv == 0.0)
+        if (rhv == 0.0) {
+            used = it;
             break;
+        }
         alpha = rho / rhv;
 
         for (std::size_t i = 0; i < n; ++i)
@@ -166,20 +267,23 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
             return res;
         }
 
-        precond(s, s_hat);
-        std::fill(t.begin(), t.end(), 0.0);
-        a.multiplyAccumulate(s_hat, t, 1.0);
+        precond->apply(s, s_hat);
+        a.apply(s_hat, t);
         const double tt = dot(t, t);
-        if (tt == 0.0)
+        if (tt == 0.0) {
+            used = it;
             break;
+        }
         omega = dot(t, s) / tt;
 
         for (std::size_t i = 0; i < n; ++i) {
             res.x[i] += alpha * p_hat[i] + omega * s_hat[i];
             r[i] = s[i] - omega * t[i];
         }
-        if (omega == 0.0)
+        if (omega == 0.0) {
+            used = it + 1;
             break;
+        }
     }
 
     // Final residual check (covers breakdown exits).
@@ -187,7 +291,7 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
     a.multiplyAccumulate(res.x, resid, -1.0);
     res.residualNorm = norm2(resid);
     res.converged = res.residualNorm <= opts.tolerance * bnorm;
-    res.iterations = opts.maxIterations;
+    res.iterations = used;
     return res;
 }
 
@@ -217,11 +321,10 @@ gaussSeidel(const CsrMatrix &a, const std::vector<double> &b,
     const auto &ci = a.columnIndices();
     const auto &av = a.storedValues();
     const double bnorm = std::max(norm2(b), 1e-300);
-    {
-        std::vector<double> r0 = b;
-        a.multiplyAccumulate(res.x, r0, -1.0);
-        res.initialResidualNorm = norm2(r0);
-    }
+    // Residual scratch, hoisted so the sweep loop allocates nothing.
+    std::vector<double> resid = b;
+    a.multiplyAccumulate(res.x, resid, -1.0);
+    res.initialResidualNorm = norm2(resid);
 
     for (std::size_t it = 0; it < opts.maxIterations; ++it) {
         for (std::size_t r = 0; r < n; ++r) {
@@ -240,7 +343,7 @@ gaussSeidel(const CsrMatrix &a, const std::vector<double> &b,
             res.x[r] = acc / diag;
         }
 
-        std::vector<double> resid = b;
+        resid = b;
         a.multiplyAccumulate(res.x, resid, -1.0);
         res.residualNorm = norm2(resid);
         if (res.residualNorm <= opts.tolerance * bnorm) {

@@ -3,18 +3,28 @@
  * Iterative linear solvers for large sparse SPD systems.
  *
  * Thermal conductance matrices (with at least one path to ambient)
- * are symmetric positive definite, so Jacobi-preconditioned conjugate
+ * are symmetric positive definite, so preconditioned conjugate
  * gradient is the workhorse for grid-mode steady state and implicit
- * transient steps. Gauss-Seidel is kept as an independent
- * cross-check.
+ * transient steps. The solvers operate on the LinearOperator
+ * abstraction, so a stored CsrMatrix and a matrix-free grid stencil
+ * run through identical code; CsrMatrix overloads are kept for
+ * callers that hold a concrete matrix. Gauss-Seidel is kept as an
+ * independent cross-check.
+ *
+ * Determinism: the BLAS-1 reductions (dot, norm2) accumulate in
+ * fixed-size chunks combined in ascending order in both the serial
+ * and thread-pooled paths, so results are bit-identical regardless
+ * of thread count. See base/thread_pool.hh for the contract.
  */
 
 #ifndef IRTHERM_NUMERIC_ITERATIVE_HH
 #define IRTHERM_NUMERIC_ITERATIVE_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "numeric/linear_operator.hh"
 #include "numeric/sparse.hh"
 
 namespace irtherm
@@ -37,16 +47,42 @@ struct IterativeOptions
 {
     double tolerance = 1e-10;   ///< relative to ||b||_2
     std::size_t maxIterations = 20000;
+    /** Preconditioner built when the caller does not supply one.
+     *  Kinds an operator cannot provide degrade gracefully
+     *  (Ic0 -> Ssor -> Jacobi). */
+    PreconditionerKind preconditioner = PreconditionerKind::Ssor;
+    double ssorOmega = 1.5;     ///< SSOR relaxation factor in (0, 2)
 };
 
 /**
- * Jacobi-preconditioned conjugate gradient for SPD @p a.
- *
- * @param a       system matrix (must be SPD; not checked here)
- * @param b       right-hand side
- * @param x0      starting guess (empty means zero)
- * @param opts    tolerance / iteration budget
+ * Reusable scratch vectors for conjugateGradient(). Callers that
+ * solve many same-sized systems (the implicit integrators) keep one
+ * of these so the steady-state advance loop allocates nothing.
  */
+struct CgWorkspace
+{
+    std::vector<double> r, z, p, ap;
+};
+
+/**
+ * Preconditioned conjugate gradient for an SPD operator.
+ *
+ * @param a        system operator (must be SPD; not checked here)
+ * @param b        right-hand side
+ * @param x0       starting guess (empty means zero)
+ * @param opts     tolerance / iteration budget / preconditioner kind
+ * @param precond  preconditioner to use; null means build one from
+ *                 @p opts via a.makePreconditioner()
+ * @param ws       scratch buffers to reuse; null means allocate
+ */
+IterativeResult conjugateGradient(const LinearOperator &a,
+                                  const std::vector<double> &b,
+                                  const std::vector<double> &x0 = {},
+                                  const IterativeOptions &opts = {},
+                                  const Preconditioner *precond = nullptr,
+                                  CgWorkspace *ws = nullptr);
+
+/** CsrMatrix convenience overload of the operator form above. */
 IterativeResult conjugateGradient(const CsrMatrix &a,
                                   const std::vector<double> &b,
                                   const std::vector<double> &x0 = {},
@@ -62,11 +98,10 @@ IterativeResult gaussSeidel(const CsrMatrix &a,
                             const IterativeOptions &opts = {});
 
 /**
- * Jacobi-preconditioned BiCGSTAB for general (non-symmetric)
- * systems. Needed once fluid advection enters the network: upwind
- * advection stamps are one-sided, so microchannel and
- * caloric-heating models produce non-symmetric conductance
- * matrices that CG cannot handle.
+ * Preconditioned BiCGSTAB for general (non-symmetric) systems.
+ * Needed once fluid advection enters the network: upwind advection
+ * stamps are one-sided, so microchannel and caloric-heating models
+ * produce non-symmetric conductance matrices that CG cannot handle.
  */
 IterativeResult biCgStab(const CsrMatrix &a,
                          const std::vector<double> &b,
@@ -87,6 +122,15 @@ double norm2(const std::vector<double> &v);
 
 /** Dot product. @pre a.size() == b.size() */
 double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Run an elementwise kernel over [0, n) on the shared ThreadPool
+ * above a size threshold, serially below it. The kernel receives
+ * disjoint [begin, end) ranges; ranges depend only on n, so parallel
+ * and serial execution visit identical partitions.
+ */
+void forEachRange(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)> &fn);
 
 } // namespace irtherm
 

@@ -12,16 +12,52 @@ namespace
 {
 
 void
-checkSizes(const CsrMatrix &g, const std::vector<double> &cap)
+checkSizes(std::size_t rows, const std::vector<double> &cap)
 {
-    if (g.rows() != g.cols())
-        fatal("integrator: conductance matrix not square");
-    if (cap.size() != g.rows())
+    if (cap.size() != rows)
         fatal("integrator: capacitance size mismatch");
     for (std::size_t i = 0; i < cap.size(); ++i) {
         if (cap[i] <= 0.0)
             fatal("integrator: non-positive capacitance at node ", i);
     }
+}
+
+void
+checkSizes(const CsrMatrix &g, const std::vector<double> &cap)
+{
+    if (g.rows() != g.cols())
+        fatal("integrator: conductance matrix not square");
+    checkSizes(g.rows(), cap);
+}
+
+/**
+ * Pick the preconditioner for an implicit system C/dt + s*G. With a
+ * small step the capacitance term dwarfs the conductance coupling and
+ * the system is strongly diagonally dominant: Jacobi then converges
+ * in a handful of iterations and an SSOR double sweep costs more per
+ * iteration than it saves. The SSOR default downgrades itself in
+ * that regime; Jacobi / IC(0) requests pass through untouched.
+ *
+ * The conductance part of row i's diagonal bounds the row's
+ * off-diagonal magnitude (conservative RC network), so
+ * capOverDt / (diag - capOverDt) lower-bounds the dominance ratio.
+ */
+PreconditionerKind
+effectivePreconditioner(const LinearOperator &system,
+                        const std::vector<double> &capOverDt,
+                        PreconditionerKind requested)
+{
+    if (requested != PreconditionerKind::Ssor)
+        return requested;
+    constexpr double kDominanceForJacobi = 4.0;
+    const std::vector<double> d = system.diagonal();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const double coupling = d[i] - capOverDt[i];
+        if (coupling > 0.0 &&
+            capOverDt[i] < kDominanceForJacobi * coupling)
+            return PreconditionerKind::Ssor;
+    }
+    return PreconditionerKind::Jacobi;
 }
 
 } // namespace
@@ -65,38 +101,58 @@ Rk4Integrator::Rk4Integrator(const CsrMatrix &g_,
 void
 Rk4Integrator::derivative(const std::vector<double> &temps,
                           const std::vector<double> &power,
-                          std::vector<double> &out) const
+                          std::vector<double> &out)
 {
     out = power;
     g.multiplyAccumulate(temps, out, -1.0);
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] *= invC[i];
+    double *od = out.data();
+    const double *ic = invC.data();
+    forEachRange(out.size(), [od, ic](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            od[i] *= ic[i];
+    });
 }
 
 void
 Rk4Integrator::rk4Step(const std::vector<double> &y,
                        const std::vector<double> &power, double h,
-                       std::vector<double> &out) const
+                       std::vector<double> &out)
 {
     const std::size_t n = y.size();
-    std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+    tmp.resize(n);
+
+    const double *yd = y.data();
+    double *td = tmp.data();
 
     derivative(y, power, k1);
-    for (std::size_t i = 0; i < n; ++i)
-        tmp[i] = y[i] + 0.5 * h * k1[i];
+    const double *k1d = k1.data();
+    forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            td[i] = yd[i] + 0.5 * h * k1d[i];
+    });
     derivative(tmp, power, k2);
-    for (std::size_t i = 0; i < n; ++i)
-        tmp[i] = y[i] + 0.5 * h * k2[i];
+    const double *k2d = k2.data();
+    forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            td[i] = yd[i] + 0.5 * h * k2d[i];
+    });
     derivative(tmp, power, k3);
-    for (std::size_t i = 0; i < n; ++i)
-        tmp[i] = y[i] + h * k3[i];
+    const double *k3d = k3.data();
+    forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            td[i] = yd[i] + h * k3d[i];
+    });
     derivative(tmp, power, k4);
+    const double *k4d = k4.data();
 
     out.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        out[i] = y[i] +
-                 h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-    }
+    double *od = out.data();
+    forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            od[i] = yd[i] + h / 6.0 * (k1d[i] + 2.0 * k2d[i] +
+                                       2.0 * k3d[i] + k4d[i]);
+        }
+    });
 }
 
 void
@@ -110,7 +166,6 @@ Rk4Integrator::advance(std::vector<double> &temps,
 
     double t = 0.0;
     double h = std::min(lastStep, dt);
-    std::vector<double> full, half, half2;
 
     while (t < dt) {
         h = std::min(h, dt - t);
@@ -126,8 +181,9 @@ Rk4Integrator::advance(std::vector<double> &temps,
         err /= 15.0; // Richardson factor for a 4th-order method
 
         if (err <= opts.absTolerance || h <= opts.minStep) {
-            // Accept the more accurate two-half-step result.
-            temps = half2;
+            // Accept the more accurate two-half-step result; swap
+            // instead of copying (half2 is overwritten next trial).
+            temps.swap(half2);
             t += h;
             ++steps;
             stepsMetric.add();
@@ -167,21 +223,71 @@ BackwardEulerIntegrator::BackwardEulerIntegrator(
         fatal("BackwardEulerIntegrator: non-positive dt");
     for (double &c : capOverDt)
         c /= dt;
-    system = addDiagonal(g, capOverDt);
-    symmetric = system.isSymmetric(1e-9);
+    systemCsr = addDiagonal(g, capOverDt);
+    csrView = std::make_unique<CsrOperator>(systemCsr);
+    system = csrView.get();
+    symmetric = systemCsr.isSymmetric(1e-9);
+    finishSetup();
+}
+
+BackwardEulerIntegrator::BackwardEulerIntegrator(
+    const GridStencilOperator &g, std::vector<double> capacitance,
+    double dt_, const IterativeOptions &solver)
+    : capOverDt(std::move(capacitance)), dt(dt_), solverOpts(solver),
+      solvesMetric(
+          obs::MetricsRegistry::global().counter("numeric.be.solves")),
+      iterationsHist(obs::MetricsRegistry::global().histogram(
+          "numeric.be.cg_iterations")),
+      warmStartHist(obs::MetricsRegistry::global().histogram(
+          "numeric.be.warm_start_residual")),
+      residualGauge(obs::MetricsRegistry::global().gauge(
+          "numeric.be.last_residual"))
+{
+    checkSizes(g.rows(), capOverDt);
+    if (dt <= 0.0)
+        fatal("BackwardEulerIntegrator: non-positive dt");
+    for (double &c : capOverDt)
+        c /= dt;
+    systemStencil = std::make_unique<GridStencilOperator>(
+        g.scaledShifted(1.0, capOverDt));
+    system = systemStencil.get();
+    symmetric = true; // stencil stamping is symmetric by construction
+    finishSetup();
+}
+
+void
+BackwardEulerIntegrator::finishSetup()
+{
+    // The system matrix never changes, so factor the preconditioner
+    // once here instead of once per step inside the solver.
+    if (symmetric) {
+        precond = system->makePreconditioner(
+            effectivePreconditioner(*system, capOverDt,
+                                    solverOpts.preconditioner),
+            solverOpts.ssorOmega);
+    }
+    rhs.resize(capOverDt.size());
 }
 
 void
 BackwardEulerIntegrator::step(std::vector<double> &temps,
                               const std::vector<double> &power)
 {
-    if (temps.size() != system.rows() || power.size() != system.rows())
+    const std::size_t n = system->rows();
+    if (temps.size() != n || power.size() != n)
         fatal("BackwardEulerIntegrator::step: vector size mismatch");
-    std::vector<double> rhs(temps.size());
-    for (std::size_t i = 0; i < rhs.size(); ++i)
-        rhs[i] = capOverDt[i] * temps[i] + power[i];
+    const double *cd = capOverDt.data();
+    const double *td = temps.data();
+    const double *pw = power.data();
+    double *rd = rhs.data();
+    forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            rd[i] = cd[i] * td[i] + pw[i];
+    });
     IterativeResult r =
-        solveLinear(system, rhs, symmetric, temps, solverOpts);
+        symmetric ? conjugateGradient(*system, rhs, temps, solverOpts,
+                                      precond.get(), &ws)
+                  : biCgStab(systemCsr, rhs, temps, solverOpts);
     solvesMetric.add();
     iterationsHist.observe(static_cast<double>(r.iterations));
     warmStartHist.observe(r.initialResidualNorm);
@@ -209,10 +315,9 @@ BackwardEulerIntegrator::advance(std::vector<double> &temps,
 }
 
 CrankNicolsonIntegrator::CrankNicolsonIntegrator(
-    const CsrMatrix &g_, std::vector<double> capacitance, double dt_,
+    const CsrMatrix &g, std::vector<double> capacitance, double dt_,
     const IterativeOptions &solver)
-    : g(g_), capOverDt(std::move(capacitance)), dt(dt_),
-      solverOpts(solver),
+    : capOverDt(std::move(capacitance)), dt(dt_), solverOpts(solver),
       solvesMetric(
           obs::MetricsRegistry::global().counter("numeric.cn.solves")),
       iterationsHist(obs::MetricsRegistry::global().histogram(
@@ -234,23 +339,73 @@ CrankNicolsonIntegrator::CrankNicolsonIntegrator(
             b.add(r, ci[k], 0.5 * av[k]);
     for (std::size_t r = 0; r < g.rows(); ++r)
         b.add(r, r, capOverDt[r]);
-    system = b.build();
-    symmetric = system.isSymmetric(1e-9);
+    systemCsr = b.build();
+    symmetric = systemCsr.isSymmetric(1e-9);
+
+    gView = std::make_unique<CsrOperator>(g);
+    gOp = gView.get();
+    systemView = std::make_unique<CsrOperator>(systemCsr);
+    system = systemView.get();
+    finishSetup();
+}
+
+CrankNicolsonIntegrator::CrankNicolsonIntegrator(
+    const GridStencilOperator &g, std::vector<double> capacitance,
+    double dt_, const IterativeOptions &solver)
+    : capOverDt(std::move(capacitance)), dt(dt_), solverOpts(solver),
+      solvesMetric(
+          obs::MetricsRegistry::global().counter("numeric.cn.solves")),
+      iterationsHist(obs::MetricsRegistry::global().histogram(
+          "numeric.cn.cg_iterations"))
+{
+    checkSizes(g.rows(), capOverDt);
+    if (dt <= 0.0)
+        fatal("CrankNicolsonIntegrator: non-positive dt");
+    for (double &c : capOverDt)
+        c /= dt;
+
+    gStencil = std::make_unique<GridStencilOperator>(g);
+    gOp = gStencil.get();
+    systemStencil = std::make_unique<GridStencilOperator>(
+        g.scaledShifted(0.5, capOverDt));
+    system = systemStencil.get();
+    symmetric = true; // stencil stamping is symmetric by construction
+    finishSetup();
+}
+
+void
+CrankNicolsonIntegrator::finishSetup()
+{
+    if (symmetric) {
+        precond = system->makePreconditioner(
+            effectivePreconditioner(*system, capOverDt,
+                                    solverOpts.preconditioner),
+            solverOpts.ssorOmega);
+    }
+    rhs.resize(capOverDt.size());
 }
 
 void
 CrankNicolsonIntegrator::step(std::vector<double> &temps,
                               const std::vector<double> &power)
 {
-    if (temps.size() != system.rows() || power.size() != system.rows())
+    const std::size_t n = system->rows();
+    if (temps.size() != n || power.size() != n)
         fatal("CrankNicolsonIntegrator::step: vector size mismatch");
     // rhs = (C/dt) T - (G/2) T + P
-    std::vector<double> rhs(temps.size());
-    for (std::size_t i = 0; i < rhs.size(); ++i)
-        rhs[i] = capOverDt[i] * temps[i] + power[i];
-    g.multiplyAccumulate(temps, rhs, -0.5);
+    const double *cd = capOverDt.data();
+    const double *td = temps.data();
+    const double *pw = power.data();
+    double *rd = rhs.data();
+    forEachRange(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            rd[i] = cd[i] * td[i] + pw[i];
+    });
+    gOp->applyAccumulate(temps, rhs, -0.5);
     IterativeResult r =
-        solveLinear(system, rhs, symmetric, temps, solverOpts);
+        symmetric ? conjugateGradient(*system, rhs, temps, solverOpts,
+                                      precond.get(), &ws)
+                  : biCgStab(systemCsr, rhs, temps, solverOpts);
     solvesMetric.add();
     iterationsHist.observe(static_cast<double>(r.iterations));
     if (!r.converged) {

@@ -13,6 +13,13 @@
  *    reference FD solver so that validation runs through an
  *    independent scheme.
  *
+ * The implicit integrators accept either a stored CsrMatrix or a
+ * matrix-free GridStencilOperator. Their system matrices never change
+ * between steps, so each instance builds its preconditioner once in
+ * the constructor and reuses it — together with a persistent CG
+ * workspace and rhs scratch — for every step: the steady advance()
+ * loops allocate nothing.
+ *
  * Power is held constant across one advance() call, matching how the
  * simulator drives the network (one power vector per trace sample).
  */
@@ -21,9 +28,12 @@
 #define IRTHERM_NUMERIC_ODE_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "numeric/grid_stencil.hh"
 #include "numeric/iterative.hh"
+#include "numeric/linear_operator.hh"
 #include "numeric/sparse.hh"
 #include "obs/metrics.hh"
 
@@ -67,18 +77,23 @@ class Rk4Integrator
     /** out = invC .* (power - G temps) */
     void derivative(const std::vector<double> &temps,
                     const std::vector<double> &power,
-                    std::vector<double> &out) const;
+                    std::vector<double> &out);
 
     /** One classical RK4 step of size h from y into out. */
     void rk4Step(const std::vector<double> &y,
                  const std::vector<double> &power, double h,
-                 std::vector<double> &out) const;
+                 std::vector<double> &out);
 
     const CsrMatrix &g;
     std::vector<double> invC;
     Rk4Options opts;
     double lastStep;
     std::size_t steps = 0;
+
+    // Scratch reused across every sub-step; advance() swaps rather
+    // than copies, so the steady loop allocates nothing.
+    std::vector<double> k1, k2, k3, k4, tmp;
+    std::vector<double> full, half, half2;
 
     // Process-wide telemetry (aggregated across all instances).
     obs::Counter &stepsMetric;
@@ -90,13 +105,19 @@ class Rk4Integrator
 /**
  * Backward Euler with a fixed step:
  *   (C/dt + G) T_{n+1} = (C/dt) T_n + P
- * The system matrix is assembled once; each step is one
- * warm-started CG solve.
+ * The system matrix is formed once (CSR or matrix-free stencil),
+ * its preconditioner factored once, and each step is one
+ * warm-started preconditioned CG solve reusing the same workspace.
  */
 class BackwardEulerIntegrator
 {
   public:
     BackwardEulerIntegrator(const CsrMatrix &g,
+                            std::vector<double> capacitance, double dt,
+                            const IterativeOptions &solver = {});
+
+    /** Matrix-free variant: system = G scaled-shifted by C/dt. */
+    BackwardEulerIntegrator(const GridStencilOperator &g,
                             std::vector<double> capacitance, double dt,
                             const IterativeOptions &solver = {});
 
@@ -108,19 +129,30 @@ class BackwardEulerIntegrator
               const std::vector<double> &power);
 
     /**
-     * Advance by @p duration, taking ceil(duration/dt) steps with the
-     * final step shortened is NOT supported — duration must be an
-     * integer multiple of dt (within 1e-9 relative), else fatal().
+     * Advance by @p duration, which must be an integer multiple of
+     * dt (within 1e-6 relative tolerance); takes exactly
+     * round(duration / dt) steps. A shortened partial final step is
+     * not supported — a non-multiple duration is fatal().
      */
     void advance(std::vector<double> &temps,
                  const std::vector<double> &power, double duration);
 
   private:
-    CsrMatrix system;                 ///< C/dt + G
+    void finishSetup();
+
+    CsrMatrix systemCsr;                   ///< C/dt + G (CSR path)
+    std::unique_ptr<CsrOperator> csrView;
+    std::unique_ptr<GridStencilOperator> systemStencil;
+    const LinearOperator *system = nullptr;
+
     std::vector<double> capOverDt;
     double dt;
     IterativeOptions solverOpts;
     bool symmetric = true;            ///< CG vs BiCGSTAB dispatch
+
+    std::unique_ptr<Preconditioner> precond; ///< built once (CG path)
+    CgWorkspace ws;
+    std::vector<double> rhs;
 
     obs::Counter &solvesMetric;
     obs::Histogram &iterationsHist;
@@ -131,11 +163,18 @@ class BackwardEulerIntegrator
 /**
  * Crank-Nicolson with a fixed step:
  *   (C/dt + G/2) T_{n+1} = (C/dt - G/2) T_n + P
+ * Same caching structure as BackwardEulerIntegrator.
  */
 class CrankNicolsonIntegrator
 {
   public:
+    /** @p g is kept by reference and must outlive the integrator. */
     CrankNicolsonIntegrator(const CsrMatrix &g,
+                            std::vector<double> capacitance, double dt,
+                            const IterativeOptions &solver = {});
+
+    /** Matrix-free variant; @p g is copied (plain arrays). */
+    CrankNicolsonIntegrator(const GridStencilOperator &g,
                             std::vector<double> capacitance, double dt,
                             const IterativeOptions &solver = {});
 
@@ -146,12 +185,26 @@ class CrankNicolsonIntegrator
               const std::vector<double> &power);
 
   private:
-    const CsrMatrix &g;
-    CsrMatrix system;                 ///< C/dt + G/2
+    void finishSetup();
+
+    // G (explicit half of the rhs) and C/dt + G/2, each reachable
+    // through the LinearOperator interface.
+    std::unique_ptr<CsrOperator> gView;         ///< CSR path (views caller's g)
+    std::unique_ptr<GridStencilOperator> gStencil; ///< stencil path (owned)
+    CsrMatrix systemCsr;
+    std::unique_ptr<CsrOperator> systemView;
+    std::unique_ptr<GridStencilOperator> systemStencil;
+    const LinearOperator *gOp = nullptr;
+    const LinearOperator *system = nullptr;
+
     std::vector<double> capOverDt;
     double dt;
     IterativeOptions solverOpts;
     bool symmetric = true;            ///< CG vs BiCGSTAB dispatch
+
+    std::unique_ptr<Preconditioner> precond; ///< built once (CG path)
+    CgWorkspace ws;
+    std::vector<double> rhs;
 
     obs::Counter &solvesMetric;
     obs::Histogram &iterationsHist;

@@ -5,18 +5,67 @@
 #include <numeric>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace irtherm
 {
 
+namespace
+{
+
+/** Below this many rows a pool dispatch costs more than it saves. */
+constexpr std::size_t kParallelRowThreshold = 4096;
+
+/** Run a row-range kernel, parallel above the threshold. */
+template <typename Fn>
+void
+forRows(std::size_t rows, const Fn &fn)
+{
+    if (rows >= kParallelRowThreshold && ThreadPool::parallelEnabled()) {
+        ThreadPool &pool = ThreadPool::global();
+        // A one-thread pool would route the kernel through the
+        // region machinery for nothing; fall through to the direct
+        // call instead.
+        if (pool.threadCount() > 1) {
+            const std::size_t grain = std::max<std::size_t>(
+                256, rows / (4 * pool.threadCount()));
+            pool.parallelFor(0, rows, grain, fn);
+            return;
+        }
+    }
+    fn(0, rows);
+}
+
+} // namespace
+
 std::vector<double>
 CsrMatrix::multiply(const std::vector<double> &x) const
 {
-    if (x.size() != numCols)
-        fatal("CsrMatrix::multiply: size mismatch");
-    std::vector<double> y(numRows, 0.0);
-    multiplyAccumulate(x, y, 1.0);
+    std::vector<double> y;
+    apply(x, y);
     return y;
+}
+
+void
+CsrMatrix::apply(const std::vector<double> &x,
+                 std::vector<double> &y) const
+{
+    if (x.size() != numCols)
+        fatal("CsrMatrix::apply: size mismatch");
+    y.resize(numRows);
+    const std::size_t *rp = rowPtr.data();
+    const std::size_t *ci = cols_.data();
+    const double *av = values.data();
+    const double *xd = x.data();
+    double *yd = y.data();
+    forRows(numRows, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            double acc = 0.0;
+            for (std::size_t k = rp[r]; k < rp[r + 1]; ++k)
+                acc += av[k] * xd[ci[k]];
+            yd[r] = acc;
+        }
+    });
 }
 
 void
@@ -25,12 +74,19 @@ CsrMatrix::multiplyAccumulate(const std::vector<double> &x,
 {
     if (x.size() != numCols || y.size() != numRows)
         fatal("CsrMatrix::multiplyAccumulate: size mismatch");
-    for (std::size_t r = 0; r < numRows; ++r) {
-        double acc = 0.0;
-        for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
-            acc += values[k] * x[cols_[k]];
-        y[r] += alpha * acc;
-    }
+    const std::size_t *rp = rowPtr.data();
+    const std::size_t *ci = cols_.data();
+    const double *av = values.data();
+    const double *xd = x.data();
+    double *yd = y.data();
+    forRows(numRows, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            double acc = 0.0;
+            for (std::size_t k = rp[r]; k < rp[r + 1]; ++k)
+                acc += av[k] * xd[ci[k]];
+            yd[r] += alpha * acc;
+        }
+    });
 }
 
 std::vector<double>

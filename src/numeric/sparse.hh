@@ -29,7 +29,21 @@ class CsrMatrix
     /** y = A * x. @pre x.size() == cols() */
     std::vector<double> multiply(const std::vector<double> &x) const;
 
-    /** y += alpha * A * x, in place. */
+    /**
+     * y = A * x, overwriting @p y (resized as needed). Unlike
+     * multiplyAccumulate this needs no zero-fill pass, which matters
+     * inside solver loops that recompute A p every iteration.
+     */
+    void apply(const std::vector<double> &x, std::vector<double> &y) const;
+
+    /**
+     * y += alpha * A * x, in place.
+     *
+     * Rows are independent, so both matvec kernels run on the shared
+     * ThreadPool above a size threshold; chunk boundaries depend only
+     * on the row count, keeping results bit-identical to the serial
+     * path at any thread count.
+     */
     void multiplyAccumulate(const std::vector<double> &x,
                             std::vector<double> &y, double alpha) const;
 

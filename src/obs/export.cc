@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 
 namespace irtherm::obs
 {
@@ -99,9 +100,39 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+namespace
+{
+
+/**
+ * Pull the thread pool's internal counters (base/ cannot depend on
+ * obs/, so the pool keeps its own atomics) into gauges at export
+ * time. Only the global registry gets them — custom registries used
+ * in tests stay exactly as their owners populated them.
+ */
+void
+syncThreadPoolGauges(const MetricsRegistry &reg)
+{
+    if (&reg != &MetricsRegistry::global())
+        return;
+    MetricsRegistry &g = MetricsRegistry::global();
+    const ThreadPool::Stats s = ThreadPool::cumulativeStats();
+    g.gauge("base.pool.threads")
+        .set(static_cast<double>(ThreadPool::plannedGlobalThreads()));
+    g.gauge("base.pool.parallel_regions")
+        .set(static_cast<double>(s.parallelRegions));
+    g.gauge("base.pool.chunks").set(static_cast<double>(s.chunks));
+    g.gauge("base.pool.serial_fallbacks")
+        .set(static_cast<double>(s.serialFallbacks));
+    g.gauge("base.pool.region_time_s")
+        .set(1e-9 * static_cast<double>(s.regionNanos));
+}
+
+} // namespace
+
 std::string
 metricsToJson(const MetricsRegistry &reg)
 {
+    syncThreadPoolGauges(reg);
     const auto names = reg.names();
 
     std::ostringstream os;
@@ -235,12 +266,14 @@ metricsTable(const MetricsRegistry &reg)
 void
 writeMetricsCsv(std::ostream &os, const MetricsRegistry &reg)
 {
+    syncThreadPoolGauges(reg);
     metricsTable(reg).printCsv(os);
 }
 
 void
 printMetricsSummary(std::ostream &os, const MetricsRegistry &reg)
 {
+    syncThreadPoolGauges(reg);
     metricsTable(reg).print(os);
 }
 

@@ -18,7 +18,8 @@ FdSolver::FdSolver(double die_width, double die_height,
                    FlowDirection direction, double ambient_,
                    const FdOptions &opts_)
     : opts(opts_), width(die_width), height(die_height),
-      thickness(die_thickness), ambient(ambient_)
+      thickness(die_thickness), ambient(ambient_),
+      g(opts_.nx, opts_.ny, opts_.nz + 1)
 {
     if (opts.nx == 0 || opts.ny == 0 || opts.nz == 0)
         fatal("FdSolver: zero grid dimension");
@@ -33,29 +34,23 @@ FdSolver::FdSolver(double die_width, double die_height,
     nodes = columns * opts.nz + columns; // silicon + oil film nodes
     cap.assign(nodes, 0.0);
 
-    SparseBuilder sb(nodes, nodes);
     const double k = silicon.conductivity;
     const double cv = silicon.volumetricHeatCapacity;
     const double cell_area = dx * dy;
 
-    // Silicon: capacitance plus 3-D conduction stamps.
+    // Silicon: capacitance plus 3-D conduction stamps, straight into
+    // the matrix-free stencil (layer nz is the oil film; its links
+    // are stamped below).
     for (std::size_t iz = 0; iz < opts.nz; ++iz) {
         for (std::size_t iy = 0; iy < opts.ny; ++iy) {
             for (std::size_t ix = 0; ix < opts.nx; ++ix) {
-                const std::size_t c = cellIndex(ix, iy, iz);
-                cap[c] = cv * cell_area * dz;
-                if (ix + 1 < opts.nx) {
-                    sb.stampConductance(c, cellIndex(ix + 1, iy, iz),
-                                        k * dy * dz / dx);
-                }
-                if (iy + 1 < opts.ny) {
-                    sb.stampConductance(c, cellIndex(ix, iy + 1, iz),
-                                        k * dx * dz / dy);
-                }
-                if (iz + 1 < opts.nz) {
-                    sb.stampConductance(c, cellIndex(ix, iy, iz + 1),
-                                        k * dx * dy / dz);
-                }
+                cap[cellIndex(ix, iy, iz)] = cv * cell_area * dz;
+                if (ix + 1 < opts.nx)
+                    g.stampLinkX(ix, iy, iz, k * dy * dz / dx);
+                if (iy + 1 < opts.ny)
+                    g.stampLinkY(ix, iy, iz, k * dx * dz / dy);
+                if (iz + 1 < opts.nz)
+                    g.stampLinkZ(ix, iy, iz, k * dx * dy / dz);
             }
         }
     }
@@ -88,21 +83,20 @@ FdSolver::FdSolver(double die_width, double die_height,
                 oil.volumetricHeatCapacity() * cell_area *
                 localBoundaryLayerThickness(oil, velocity, s);
 
-            const std::size_t si = cellIndex(ix, iy, top);
-            const std::size_t oil_node = oilIndex(ix, iy);
             // Half the film resistance on each side of the film node,
-            // plus conduction through the top half silicon slab.
+            // plus conduction through the top half silicon slab. The
+            // oil node is the (ix, iy) cell of stencil layer nz; that
+            // layer has no lateral links, so the columns stay
+            // thermally uncoupled through the film as before.
             const double g_half_slab = k * cell_area / (0.5 * dz);
             const double g_upper =
                 1.0 / (1.0 / (2.0 * g_conv) + 1.0 / g_half_slab);
-            sb.stampConductance(si, oil_node, g_upper);
-            sb.stampGroundConductance(oil_node, 2.0 * g_conv);
-            cap[oil_node] = film_cap;
+            g.stampLinkZ(ix, iy, top, g_upper);
+            g.stampGround(ix, iy, opts.nz, 2.0 * g_conv);
+            cap[oilIndex(ix, iy)] = film_cap;
             convConductance += g_conv;
         }
     }
-
-    g = sb.build();
 }
 
 std::size_t

@@ -27,7 +27,7 @@
 #include "core/package.hh"
 #include "materials/fluid.hh"
 #include "materials/material.hh"
-#include "numeric/sparse.hh"
+#include "numeric/grid_stencil.hh"
 
 namespace irtherm
 {
@@ -110,7 +110,13 @@ class FdSolver
     double ambient;
     double dx, dy, dz;
     std::size_t nodes;
-    CsrMatrix g;
+    /**
+     * Matrix-free (nz+1)-layer stencil: nz silicon slabs plus the
+     * per-column oil-film layer on top (no lateral links there).
+     * Node numbering is unchanged from the old CSR assembly:
+     * cellIndex() for silicon, oilIndex() == layer nz of the stencil.
+     */
+    GridStencilOperator g;
     std::vector<double> cap;
     double convConductance = 0.0;
 };

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests for the parallel numeric core: the thread pool's dispatch,
+ * determinism, and error handling, and the matrix-free grid stencil's
+ * equivalence to the assembled-CSR formulation.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "base/thread_pool.hh"
+#include "numeric/grid_stencil.hh"
+#include "numeric/iterative.hh"
+#include "numeric/linear_operator.hh"
+#include "numeric/ode.hh"
+#include "numeric/sparse.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+/** Restores the process-wide parallel switch on scope exit. */
+struct ParallelGuard
+{
+    bool saved = ThreadPool::parallelEnabled();
+    ~ParallelGuard() { ThreadPool::setParallelEnabled(saved); }
+};
+
+TEST(ThreadPool, StartupShutdown)
+{
+    for (int round = 0; round < 3; ++round) {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.threadCount(), 4u);
+    }
+    ThreadPool single(1);
+    EXPECT_EQ(single.threadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10007; // prime: exercises a ragged tail
+    for (std::size_t grain : {std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000},
+                              std::size_t{20000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(0, n, grain,
+                         [&](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i)
+                                 hits[i].fetch_add(1);
+                         });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ReduceSumMatchesSerialBitExactly)
+{
+    ThreadPool pool(4);
+    Rng rng(42);
+    const std::size_t n = 50000;
+    std::vector<double> v(n);
+    for (double &x : v)
+        x = rng.uniform(-1.0, 1.0);
+
+    auto chunkFn = [&](std::size_t b, std::size_t e) {
+        double s = 0.0;
+        for (std::size_t i = b; i < e; ++i)
+            s += v[i] * v[i];
+        return s;
+    };
+
+    for (std::size_t grain :
+         {std::size_t{128}, std::size_t{1024}, std::size_t{4096}}) {
+        // Serial reference with the identical chunk decomposition.
+        double serial = 0.0;
+        for (std::size_t b = 0; b < n; b += grain)
+            serial += chunkFn(b, std::min(n, b + grain));
+        const double parallel =
+            pool.parallelReduceSum(0, n, grain, chunkFn);
+        EXPECT_EQ(serial, parallel) << "grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 1000, 10,
+                         [](std::size_t b, std::size_t) {
+                             if (b >= 500)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+
+    // The pool must stay usable after an exception.
+    std::atomic<std::size_t> visited{0};
+    pool.parallelFor(0, 1000, 10,
+                     [&](std::size_t b, std::size_t e) {
+                         visited.fetch_add(e - b);
+                     });
+    EXPECT_EQ(visited.load(), 1000u);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> inner{0};
+    pool.parallelFor(0, 64, 4, [&](std::size_t b, std::size_t e) {
+        // A nested region from inside a worker must not deadlock.
+        pool.parallelFor(0, 10, 2,
+                         [&](std::size_t ib, std::size_t ie) {
+                             inner.fetch_add(ie - ib);
+                         });
+        (void)b;
+        (void)e;
+    });
+    EXPECT_EQ(inner.load(), 10u * (64 / 4));
+}
+
+TEST(ThreadPool, Blas1KernelsBitIdenticalSerialVsParallel)
+{
+    ParallelGuard guard;
+    // Pre-first-use override so the pooled branch really runs even
+    // on a single-core host (own process per discovered test).
+    ThreadPool::setGlobalThreads(4);
+    Rng rng(7);
+    const std::size_t n = 20000; // above the kernels' dispatch threshold
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.gaussian(0.0, 3.0);
+        b[i] = rng.gaussian(0.0, 3.0);
+    }
+
+    ThreadPool::setParallelEnabled(true);
+    const double dotPar = dot(a, b);
+    const double normPar = norm2(a);
+    ThreadPool::setParallelEnabled(false);
+    const double dotSer = dot(a, b);
+    const double normSer = norm2(a);
+
+    EXPECT_EQ(dotPar, dotSer);
+    EXPECT_EQ(normPar, normSer);
+}
+
+/** Random stencil with all link classes present plus ground paths. */
+GridStencilOperator
+randomStencil(std::size_t nx, std::size_t ny, std::size_t nz,
+              Rng &rng)
+{
+    GridStencilOperator op(nx, ny, nz);
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+                if (ix + 1 < nx)
+                    op.stampLinkX(ix, iy, iz, rng.uniform(0.1, 2.0));
+                if (iy + 1 < ny)
+                    op.stampLinkY(ix, iy, iz, rng.uniform(0.1, 2.0));
+                if (iz + 1 < nz)
+                    op.stampLinkZ(ix, iy, iz, rng.uniform(0.1, 2.0));
+                op.stampGround(ix, iy, iz, rng.uniform(0.01, 0.5));
+            }
+        }
+    }
+    return op;
+}
+
+TEST(GridStencil, MatvecMatchesAssembledCsr)
+{
+    Rng rng(11);
+    const GridStencilOperator op = randomStencil(7, 5, 4, rng);
+    const CsrMatrix csr = op.toCsr();
+    ASSERT_TRUE(csr.isSymmetric(1e-12));
+
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<double> x(op.rows());
+        for (double &v : x)
+            v = rng.gaussian(0.0, 1.0);
+
+        const std::vector<double> want = csr.multiply(x);
+        std::vector<double> got;
+        op.apply(x, got);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < want.size(); ++i)
+            EXPECT_NEAR(got[i], want[i],
+                        1e-12 * std::max(1.0, std::abs(want[i])));
+
+        // Accumulate form with a non-unit alpha.
+        std::vector<double> acc(op.rows(), 0.5);
+        std::vector<double> accWant = acc;
+        op.applyAccumulate(x, acc, -2.0);
+        csr.multiplyAccumulate(x, accWant, -2.0);
+        for (std::size_t i = 0; i < accWant.size(); ++i)
+            EXPECT_NEAR(acc[i], accWant[i],
+                        1e-12 * std::max(1.0, std::abs(accWant[i])));
+    }
+}
+
+TEST(GridStencil, UncoupledLayerViaZeroLateralLinks)
+{
+    // Two columns with no lateral coupling in the top layer (the
+    // FdSolver oil-film pattern): stamping only z links must leave
+    // top-layer cells independent of their lateral neighbours.
+    GridStencilOperator op(2, 1, 2);
+    op.stampLinkZ(0, 0, 0, 1.0);
+    op.stampLinkZ(1, 0, 0, 2.0);
+    op.stampGround(0, 0, 1, 3.0);
+    op.stampGround(1, 0, 1, 4.0);
+
+    const CsrMatrix csr = op.toCsr();
+    // No entry couples the two top-layer cells (indices 2 and 3).
+    EXPECT_EQ(csr.at(2, 3), 0.0);
+    EXPECT_EQ(csr.at(3, 2), 0.0);
+    EXPECT_DOUBLE_EQ(csr.at(2, 2), 1.0 + 3.0);
+    EXPECT_DOUBLE_EQ(csr.at(3, 3), 2.0 + 4.0);
+}
+
+TEST(GridStencil, ScaledShiftedMatchesCsrArithmetic)
+{
+    Rng rng(13);
+    const GridStencilOperator op = randomStencil(4, 4, 3, rng);
+    std::vector<double> shift(op.rows());
+    for (double &s : shift)
+        s = rng.uniform(0.5, 1.5);
+
+    const GridStencilOperator sys = op.scaledShifted(0.5, shift);
+
+    // Reference: 0.5 * A + diag(shift) assembled by hand.
+    const CsrMatrix a = op.toCsr();
+    std::vector<double> x(op.rows());
+    for (double &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    std::vector<double> ref(op.rows(), 0.0);
+    a.multiplyAccumulate(x, ref, 0.5);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ref[i] += shift[i] * x[i];
+
+    std::vector<double> got;
+    sys.apply(x, got);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(got[i], ref[i],
+                    1e-12 * std::max(1.0, std::abs(ref[i])));
+}
+
+TEST(GridStencil, SsorPreconditionerMatchesCsrSsor)
+{
+    Rng rng(17);
+    const GridStencilOperator op = randomStencil(5, 4, 3, rng);
+    const CsrMatrix csr = op.toCsr();
+
+    const StencilSsorPreconditioner stencilSsor(op, 1.4);
+    const SsorPreconditioner csrSsor(csr, 1.4);
+
+    std::vector<double> r(op.rows());
+    for (double &v : r)
+        v = rng.gaussian(0.0, 1.0);
+
+    std::vector<double> zs, zc;
+    stencilSsor.apply(r, zs);
+    csrSsor.apply(r, zc);
+    ASSERT_EQ(zs.size(), zc.size());
+    for (std::size_t i = 0; i < zs.size(); ++i)
+        EXPECT_NEAR(zs[i], zc[i],
+                    1e-10 * std::max(1.0, std::abs(zc[i])));
+}
+
+TEST(GridStencil, CgSolvesSameSystemAsCsr)
+{
+    Rng rng(19);
+    const GridStencilOperator op = randomStencil(8, 8, 3, rng);
+    const CsrMatrix csr = op.toCsr();
+    std::vector<double> b(op.rows());
+    for (double &v : b)
+        v = rng.uniform(0.0, 2.0);
+
+    IterativeOptions opts;
+    opts.tolerance = 1e-12;
+    const IterativeResult viaStencil = conjugateGradient(op, b, {}, opts);
+    const IterativeResult viaCsr = conjugateGradient(csr, b, {}, opts);
+    ASSERT_TRUE(viaStencil.converged);
+    ASSERT_TRUE(viaCsr.converged);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(viaStencil.x[i], viaCsr.x[i], 1e-8);
+}
+
+TEST(Preconditioners, Ic0BeatsOrMatchesJacobiIterations)
+{
+    Rng rng(23);
+    const GridStencilOperator op = randomStencil(10, 10, 2, rng);
+    const CsrMatrix csr = op.toCsr();
+    std::vector<double> b(op.rows(), 1.0);
+
+    IterativeOptions jac;
+    jac.tolerance = 1e-11;
+    jac.preconditioner = PreconditionerKind::Jacobi;
+    IterativeOptions ic0 = jac;
+    ic0.preconditioner = PreconditionerKind::Ic0;
+
+    const IterativeResult rj = conjugateGradient(csr, b, {}, jac);
+    const IterativeResult ri = conjugateGradient(csr, b, {}, ic0);
+    ASSERT_TRUE(rj.converged);
+    ASSERT_TRUE(ri.converged);
+    EXPECT_LE(ri.iterations, rj.iterations);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(ri.x[i], rj.x[i], 1e-7);
+}
+
+TEST(Integrators, StencilPathMatchesCsrPath)
+{
+    Rng rng(29);
+    const GridStencilOperator op = randomStencil(6, 6, 3, rng);
+    const CsrMatrix csr = op.toCsr();
+    std::vector<double> cap(op.rows());
+    for (double &c : cap)
+        c = rng.uniform(0.5, 2.0);
+    std::vector<double> power(op.rows());
+    for (double &p : power)
+        p = rng.uniform(0.0, 1.0);
+
+    const double dt = 1e-3;
+    std::vector<double> tCsr(op.rows(), 0.0), tStencil(op.rows(), 0.0);
+
+    BackwardEulerIntegrator beCsr(csr, cap, dt);
+    BackwardEulerIntegrator beStencil(op, cap, dt);
+    for (int s = 0; s < 10; ++s) {
+        beCsr.step(tCsr, power);
+        beStencil.step(tStencil, power);
+    }
+    for (std::size_t i = 0; i < tCsr.size(); ++i)
+        EXPECT_NEAR(tStencil[i], tCsr[i], 1e-8);
+
+    std::fill(tCsr.begin(), tCsr.end(), 0.0);
+    std::fill(tStencil.begin(), tStencil.end(), 0.0);
+    CrankNicolsonIntegrator cnCsr(csr, cap, dt);
+    CrankNicolsonIntegrator cnStencil(op, cap, dt);
+    for (int s = 0; s < 10; ++s) {
+        cnCsr.step(tCsr, power);
+        cnStencil.step(tStencil, power);
+    }
+    for (std::size_t i = 0; i < tCsr.size(); ++i)
+        EXPECT_NEAR(tStencil[i], tCsr[i], 1e-8);
+}
+
+TEST(Determinism, SteadyCgBitIdenticalSerialVsParallel)
+{
+    ParallelGuard guard;
+    // Force a real multi-thread pool regardless of the host's core
+    // count (each discovered test runs in its own process, so this
+    // pre-first-use override cannot leak into other tests), and make
+    // the system big enough that the SpMV / BLAS-1 kernels take
+    // their thread-pooled branch when parallelism is enabled.
+    ThreadPool::setGlobalThreads(4);
+    Rng rng(31);
+    const GridStencilOperator op = randomStencil(24, 24, 8, rng);
+    std::vector<double> b(op.rows());
+    for (double &v : b)
+        v = rng.uniform(0.0, 2.0);
+
+    IterativeOptions opts;
+    opts.tolerance = 1e-11;
+
+    ThreadPool::setParallelEnabled(true);
+    const IterativeResult par = conjugateGradient(op, b, {}, opts);
+    ThreadPool::setParallelEnabled(false);
+    const IterativeResult ser = conjugateGradient(op, b, {}, opts);
+
+    ASSERT_TRUE(par.converged);
+    ASSERT_TRUE(ser.converged);
+    ASSERT_EQ(par.iterations, ser.iterations);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        ASSERT_EQ(par.x[i], ser.x[i]) << "node " << i;
+}
+
+TEST(Solvers, BiCgStabReportsActualIterations)
+{
+    // A converged solve must not report the full budget (the old code
+    // returned maxIterations from every non-early-return exit).
+    SparseBuilder sb(3, 3);
+    sb.add(0, 0, 4.0);
+    sb.add(1, 1, 5.0);
+    sb.add(2, 2, 6.0);
+    sb.add(0, 1, 1.0); // one-sided: non-symmetric
+    const CsrMatrix a = sb.build();
+
+    IterativeOptions opts;
+    opts.maxIterations = 500;
+    const IterativeResult res = biCgStab(a, {4.0, 5.0, 6.0}, {}, opts);
+    ASSERT_TRUE(res.converged);
+    EXPECT_LT(res.iterations, opts.maxIterations);
+
+    // Exhausted-budget runs still report the budget.
+    IterativeOptions tiny;
+    tiny.maxIterations = 1;
+    tiny.tolerance = 1e-30;
+    const IterativeResult hard = biCgStab(a, {4.0, 5.0, 6.0}, {}, tiny);
+    EXPECT_EQ(hard.iterations, 1u);
+}
+
+} // namespace
+} // namespace irtherm

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Bench-trajectory harness: times the pre-PR solver configuration
+ * (assembled CSR, Jacobi-preconditioned CG, serial kernels,
+ * per-step preconditioner setup) against the current defaults
+ * (matrix-free stencil, SSOR, thread-pooled kernels, cached
+ * preconditioner + workspace) on the benchmark grid topologies, and
+ * writes the results as BENCH_perf.json (schema irtherm.bench.v1).
+ *
+ * This is deliberately a standalone tool rather than a parser over
+ * google-benchmark output: it measures exactly the baseline/optimized
+ * pairs the performance claims are stated over, in one process, so
+ * the two sides see identical machine conditions.
+ *
+ * usage: bench_to_json [-o <file>] [--repeat <n>]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "legacy_solvers.hh"
+#include "numeric/grid_stencil.hh"
+#include "numeric/iterative.hh"
+#include "numeric/ode.hh"
+
+namespace irtherm
+{
+namespace
+{
+
+/** Same grid topology as bench_perf_solvers: 4 silicon layers plus
+ *  an uncoupled film layer with ground paths. */
+GridStencilOperator
+makeGridOperator(std::size_t n)
+{
+    const std::size_t nzSi = 4;
+    GridStencilOperator op(n, n, nzSi + 1);
+    for (std::size_t iz = 0; iz < nzSi; ++iz) {
+        for (std::size_t iy = 0; iy < n; ++iy) {
+            for (std::size_t ix = 0; ix < n; ++ix) {
+                if (ix + 1 < n)
+                    op.stampLinkX(ix, iy, iz, 0.8);
+                if (iy + 1 < n)
+                    op.stampLinkY(ix, iy, iz, 0.8);
+                if (iz + 1 < nzSi)
+                    op.stampLinkZ(ix, iy, iz, 4.0);
+            }
+        }
+    }
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            op.stampLinkZ(ix, iy, nzSi - 1, 0.05);
+            op.stampGround(ix, iy, nzSi, 0.02);
+        }
+    }
+    return op;
+}
+
+/** Best-of-@p repeat wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+bestOf(int repeat, const Fn &fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < repeat; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct BenchRow
+{
+    std::string name;
+    std::string unit;       ///< what the times measure
+    double baselineSeconds = 0.0;
+    double optimizedSeconds = 0.0;
+    std::string baselineNote;
+    std::string optimizedNote;
+
+    double speedup() const
+    {
+        return optimizedSeconds > 0.0
+                   ? baselineSeconds / optimizedSeconds
+                   : 0.0;
+    }
+};
+
+/** Steady CG to 1e-11 on an n x n grid system. */
+BenchRow
+benchSteadyCg(std::size_t n, int repeat)
+{
+    const GridStencilOperator op = makeGridOperator(n);
+    const CsrMatrix csr = op.toCsr();
+    const std::vector<double> b(op.rows(), 1.0);
+
+    IterativeOptions opts;
+    opts.tolerance = 1e-11;
+    opts.maxIterations = 200000;
+
+    BenchRow row;
+    row.name = "steady_cg_grid" + std::to_string(n);
+    row.unit = "seconds per solve";
+
+    std::size_t baseIters = 0, optIters = 0;
+    ThreadPool::setParallelEnabled(false);
+    row.baselineSeconds = bestOf(repeat, [&] {
+        const IterativeResult r =
+            legacy::conjugateGradient(csr, b, {}, opts);
+        if (!r.converged)
+            fatal("baseline steady CG failed to converge");
+        baseIters = r.iterations;
+    });
+    ThreadPool::setParallelEnabled(true);
+    row.optimizedSeconds = bestOf(repeat, [&] {
+        const IterativeResult r = conjugateGradient(op, b, {}, opts);
+        if (!r.converged)
+            fatal("optimized steady CG failed to converge");
+        optIters = r.iterations;
+    });
+    row.baselineNote = "pre-PR csr+jacobi serial, " +
+                       std::to_string(baseIters) + " iters";
+    row.optimizedNote = "stencil+ssor pooled, " +
+                        std::to_string(optIters) + " iters";
+    return row;
+}
+
+/** Fixed-step transient throughput: @p steps Crank-Nicolson steps. */
+BenchRow
+benchTransientCn(std::size_t n, int steps, int repeat)
+{
+    const GridStencilOperator op = makeGridOperator(n);
+    const CsrMatrix csr = op.toCsr();
+    const std::vector<double> cap(op.rows(), 1.0);
+    const std::vector<double> power(op.rows(), 0.5);
+    const double dt = 1e-3;
+
+    BenchRow row;
+    row.name = "transient_cn_grid" + std::to_string(n) + "_x" +
+               std::to_string(steps);
+    row.unit = "seconds per " + std::to_string(steps) + " steps";
+
+    // Single-thread on both sides: this row isolates the algorithmic
+    // gains (matrix-free rhs, fused CG loops, cached preconditioner
+    // and workspace, zero per-step allocation).
+    ThreadPool::setParallelEnabled(false);
+    row.baselineSeconds = bestOf(repeat, [&] {
+        legacy::CrankNicolson cn(csr, cap, dt);
+        std::vector<double> t(op.rows(), 0.0);
+        for (int s = 0; s < steps; ++s)
+            cn.step(t, power);
+    });
+    row.optimizedSeconds = bestOf(repeat, [&] {
+        CrankNicolsonIntegrator cn(op, cap, dt);
+        std::vector<double> t(op.rows(), 0.0);
+        for (int s = 0; s < steps; ++s)
+            cn.step(t, power);
+    });
+    ThreadPool::setParallelEnabled(true);
+    row.baselineNote = "pre-PR per-step alloc csr+jacobi, 1 thread";
+    row.optimizedNote = "cached stencil integrator, 1 thread";
+    return row;
+}
+
+/** Pooled vs serial stencil matvec (pure parallel-scaling row). */
+BenchRow
+benchMatvec(std::size_t n, int calls, int repeat)
+{
+    const GridStencilOperator op = makeGridOperator(n);
+    std::vector<double> x(op.rows(), 1.0), y(op.rows());
+
+    BenchRow row;
+    row.name = "spmv_grid" + std::to_string(n) + "_x" +
+               std::to_string(calls);
+    row.unit = "seconds per " + std::to_string(calls) + " matvecs";
+
+    ThreadPool::setParallelEnabled(false);
+    row.baselineSeconds = bestOf(repeat, [&] {
+        for (int c = 0; c < calls; ++c)
+            op.apply(x, y);
+    });
+    ThreadPool::setParallelEnabled(true);
+    row.optimizedSeconds = bestOf(repeat, [&] {
+        for (int c = 0; c < calls; ++c)
+            op.apply(x, y);
+    });
+    row.baselineNote = "serial";
+    row.optimizedNote =
+        std::to_string(ThreadPool::plannedGlobalThreads()) +
+        " threads";
+    return row;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<BenchRow> &rows)
+{
+    os << "{\n  \"schema\": \"irtherm.bench.v1\",\n"
+       << "  \"threads\": " << ThreadPool::plannedGlobalThreads()
+       << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency()
+       << ",\n  \"baseline\": \"pre-PR serial Jacobi-CG solver path"
+          " (bench/legacy_solvers.hh)\",\n  \"benches\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const BenchRow &r = rows[i];
+        os << "    {\"name\": \"" << r.name << "\", \"unit\": \""
+           << r.unit << "\",\n"
+           << "     \"baseline_s\": " << jsonNum(r.baselineSeconds)
+           << ", \"baseline\": \"" << r.baselineNote << "\",\n"
+           << "     \"optimized_s\": " << jsonNum(r.optimizedSeconds)
+           << ", \"optimized\": \"" << r.optimizedNote << "\",\n"
+           << "     \"speedup\": " << jsonNum(r.speedup()) << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+} // namespace irtherm
+
+int
+main(int argc, char **argv)
+{
+    using namespace irtherm;
+
+    std::string outPath = "BENCH_perf.json";
+    int repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = std::max(1, std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_to_json [-o <file>] "
+                         "[--repeat <n>]\n");
+            return 2;
+        }
+    }
+
+    std::vector<BenchRow> rows;
+    rows.push_back(benchSteadyCg(16, repeat));
+    rows.push_back(benchSteadyCg(32, repeat));
+    rows.push_back(benchTransientCn(16, 50, repeat));
+    rows.push_back(benchMatvec(64, 200, repeat));
+
+    std::ofstream out(outPath);
+    if (!out)
+        fatal("bench_to_json: cannot open ", outPath);
+    writeJson(out, rows);
+
+    for (const BenchRow &r : rows) {
+        std::printf("%-28s baseline %.4gs  optimized %.4gs  "
+                    "speedup %.2fx\n",
+                    r.name.c_str(), r.baselineSeconds,
+                    r.optimizedSeconds, r.speedup());
+    }
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}
