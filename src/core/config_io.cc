@@ -100,6 +100,8 @@ parseConfig(std::istream &in)
             p.oilFlow.directional = flag();
         } else if (key == "oil_cap_at_interface") {
             p.oilFlow.capacitanceAtInterface = flag();
+        } else if (key == "oil_local_bl_cap") {
+            p.oilFlow.localBoundaryLayerCap = flag();
         } else if (key == "mc_velocity") {
             p.microchannel.flowVelocity = num();
         } else if (key == "mc_direction") {
@@ -122,6 +124,14 @@ parseConfig(std::istream &in)
             p.secondary.pcbThickness = num();
         } else if (key == "substrate_thickness") {
             p.secondary.substrateThickness = num();
+        } else if (key == "interconnect_thickness") {
+            p.secondary.interconnectThickness = num();
+        } else if (key == "c4_thickness") {
+            p.secondary.c4Thickness = num();
+        } else if (key == "solder_thickness") {
+            p.secondary.solderThickness = num();
+        } else if (key == "pcb_natural_h") {
+            p.secondary.pcbNaturalConvection = num();
         } else if (key == "model_mode") {
             if (value == "block") {
                 cfg.model.mode = ModelMode::Block;
@@ -189,6 +199,8 @@ writeConfig(std::ostream &out, const SimulationConfig &cfg)
         << "\n";
     oss << "oil_cap_at_interface "
         << (p.oilFlow.capacitanceAtInterface ? 1 : 0) << "\n";
+    oss << "oil_local_bl_cap "
+        << (p.oilFlow.localBoundaryLayerCap ? 1 : 0) << "\n";
     oss << "mc_velocity " << p.microchannel.flowVelocity << "\n";
     oss << "mc_direction "
         << flowDirectionName(p.microchannel.direction) << "\n";
@@ -204,6 +216,12 @@ writeConfig(std::ostream &out, const SimulationConfig &cfg)
     oss << "pcb_side " << p.secondary.pcbSide << "\n";
     oss << "pcb_thickness " << p.secondary.pcbThickness << "\n";
     oss << "substrate_thickness " << p.secondary.substrateThickness
+        << "\n";
+    oss << "interconnect_thickness "
+        << p.secondary.interconnectThickness << "\n";
+    oss << "c4_thickness " << p.secondary.c4Thickness << "\n";
+    oss << "solder_thickness " << p.secondary.solderThickness << "\n";
+    oss << "pcb_natural_h " << p.secondary.pcbNaturalConvection
         << "\n";
     oss << "model_mode "
         << (cfg.model.mode == ModelMode::Block ? "block" : "grid")

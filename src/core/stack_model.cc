@@ -680,20 +680,43 @@ std::vector<double>
 StackModel::steadyNodeTemperatures(
     const std::vector<double> &block_powers) const
 {
+    return steadyNodeTemperatures(block_powers, SteadySolveOptions{});
+}
+
+std::vector<double>
+StackModel::steadyNodeTemperatures(
+    const std::vector<double> &block_powers,
+    const SteadySolveOptions &solve_opts, SteadySolveInfo *info) const
+{
     const std::vector<double> p = nodePowerVector(block_powers);
     IterativeOptions opts;
-    opts.tolerance = 1e-11;
-    opts.maxIterations = 100000;
+    opts.tolerance = solve_opts.tolerance;
+    opts.maxIterations = solve_opts.maxIterations;
     // The stack network mixes regular grid cells with irregular strip
     // and package nodes, so it stays CSR (no stencil operator); SSOR
     // preconditioning still applies through the CSR path.
     opts.preconditioner = PreconditionerKind::Ssor;
+    std::vector<double> x0;
+    bool warm = false;
+    if (solve_opts.warmStart != nullptr &&
+        solve_opts.warmStart->size() == cap_.size()) {
+        x0 = *solve_opts.warmStart;
+        warm = true;
+    }
     auto &reg = obs::MetricsRegistry::global();
     obs::ScopedTimer span(reg.timer("core.steady.solve_time"));
-    IterativeResult res = solveLinear(g_, p, !advection, {}, opts);
+    IterativeResult res = solveLinear(g_, p, !advection, x0, opts);
     reg.counter("core.steady.solves").add();
+    if (warm)
+        reg.counter("core.steady.warm_starts").add();
     reg.histogram("core.steady.cg_iterations")
         .observe(static_cast<double>(res.iterations));
+    if (info != nullptr) {
+        info->iterations = res.iterations;
+        info->residualNorm = res.residualNorm;
+        info->initialResidualNorm = res.initialResidualNorm;
+        info->warmStarted = warm;
+    }
     if (!res.converged) {
         fatal("steadyNodeTemperatures: CG failed, residual ",
               res.residualNorm);

@@ -117,9 +117,41 @@ class StackModel
     siliconCellTemperatures(const std::vector<double> &node_temps) const;
 
     // --- solving ----------------------------------------------------------
+    /** Knobs for the steady-state solve (sweep jobs tune these). */
+    struct SteadySolveOptions
+    {
+        std::size_t maxIterations = 100000;
+        double tolerance = 1e-11; ///< relative to ||b||_2
+        /**
+         * Optional starting guess in temperature-rise space, node
+         * order (e.g. a completed solve of the same stack under
+         * different powers). Ignored when the size mismatches.
+         */
+        const std::vector<double> *warmStart = nullptr;
+    };
+
+    /** Telemetry from one steady solve. */
+    struct SteadySolveInfo
+    {
+        std::size_t iterations = 0;
+        double residualNorm = 0.0;
+        double initialResidualNorm = 0.0;
+        bool warmStarted = false;
+    };
+
     /** Steady-state node temperatures (kelvin, absolute). */
     std::vector<double>
     steadyNodeTemperatures(const std::vector<double> &block_powers) const;
+
+    /**
+     * Steady solve with explicit solver options and optional
+     * telemetry (@p info may be null). fatal() when the solver
+     * fails to converge within the budget.
+     */
+    std::vector<double>
+    steadyNodeTemperatures(const std::vector<double> &block_powers,
+                           const SteadySolveOptions &solve_opts,
+                           SteadySolveInfo *info = nullptr) const;
 
     /** Steady-state per-block silicon temperatures (kelvin). */
     std::vector<double>

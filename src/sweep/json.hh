@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal JSON reader for sweep plans and journals.
+ *
+ * irtherm's exporters *write* JSON (obs/export), but until the sweep
+ * engine nothing needed to read it back. This is a small strict
+ * recursive-descent parser over the full JSON grammar (objects,
+ * arrays, strings with escapes, numbers, booleans, null) with the
+ * config_io error philosophy: malformed input is fatal() with a
+ * line/column, never silently skipped.
+ *
+ * Object member order is preserved (a vector of pairs, not a map) so
+ * callers can report duplicate keys and keep deterministic iteration,
+ * but lookup is by name via find()/at().
+ */
+
+#ifndef IRTHERM_SWEEP_JSON_HH
+#define IRTHERM_SWEEP_JSON_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace irtherm::sweep
+{
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text; ///< String payload
+    std::vector<JsonValue> items; ///< Array payload
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by name; nullptr when absent. @pre isObject() */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member by name; fatal() when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Human-readable kind name for error messages. */
+    static const char *kindName(Kind kind);
+};
+
+/**
+ * Parse one JSON document; fatal() on syntax errors or trailing
+ * non-whitespace. @p context names the source in error messages
+ * (a file path, "journal line 12", ...).
+ */
+JsonValue parseJson(const std::string &text, const std::string &context);
+
+/** Load and parse a JSON file by path. */
+JsonValue loadJsonFile(const std::string &path);
+
+/**
+ * Canonical text form of a JSON scalar: strings pass through,
+ * booleans become "1"/"0", numbers take their shortest round-trip
+ * form (so 0.50, 5e-1, and 0.5 canonicalize identically). fatal()
+ * on arrays, objects, and null — scenario settings are
+ * scalar-valued.
+ */
+std::string scalarToString(const JsonValue &v, const std::string &context);
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_JSON_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sweep plans: a base scenario, optional explicit variants, and
+ * cross-product axes, parsed from a JSON plan file.
+ *
+ * Plan schema (all sections optional except one power/floorplan
+ * source somewhere):
+ *
+ *   {
+ *     "name": "air_vs_oil",
+ *     "base": {
+ *       "floorplan": "preset:ev6",
+ *       "power": {"uniform": 0.5, "block": {"IntReg": 10.0}},
+ *       "config": {"cooling": "oil", "model_mode": "grid"}
+ *     },
+ *     "scenarios": [ {"name": "pulse", "mode": "transient", ...} ],
+ *     "axes": {
+ *       "config.cooling": ["air", "oil"],
+ *       "config.oil_velocity": [0.1, 0.2, 0.5]
+ *     }
+ *   }
+ *
+ * Objects nest freely and flatten with dots ("config.cooling" and
+ * {"config": {"cooling": ...}} are the same key), so the expansion,
+ * hashing, and override logic all operate on flat ScenarioSpec maps.
+ * expand() yields one ScenarioSpec per (explicit scenario) x (axis
+ * assignment) combination: |scenarios or 1| * prod(|axis values|)
+ * jobs, in deterministic order (scenario order, then axes
+ * odometer-style with keys sorted and values in listed order).
+ */
+
+#ifndef IRTHERM_SWEEP_PLAN_HH
+#define IRTHERM_SWEEP_PLAN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.hh"
+
+namespace irtherm::sweep
+{
+
+/** One sweep axis: a scenario key and its candidate values. */
+struct SweepAxis
+{
+    std::string key;
+    std::vector<std::string> values; ///< canonical value strings
+};
+
+/** A parsed plan, ready to expand into a job list. */
+class SweepPlan
+{
+  public:
+    /** Parse a plan from JSON text; fatal() on schema violations. */
+    static SweepPlan parse(const std::string &json_text,
+                           const std::string &context);
+
+    /** Load a plan file by path. */
+    static SweepPlan load(const std::string &path);
+
+    const std::string &name() const { return planName; }
+    const ScenarioSpec &base() const { return baseSpec; }
+    const std::vector<ScenarioSpec> &scenarios() const
+    {
+        return explicitScenarios;
+    }
+    /** Axes sorted by key (expansion order). */
+    const std::vector<SweepAxis> &axes() const { return axisList; }
+
+    /** Number of jobs expand() will produce. */
+    std::size_t jobCount() const;
+
+    /**
+     * The cross-product job list. Each spec is base + explicit
+     * overrides + one axis assignment; its name gains a
+     * "k1=v1,k2=v2" suffix naming the assignment (short key: the
+     * part after the last '.').
+     */
+    std::vector<ScenarioSpec> expand() const;
+
+  private:
+    std::string planName = "sweep";
+    ScenarioSpec baseSpec;
+    std::vector<ScenarioSpec> explicitScenarios;
+    std::vector<SweepAxis> axisList;
+};
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_PLAN_HH

@@ -1,0 +1,175 @@
+#include "sweep/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/str.hh"
+#include "base/table.hh"
+#include "obs/export.hh"
+
+namespace irtherm::sweep
+{
+
+namespace
+{
+
+/** Result row cells shared by the CSV and Markdown renderers. */
+std::vector<std::string>
+summaryCells(const JobResult &r)
+{
+    if (r.status != JobStatus::Ok) {
+        return {jobStatusName(r.status), "-", "-", "-", "-",
+                r.warmStarted ? "1" : "0",
+                formatFixed(r.wallSeconds, 3), r.error};
+    }
+    return {jobStatusName(r.status),
+            r.hottestUnit,
+            formatFixed(r.peakCelsius, 2),
+            formatFixed(r.gradientKelvin, 2),
+            std::to_string(r.cgIterations),
+            r.warmStarted ? "1" : "0",
+            formatFixed(r.wallSeconds, 3),
+            r.error};
+}
+
+} // namespace
+
+void
+writeSweepCsv(std::ostream &os, const SweepPlan &plan,
+              const std::vector<ScenarioSpec> &jobs,
+              const ResultStore &store)
+{
+    std::vector<std::string> header{"name", "hash"};
+    for (const SweepAxis &axis : plan.axes())
+        header.push_back(axis.key);
+    for (const char *col :
+         {"status", "hottest", "peak_c", "gradient_k",
+          "cg_iterations", "warm_start", "wall_s", "error"})
+        header.emplace_back(col);
+
+    TextTable table(std::move(header));
+    for (const ScenarioSpec &spec : jobs) {
+        std::vector<std::string> row{spec.displayName(),
+                                     spec.hashHex()};
+        for (const SweepAxis &axis : plan.axes()) {
+            const std::string *v = spec.find(axis.key);
+            row.push_back(v != nullptr ? *v : "");
+        }
+        const JobResult *r = store.findResult(spec.hashHex());
+        if (r != nullptr) {
+            for (std::string &cell : summaryCells(*r))
+                row.push_back(std::move(cell));
+        } else {
+            // Interrupted before this job ran (stopAfter / kill).
+            row.insert(row.end(), {"pending", "-", "-", "-", "-",
+                                   "-", "-", ""});
+        }
+        table.addRow(std::move(row));
+    }
+    table.printCsv(os);
+}
+
+void
+writeSweepJson(std::ostream &os, const SweepPlan &plan,
+               const std::vector<ScenarioSpec> &jobs,
+               const ResultStore &store, const SweepSummary &summary)
+{
+    os << "{\n";
+    os << "  \"schema\": \"irtherm.sweep.v1\",\n";
+    os << "  \"plan\": \"" << obs::jsonEscape(plan.name()) << "\",\n";
+    os << "  \"total\": " << summary.total << ",\n";
+    os << "  \"executed\": " << summary.executed << ",\n";
+    os << "  \"ok\": " << summary.ok << ",\n";
+    os << "  \"failed\": " << summary.failed << ",\n";
+    os << "  \"timeout\": " << summary.timedOut << ",\n";
+    os << "  \"cached\": " << summary.cached << ",\n";
+    os << "  \"duplicates\": " << summary.duplicates << ",\n";
+    os << "  \"warm_started\": " << summary.warmStarted << ",\n";
+    os << "  \"axes\": {";
+    bool firstAxis = true;
+    for (const SweepAxis &axis : plan.axes()) {
+        if (!firstAxis)
+            os << ",";
+        firstAxis = false;
+        os << "\n    \"" << obs::jsonEscape(axis.key) << "\": [";
+        for (std::size_t i = 0; i < axis.values.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << "\"" << obs::jsonEscape(axis.values[i]) << "\"";
+        }
+        os << "]";
+    }
+    os << (firstAxis ? "},\n" : "\n  },\n");
+    os << "  \"results\": [";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\n    ";
+        const ScenarioSpec &spec = jobs[i];
+        const JobResult *r = store.findResult(spec.hashHex());
+        if (r != nullptr) {
+            os << r->toJsonLine();
+        } else {
+            os << "{\"hash\":\"" << obs::jsonEscape(spec.hashHex())
+               << "\",\"name\":\""
+               << obs::jsonEscape(spec.displayName())
+               << "\",\"status\":\"pending\"}";
+        }
+    }
+    os << (jobs.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+std::string
+renderMarkdownSummary(const std::vector<JobResult> &results,
+                      const std::string &title)
+{
+    std::size_t ok = 0, failed = 0, timedOut = 0;
+    for (const JobResult &r : results) {
+        switch (r.status) {
+          case JobStatus::Ok:
+            ++ok;
+            break;
+          case JobStatus::Failed:
+            ++failed;
+            break;
+          case JobStatus::Timeout:
+            ++timedOut;
+            break;
+        }
+    }
+
+    std::string md;
+    md += "# Sweep summary — " + title + "\n\n";
+    md += std::to_string(results.size()) + " scenario(s): " +
+          std::to_string(ok) + " ok, " + std::to_string(failed) +
+          " failed, " + std::to_string(timedOut) + " timed out.\n\n";
+    md += "| scenario | status | hottest unit | peak (C) | dT (K) |"
+          " CG iters | warm | wall (s) |\n";
+    md += "|---|---|---|---:|---:|---:|---|---:|\n";
+    for (const JobResult &r : results) {
+        // Pipes inside names would break the table layout.
+        std::string name = r.name;
+        std::replace(name.begin(), name.end(), '|', '/');
+        md += "| " + name + " | " + jobStatusName(r.status) + " | ";
+        if (r.status == JobStatus::Ok) {
+            md += r.hottestUnit + " | " +
+                  formatFixed(r.peakCelsius, 2) + " | " +
+                  formatFixed(r.gradientKelvin, 2) + " | " +
+                  std::to_string(r.cgIterations) + " | " +
+                  (r.warmStarted ? "yes" : "no") + " | " +
+                  formatFixed(r.wallSeconds, 3) + " |\n";
+        } else {
+            std::string err = r.error;
+            std::replace(err.begin(), err.end(), '|', '/');
+            std::replace(err.begin(), err.end(), '\n', ' ');
+            if (err.size() > 80)
+                err = err.substr(0, 77) + "...";
+            md += err + " | - | - | - | - | " +
+                  formatFixed(r.wallSeconds, 3) + " |\n";
+        }
+    }
+    return md;
+}
+
+} // namespace irtherm::sweep

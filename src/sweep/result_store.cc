@@ -1,0 +1,206 @@
+#include "sweep/result_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "base/logging.hh"
+#include "obs/export.hh"
+#include "sweep/json.hh"
+
+namespace irtherm::sweep
+{
+
+namespace
+{
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
+JobStatus
+parseJobStatus(const std::string &name)
+{
+    if (name == "ok")
+        return JobStatus::Ok;
+    if (name == "failed")
+        return JobStatus::Failed;
+    if (name == "timeout")
+        return JobStatus::Timeout;
+    fatal("sweep journal: unknown job status '", name, "'");
+}
+
+std::string
+JobResult::toJsonLine() const
+{
+    std::string out = "{";
+    out += "\"hash\":\"" + obs::jsonEscape(hash) + "\"";
+    out += ",\"name\":\"" + obs::jsonEscape(name) + "\"";
+    out += ",\"status\":\"" + std::string(jobStatusName(status)) + "\"";
+    out += ",\"error\":\"" + obs::jsonEscape(error) + "\"";
+    out += ",\"wall_s\":" + jsonNumber(wallSeconds);
+    out += ",\"peak_c\":" + jsonNumber(peakCelsius);
+    out += ",\"min_c\":" + jsonNumber(minCelsius);
+    out += ",\"gradient_k\":" + jsonNumber(gradientKelvin);
+    out += ",\"hottest\":\"" + obs::jsonEscape(hottestUnit) + "\"";
+    out += ",\"heat_primary_w\":" + jsonNumber(heatPrimaryWatts);
+    out += ",\"heat_secondary_w\":" + jsonNumber(heatSecondaryWatts);
+    out += ",\"cg_iterations\":" + std::to_string(cgIterations);
+    out += ",\"warm_start\":";
+    out += warmStarted ? "true" : "false";
+    out += ",\"blocks\":{";
+    bool first = true;
+    for (const auto &[block, celsius] : blockCelsius) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "\"" + obs::jsonEscape(block) +
+               "\":" + jsonNumber(celsius);
+    }
+    out += "}}";
+    return out;
+}
+
+JobResult
+JobResult::fromJsonLine(const std::string &line,
+                        const std::string &context)
+{
+    const JsonValue doc = parseJson(line, context);
+    if (!doc.isObject())
+        fatal(context, ": journal entry must be an object");
+
+    auto str = [&](const char *key) -> std::string {
+        const JsonValue &v = doc.at(key);
+        if (!v.isString())
+            fatal(context, ": '", key, "' must be a string");
+        return v.text;
+    };
+    auto num = [&](const char *key) -> double {
+        const JsonValue &v = doc.at(key);
+        if (!v.isNumber())
+            fatal(context, ": '", key, "' must be a number");
+        return v.number;
+    };
+
+    JobResult r;
+    r.hash = str("hash");
+    r.name = str("name");
+    r.status = parseJobStatus(str("status"));
+    r.error = str("error");
+    r.wallSeconds = num("wall_s");
+    r.peakCelsius = num("peak_c");
+    r.minCelsius = num("min_c");
+    r.gradientKelvin = num("gradient_k");
+    r.hottestUnit = str("hottest");
+    r.heatPrimaryWatts = num("heat_primary_w");
+    r.heatSecondaryWatts = num("heat_secondary_w");
+    r.cgIterations = static_cast<std::size_t>(num("cg_iterations"));
+    const JsonValue &warm = doc.at("warm_start");
+    if (!warm.isBool())
+        fatal(context, ": 'warm_start' must be a boolean");
+    r.warmStarted = warm.boolean;
+    const JsonValue &blocks = doc.at("blocks");
+    if (!blocks.isObject())
+        fatal(context, ": 'blocks' must be an object");
+    for (const auto &[block, celsius] : blocks.members) {
+        if (!celsius.isNumber())
+            fatal(context, ": block temperature must be a number");
+        r.blockCelsius.emplace_back(block, celsius.number);
+    }
+    return r;
+}
+
+ResultStore::ResultStore(const std::string &dir) : dir_(dir)
+{
+    if (dir_.empty())
+        fatal("sweep: output directory must not be empty");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("sweep: cannot create output directory '", dir_,
+              "': ", ec.message());
+    journal.open(journalPath(), std::ios::app);
+    if (!journal)
+        fatal("sweep: cannot open journal '", journalPath(), "'");
+}
+
+std::string
+ResultStore::journalPath() const
+{
+    return (std::filesystem::path(dir_) / "journal.jsonl").string();
+}
+
+std::size_t
+ResultStore::loadJournal()
+{
+    std::ifstream in(journalPath());
+    if (!in)
+        return 0;
+    std::lock_guard<std::mutex> lock(mu);
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t loaded = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JobResult r = JobResult::fromJsonLine(
+            line,
+            journalPath() + " line " + std::to_string(lineno));
+        byHash[r.hash] = std::move(r);
+        ++loaded;
+    }
+    return loaded;
+}
+
+bool
+ResultStore::has(const std::string &hash) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return byHash.count(hash) != 0;
+}
+
+const JobResult *
+ResultStore::findResult(const std::string &hash) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = byHash.find(hash);
+    return it == byHash.end() ? nullptr : &it->second;
+}
+
+void
+ResultStore::add(const JobResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    journal << result.toJsonLine() << "\n";
+    journal.flush();
+    byHash[result.hash] = result;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return byHash.size();
+}
+
+} // namespace irtherm::sweep

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Completed-job cache with a crash-safe JSONL journal.
+ *
+ * Every finished job (ok, failed, or timed out) is recorded in
+ * memory keyed by its scenario hash AND appended to
+ * <dir>/journal.jsonl, one JSON object per line, flushed
+ * immediately — so a sweep killed mid-flight loses at most the jobs
+ * that were still running. On --resume the store reloads the
+ * journal and the runner skips every journaled hash, re-simulating
+ * exactly the jobs that never reached the journal.
+ */
+
+#ifndef IRTHERM_SWEEP_RESULT_STORE_HH
+#define IRTHERM_SWEEP_RESULT_STORE_HH
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace irtherm::sweep
+{
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,
+    Failed,  ///< resolve/build/solve raised (e.g. diverging CG)
+    Timeout, ///< exceeded the per-job deadline
+};
+
+const char *jobStatusName(JobStatus status);
+
+/** Parse a status name ("ok", "failed", "timeout"); fatal() else. */
+JobStatus parseJobStatus(const std::string &name);
+
+/** Everything a completed job reports. */
+struct JobResult
+{
+    std::string hash; ///< 16-hex scenario hash (the cache key)
+    std::string name; ///< display label
+    JobStatus status = JobStatus::Ok;
+    std::string error; ///< failure text; empty when ok
+    double wallSeconds = 0.0;
+
+    // Thermal summary (valid when status == Ok).
+    double peakCelsius = 0.0;     ///< hottest silicon cell
+    double minCelsius = 0.0;      ///< coolest silicon cell
+    double gradientKelvin = 0.0;  ///< peak - min (the paper's dT)
+    std::string hottestUnit;      ///< block holding the peak
+    double heatPrimaryWatts = 0.0;   ///< through the cooling side
+    double heatSecondaryWatts = 0.0; ///< through the package path
+    std::size_t cgIterations = 0; ///< steady-solve iterations
+    bool warmStarted = false;     ///< seeded from a cached neighbor
+    /** Per-block steady silicon temperatures (celsius). */
+    std::vector<std::pair<std::string, double>> blockCelsius;
+
+    /** Serialize as one journal JSONL line (no trailing newline). */
+    std::string toJsonLine() const;
+
+    /** Parse a journal line; fatal() on malformed entries. */
+    static JobResult fromJsonLine(const std::string &line,
+                                  const std::string &context);
+};
+
+/**
+ * Thread-safe result cache over an output directory. Creates the
+ * directory on construction; add() appends to the journal under a
+ * lock and flushes before returning.
+ */
+class ResultStore
+{
+  public:
+    explicit ResultStore(const std::string &dir);
+
+    /** Reload <dir>/journal.jsonl; returns entries loaded. */
+    std::size_t loadJournal();
+
+    bool has(const std::string &hash) const;
+
+    /** Result for a hash, or nullptr. The pointer stays valid until
+     *  the store is destroyed (results are never removed). */
+    const JobResult *findResult(const std::string &hash) const;
+
+    /** Record a completed job and journal it durably. */
+    void add(const JobResult &result);
+
+    std::size_t size() const;
+
+    const std::string &directory() const { return dir_; }
+    std::string journalPath() const;
+
+  private:
+    mutable std::mutex mu;
+    std::string dir_;
+    std::map<std::string, JobResult> byHash;
+    std::ofstream journal;
+};
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_RESULT_STORE_HH

@@ -1,0 +1,352 @@
+#include "sweep/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "analysis/thermal_map.hh"
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "base/units.hh"
+#include "core/simulator.hh"
+#include "core/stack_model.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+#include "sweep/report.hh"
+
+namespace irtherm::sweep
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Thrown by deadline checks; converted to JobStatus::Timeout. */
+struct JobTimeout
+{
+};
+
+void
+checkDeadline(Clock::time_point deadline)
+{
+    if (deadline != Clock::time_point::max() && Clock::now() > deadline)
+        throw JobTimeout{};
+}
+
+/**
+ * Steady-state temperature-rise vectors of completed jobs, keyed by
+ * stack hash. A later job over the same RC network starts its CG
+ * solve from a neighbor's field instead of from zero.
+ */
+class WarmStartCache
+{
+  public:
+    /** Copy of the cached rise vector; empty when none. */
+    std::vector<double>
+    lookup(std::uint64_t stack_hash) const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = riseByStack.find(stack_hash);
+        return it == riseByStack.end() ? std::vector<double>{}
+                                       : it->second;
+    }
+
+    void
+    store(std::uint64_t stack_hash, std::vector<double> rise)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        riseByStack[stack_hash] = std::move(rise);
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::map<std::uint64_t, std::vector<double>> riseByStack;
+};
+
+/** Fill the thermal summary of @p r from a solved node state. */
+void
+summarize(JobResult &r, const StackModel &model,
+          const std::vector<double> &nodes)
+{
+    const std::vector<double> cells =
+        model.siliconCellTemperatures(nodes);
+    double hi = -std::numeric_limits<double>::infinity();
+    double lo = std::numeric_limits<double>::infinity();
+    for (const double t : cells) {
+        hi = std::max(hi, t);
+        lo = std::min(lo, t);
+    }
+    r.peakCelsius = toCelsius(hi);
+    r.minCelsius = toCelsius(lo);
+    r.gradientKelvin = hi - lo;
+
+    const std::vector<double> blockMax =
+        model.blockMaxTemperatures(nodes);
+    const std::vector<double> blockMean =
+        model.blockTemperatures(nodes);
+    const Floorplan &fp = model.floorplan();
+    std::size_t hottest = 0;
+    for (std::size_t b = 0; b < blockMax.size(); ++b) {
+        if (blockMax[b] > blockMax[hottest])
+            hottest = b;
+    }
+    if (!blockMax.empty())
+        r.hottestUnit = fp.block(hottest).name;
+    for (std::size_t b = 0; b < blockMean.size(); ++b) {
+        r.blockCelsius.emplace_back(fp.block(b).name,
+                                    toCelsius(blockMean[b]));
+    }
+    r.heatPrimaryWatts = model.heatThroughPrimary(nodes);
+    r.heatSecondaryWatts = model.heatThroughSecondary(nodes);
+}
+
+/** Run one scenario end to end; never throws (failure isolation). */
+JobResult
+runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
+          WarmStartCache &warm)
+{
+    JobResult r;
+    r.hash = spec.hashHex();
+    r.name = spec.displayName();
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point deadline =
+        opts.jobTimeoutSeconds > 0.0
+            ? start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              opts.jobTimeoutSeconds))
+            : Clock::time_point::max();
+    try {
+        const ResolvedScenario rs = spec.resolve();
+        checkDeadline(deadline);
+        const StackModel model(rs.floorplan, rs.config.package,
+                               rs.config.model);
+        checkDeadline(deadline);
+
+        std::vector<double> nodes;
+        if (!rs.transient) {
+            const std::uint64_t stack = spec.stackHash();
+            const std::vector<double> guess = warm.lookup(stack);
+            StackModel::SteadySolveOptions sopts;
+            sopts.maxIterations = rs.maxIterations;
+            sopts.tolerance = rs.tolerance;
+            if (!guess.empty())
+                sopts.warmStart = &guess;
+            StackModel::SteadySolveInfo info;
+            nodes = model.steadyNodeTemperatures(rs.blockPowers,
+                                                 sopts, &info);
+            r.cgIterations = info.iterations;
+            r.warmStarted = info.warmStarted;
+            std::vector<double> rise = nodes;
+            for (double &t : rise)
+                t -= rs.config.package.ambient;
+            warm.store(stack, std::move(rise));
+            summarize(r, model, nodes);
+        } else {
+            SimulatorOptions so;
+            so.integrator = rs.integrator;
+            so.implicitStep = rs.trace->sampleInterval();
+            ThermalSimulator sim(model, so);
+            sim.initializeSteady(rs.trace->averagePowers());
+            checkDeadline(deadline);
+            double peak = -std::numeric_limits<double>::infinity();
+            for (std::size_t s = 0; s < rs.trace->sampleCount();
+                 ++s) {
+                sim.setBlockPowers(rs.trace->sample(s));
+                sim.advance(rs.trace->sampleInterval());
+                peak = std::max(peak, sim.maxSiliconTemperature());
+                if (s % 32 == 31)
+                    checkDeadline(deadline);
+            }
+            nodes = sim.nodeTemperatures();
+            summarize(r, model, nodes);
+            // Report the replay-wide peak, not just the final
+            // sample's (the warm-up / pulse experiments care about
+            // the excursion).
+            r.peakCelsius = std::max(r.peakCelsius, toCelsius(peak));
+        }
+
+        if (rs.writeMap && rs.config.model.mode == ModelMode::Grid) {
+            const ThermalMap map = ThermalMap::fromModel(model, nodes);
+            const std::filesystem::path base =
+                std::filesystem::path(opts.outDir) / r.hash;
+            std::ofstream csv(base.string() + ".map.csv");
+            map.writeCsv(csv);
+            std::ofstream ppm(base.string() + ".map.ppm");
+            map.writePpm(ppm);
+        }
+        r.status = JobStatus::Ok;
+    } catch (const JobTimeout &) {
+        r.status = JobStatus::Timeout;
+        r.error = "job deadline exceeded";
+    } catch (const std::exception &e) {
+        r.status = JobStatus::Failed;
+        r.error = e.what();
+    }
+    r.wallSeconds = std::chrono::duration<double>(Clock::now() - start)
+                        .count();
+    return r;
+}
+
+/** RAII: run sweep jobs with the numeric-kernel pool disabled. */
+class SerialKernelGuard
+{
+  public:
+    SerialKernelGuard() : wasEnabled(ThreadPool::parallelEnabled())
+    {
+        ThreadPool::setParallelEnabled(false);
+    }
+    ~SerialKernelGuard()
+    {
+        ThreadPool::setParallelEnabled(wasEnabled);
+    }
+    SerialKernelGuard(const SerialKernelGuard &) = delete;
+    SerialKernelGuard &operator=(const SerialKernelGuard &) = delete;
+
+  private:
+    bool wasEnabled;
+};
+
+} // namespace
+
+SweepSummary
+runSweep(const SweepPlan &plan, const SweepOptions &opts)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    obs::ScopedTimer batchSpan(reg.timer("sweep.batch_time"));
+
+    SweepSummary sum;
+    sum.outDir = opts.outDir;
+
+    const std::vector<ScenarioSpec> jobs = plan.expand();
+    sum.total = jobs.size();
+    reg.gauge("sweep.plan.jobs").set(static_cast<double>(sum.total));
+
+    ResultStore store(opts.outDir);
+    sum.journalPath = store.journalPath();
+    if (opts.resume) {
+        const std::size_t journaled = store.loadJournal();
+        IRTHERM_EVENT("sweep.resume", {"plan", plan.name()},
+                      {"journaled", journaled});
+    }
+
+    // Pending = not journaled, first occurrence of its hash.
+    std::vector<const ScenarioSpec *> pending;
+    std::set<std::string> queued;
+    for (const ScenarioSpec &spec : jobs) {
+        const std::string hash = spec.hashHex();
+        if (store.has(hash)) {
+            ++sum.cached;
+            reg.counter("sweep.jobs.cached").add();
+            continue;
+        }
+        if (!queued.insert(hash).second) {
+            ++sum.duplicates;
+            reg.counter("sweep.jobs.duplicate").add();
+            continue;
+        }
+        pending.push_back(&spec);
+    }
+    IRTHERM_EVENT("sweep.start", {"plan", plan.name()},
+                  {"jobs", sum.total}, {"pending", pending.size()},
+                  {"cached", sum.cached});
+
+    SerialKernelGuard serialKernels;
+    WarmStartCache warm;
+    std::atomic<std::size_t> nextJob{0};
+    std::atomic<std::size_t> executed{0};
+    std::mutex sumMu;
+
+    auto workerLoop = [&]() {
+        while (true) {
+            if (opts.stopAfter != 0 &&
+                executed.load(std::memory_order_relaxed) >=
+                    opts.stopAfter)
+                break;
+            const std::size_t i =
+                nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= pending.size())
+                break;
+            const ScenarioSpec &spec = *pending[i];
+            JobResult r;
+            {
+                obs::ScopedTimer jobSpan(reg.timer("sweep.job_time"));
+                r = runOneJob(spec, opts, warm);
+            }
+            store.add(r);
+            executed.fetch_add(1, std::memory_order_relaxed);
+            reg.counter("sweep.jobs.executed").add();
+            IRTHERM_EVENT("sweep.job.done", {"name", r.name},
+                          {"hash", r.hash},
+                          {"status", jobStatusName(r.status)},
+                          {"peak_c", r.peakCelsius},
+                          {"wall_s", r.wallSeconds});
+            std::lock_guard<std::mutex> lock(sumMu);
+            switch (r.status) {
+              case JobStatus::Ok:
+                ++sum.ok;
+                reg.counter("sweep.jobs.ok").add();
+                break;
+              case JobStatus::Failed:
+                ++sum.failed;
+                reg.counter("sweep.jobs.failed").add();
+                warn("sweep: job '", r.name, "' failed: ", r.error);
+                break;
+              case JobStatus::Timeout:
+                ++sum.timedOut;
+                reg.counter("sweep.jobs.timeout").add();
+                warn("sweep: job '", r.name, "' timed out after ",
+                     r.wallSeconds, " s");
+                break;
+            }
+            if (r.warmStarted) {
+                ++sum.warmStarted;
+                reg.counter("sweep.warm_start.hits").add();
+            }
+        }
+    };
+
+    std::size_t width =
+        opts.workers != 0 ? opts.workers
+                          : ThreadPool::plannedGlobalThreads();
+    width = std::max<std::size_t>(1, std::min(width, pending.size()));
+    if (width <= 1) {
+        workerLoop();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(width);
+        for (std::size_t t = 0; t < width; ++t)
+            threads.emplace_back(workerLoop);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    sum.executed = executed.load();
+
+    if (opts.writeReports) {
+        const std::filesystem::path dir(opts.outDir);
+        sum.csvPath = (dir / "report.csv").string();
+        sum.jsonPath = (dir / "report.json").string();
+        std::ofstream csv(sum.csvPath);
+        if (!csv)
+            fatal("sweep: cannot write ", sum.csvPath);
+        writeSweepCsv(csv, plan, jobs, store);
+        std::ofstream json(sum.jsonPath);
+        if (!json)
+            fatal("sweep: cannot write ", sum.jsonPath);
+        writeSweepJson(json, plan, jobs, store, sum);
+    }
+
+    IRTHERM_EVENT("sweep.done", {"plan", plan.name()},
+                  {"executed", sum.executed}, {"ok", sum.ok},
+                  {"failed", sum.failed}, {"timeout", sum.timedOut},
+                  {"cached", sum.cached});
+    return sum;
+}
+
+} // namespace irtherm::sweep

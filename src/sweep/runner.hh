@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Batch job runner: schedules expanded scenarios across worker
+ * threads with failure isolation, per-job deadlines, steady-state
+ * warm-start reuse, and journal-backed resume.
+ *
+ * Scheduling model: the runner owns its worker threads (one job per
+ * worker) and *disables* the numeric kernels' thread-pool
+ * parallelism for the duration of the sweep, so each job runs its
+ * solves single-threaded. Running N single-threaded jobs side by
+ * side is both faster for a batch and immune to the nested-pool
+ * serialization the base::ThreadPool region lock would impose (PR 2
+ * documents why nesting parallel regions is a hazard). PR 2's
+ * serial-vs-parallel bit-identity guarantee means per-job results do
+ * not change because of this.
+ *
+ * Failure isolation: a job that throws (bad scenario key, missing
+ * file, diverging CG solve) is recorded as `failed` with the error
+ * text; its siblings are unaffected. A job that exceeds the
+ * per-job deadline (checked at phase boundaries: resolve, model
+ * build, every 32 transient samples) is recorded as `timeout`.
+ *
+ * Warm starts: jobs sharing a stack hash (same floorplan + config
+ * keys, i.e. the same RC network) seed their steady CG solve from
+ * the most recent completed neighbor's temperature-rise vector.
+ *
+ * Resume: with SweepOptions::resume, previously journaled hashes are
+ * skipped entirely — a re-run of a completed sweep performs zero
+ * simulations.
+ */
+
+#ifndef IRTHERM_SWEEP_RUNNER_HH
+#define IRTHERM_SWEEP_RUNNER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sweep/plan.hh"
+#include "sweep/result_store.hh"
+
+namespace irtherm::sweep
+{
+
+/** Runner configuration. */
+struct SweepOptions
+{
+    /** Output directory: journal, reports, per-job map files. */
+    std::string outDir = "sweep_out";
+    /** Concurrent jobs; 0 = one per hardware thread (the planned
+     *  global pool width). */
+    std::size_t workers = 0;
+    /** Per-job deadline in seconds; 0 disables. Checked at phase
+     *  boundaries, so a job overruns by at most one phase. */
+    double jobTimeoutSeconds = 0.0;
+    /** Skip scenarios already present in the journal. */
+    bool resume = false;
+    /** Write report.csv / report.json after the batch. */
+    bool writeReports = true;
+    /**
+     * Stop claiming new jobs once this many have executed (0 = run
+     * all). This simulates a killed process for the resume tests —
+     * the journal then holds exactly the executed jobs. Exact with
+     * workers == 1; with more workers in-flight jobs still finish.
+     */
+    std::size_t stopAfter = 0;
+};
+
+/** What a sweep did, plus where it wrote its artifacts. */
+struct SweepSummary
+{
+    std::size_t total = 0;      ///< expanded scenarios
+    std::size_t executed = 0;   ///< simulated this run
+    std::size_t ok = 0;         ///< executed and succeeded
+    std::size_t failed = 0;     ///< executed and failed
+    std::size_t timedOut = 0;   ///< executed and hit the deadline
+    std::size_t cached = 0;     ///< skipped: journaled by a prior run
+    std::size_t duplicates = 0; ///< skipped: same hash earlier in plan
+    std::size_t warmStarted = 0;///< executed with a CG warm start
+    std::string outDir;
+    std::string journalPath;
+    std::string csvPath;  ///< empty unless reports were written
+    std::string jsonPath; ///< empty unless reports were written
+};
+
+/** Expand @p plan and run it to completion under @p opts. */
+SweepSummary runSweep(const SweepPlan &plan, const SweepOptions &opts);
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_RUNNER_HH

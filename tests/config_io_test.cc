@@ -121,6 +121,42 @@ TEST(ConfigIo, WriteParseRoundTrip)
     EXPECT_EQ(back.model.gridNy, 40u);
 }
 
+TEST(ConfigIo, OilSiliconFullRoundTrip)
+{
+    // Every OIL-SILICON parameter the sweep layer can vary must
+    // survive write -> parse, including the secondary-path layer
+    // thicknesses that previously had no config keys.
+    SimulationConfig cfg;
+    cfg.package = PackageConfig::makeOilSilicon(
+        0.35, FlowDirection::RightToLeft, 40.0);
+    cfg.package.oilFlow.directional = true;
+    cfg.package.oilFlow.capacitanceAtInterface = false;
+    cfg.package.oilFlow.localBoundaryLayerCap = true;
+    cfg.package.secondary.enabled = true;
+    cfg.package.secondary.interconnectThickness = 11e-6;
+    cfg.package.secondary.c4Thickness = 95e-6;
+    cfg.package.secondary.solderThickness = 0.95e-3;
+    cfg.package.secondary.pcbNaturalConvection = 9.5;
+
+    std::stringstream ss;
+    writeConfig(ss, cfg);
+    const SimulationConfig back = parseConfig(ss);
+
+    EXPECT_EQ(back.package.cooling, CoolingKind::OilSilicon);
+    EXPECT_DOUBLE_EQ(back.package.oilFlow.velocity, 0.35);
+    EXPECT_EQ(back.package.oilFlow.direction,
+              FlowDirection::RightToLeft);
+    EXPECT_TRUE(back.package.oilFlow.directional);
+    EXPECT_FALSE(back.package.oilFlow.capacitanceAtInterface);
+    EXPECT_TRUE(back.package.oilFlow.localBoundaryLayerCap);
+    EXPECT_TRUE(back.package.secondary.enabled);
+    EXPECT_DOUBLE_EQ(
+        back.package.secondary.interconnectThickness, 11e-6);
+    EXPECT_DOUBLE_EQ(back.package.secondary.c4Thickness, 95e-6);
+    EXPECT_DOUBLE_EQ(back.package.secondary.solderThickness, 0.95e-3);
+    EXPECT_DOUBLE_EQ(back.package.secondary.pcbNaturalConvection, 9.5);
+}
+
 TEST(ConfigIo, MicrochannelRoundTrip)
 {
     SimulationConfig cfg;

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * sweep_report — render a sweep journal as a Markdown summary.
+ *
+ * Reads the JSONL journal a sweep run left behind (or a full sweep
+ * output directory, in which case <dir>/journal.jsonl is used) and
+ * writes a Markdown table with one row per scenario: status, hottest
+ * unit, peak temperature, across-die gradient, CG iterations,
+ * warm-start flag, and wall time. Paste-able into a PR or lab
+ * notebook.
+ *
+ * usage: sweep_report <journal.jsonl | sweep-out-dir> [-o <file>]
+ *                     [--title <text>]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sweep/report.hh"
+#include "sweep/result_store.hh"
+
+using namespace irtherm;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sweep_report <journal.jsonl | sweep-out-dir> "
+        "[-o <file>] [--title <text>]\n"
+        "renders a sweep journal as a Markdown summary table\n");
+}
+
+std::vector<sweep::JobResult>
+loadJournal(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open journal '", path, "'");
+    std::vector<sweep::JobResult> results;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        results.push_back(sweep::JobResult::fromJsonLine(
+            line, path + " line " + std::to_string(lineno)));
+    }
+    return results;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string inputPath;
+        std::string outPath;
+        std::string title;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value after ", arg);
+                return argv[++i];
+            };
+            if (arg == "-o") {
+                outPath = value();
+            } else if (arg == "--title") {
+                title = value();
+            } else if (arg == "-h" || arg == "--help") {
+                usage();
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                fatal("unknown argument '", arg, "'");
+            } else if (inputPath.empty()) {
+                inputPath = arg;
+            } else {
+                fatal("unexpected argument '", arg, "'");
+            }
+        }
+        if (inputPath.empty()) {
+            usage();
+            return 2;
+        }
+        if (std::filesystem::is_directory(inputPath)) {
+            inputPath = (std::filesystem::path(inputPath) /
+                         "journal.jsonl")
+                            .string();
+        }
+        if (title.empty())
+            title = inputPath;
+
+        const std::vector<sweep::JobResult> results =
+            loadJournal(inputPath);
+        const std::string md =
+            sweep::renderMarkdownSummary(results, title);
+
+        if (outPath.empty()) {
+            std::cout << md;
+        } else {
+            std::ofstream out(outPath);
+            if (!out)
+                fatal("cannot write '", outPath, "'");
+            out << md;
+            std::printf("wrote %s (%zu scenario rows)\n",
+                        outPath.c_str(), results.size());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_report: %s\n", e.what());
+        return 1;
+    }
+}
