@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Error taxonomy refining base/logging.hh's FatalError.
+ *
+ * fatal() reports "the caller asked for something invalid" but says
+ * nothing about *which layer* rejected it, which is exactly what a
+ * batch runner needs to decide whether retrying can possibly help.
+ * The resilience layer therefore refines FatalError into four
+ * classes:
+ *
+ *  - ConfigError:  bad user input (config keys, plan files, scenario
+ *                  settings). Deterministic; retrying is pointless.
+ *  - NumericError: a solver failed (divergence, indefinite system,
+ *                  non-finite values). Retryable — transient causes
+ *                  (an injected fault, a poisoned warm start) clear
+ *                  on a fresh attempt, and the bounded retry budget
+ *                  caps the cost when the cause is persistent.
+ *  - IoError:      the filesystem misbehaved (unreadable file,
+ *                  failed write). Retryable.
+ *  - TimeoutError: a cooperative deadline expired. Not retried by
+ *                  the job runner (the watchdog owns escalation).
+ *
+ * Every class derives from FatalError, so existing
+ * `catch (FatalError&)` sites and EXPECT_THROW(…, FatalError) tests
+ * keep working unchanged. classifyException() maps any in-flight
+ * exception back onto the taxonomy for journaling.
+ */
+
+#ifndef IRTHERM_BASE_ERRORS_HH
+#define IRTHERM_BASE_ERRORS_HH
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace irtherm
+{
+
+/** User configuration / input rejected; deterministic. */
+class ConfigError : public FatalError
+{
+  public:
+    explicit ConfigError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** A numeric solve failed (divergence, NaN/Inf, indefinite system). */
+class NumericError : public FatalError
+{
+  public:
+    explicit NumericError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Filesystem / stream failure. */
+class IoError : public FatalError
+{
+  public:
+    explicit IoError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** A cooperative deadline expired. */
+class TimeoutError : public FatalError
+{
+  public:
+    explicit TimeoutError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Journal-facing discriminator for a failed job's cause. */
+enum class ErrorClass
+{
+    None,     ///< no error (status ok)
+    Config,   ///< ConfigError
+    Numeric,  ///< NumericError
+    Io,       ///< IoError
+    Timeout,  ///< TimeoutError / cooperative deadline
+    Internal, ///< anything else (PanicError, bare FatalError, ...)
+};
+
+/** Lowercase stable name ("config", "numeric", ...). */
+inline const char *
+errorClassName(ErrorClass c)
+{
+    switch (c) {
+      case ErrorClass::None:
+        return "none";
+      case ErrorClass::Config:
+        return "config";
+      case ErrorClass::Numeric:
+        return "numeric";
+      case ErrorClass::Io:
+        return "io";
+      case ErrorClass::Timeout:
+        return "timeout";
+      case ErrorClass::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+/**
+ * Inverse of errorClassName(). Unknown names map to Internal rather
+ * than throwing so journals written by future versions still load.
+ */
+inline ErrorClass
+parseErrorClass(const std::string &name)
+{
+    if (name == "none")
+        return ErrorClass::None;
+    if (name == "config")
+        return ErrorClass::Config;
+    if (name == "numeric")
+        return ErrorClass::Numeric;
+    if (name == "io")
+        return ErrorClass::Io;
+    if (name == "timeout")
+        return ErrorClass::Timeout;
+    return ErrorClass::Internal;
+}
+
+/**
+ * Whether a fresh attempt at the same work can plausibly succeed.
+ * Config errors are deterministic and timeouts are the watchdog's
+ * problem; numeric and I/O failures are worth a bounded retry.
+ */
+inline bool
+errorClassRetryable(ErrorClass c)
+{
+    return c == ErrorClass::Numeric || c == ErrorClass::Io;
+}
+
+/** Map a caught exception onto the taxonomy. */
+inline ErrorClass
+classifyException(const std::exception &e)
+{
+    if (dynamic_cast<const ConfigError *>(&e) != nullptr)
+        return ErrorClass::Config;
+    if (dynamic_cast<const NumericError *>(&e) != nullptr)
+        return ErrorClass::Numeric;
+    if (dynamic_cast<const IoError *>(&e) != nullptr)
+        return ErrorClass::Io;
+    if (dynamic_cast<const TimeoutError *>(&e) != nullptr)
+        return ErrorClass::Timeout;
+    return ErrorClass::Internal;
+}
+
+/** fatal() counterparts throwing the refined classes. */
+template <typename... Args>
+[[noreturn]] void
+configError(Args &&...args)
+{
+    throw ConfigError(
+        detail::formatMessage(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+numericError(Args &&...args)
+{
+    throw NumericError(
+        detail::formatMessage(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+ioError(Args &&...args)
+{
+    throw IoError(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+timeoutError(Args &&...args)
+{
+    throw TimeoutError(
+        detail::formatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_ERRORS_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 
 namespace irtherm
@@ -59,13 +60,16 @@ startsWith(const std::string &s, const std::string &prefix)
 double
 parseDouble(const std::string &s, const std::string &context)
 {
+    // Malformed numbers are user input errors: throw the taxonomy's
+    // ConfigError (still a FatalError) so batch runners classify them
+    // as deterministic rather than retryable.
     const std::string t = trim(s);
     if (t.empty())
-        fatal(context, ": empty numeric field");
+        configError(context, ": empty numeric field");
     char *end = nullptr;
     const double v = std::strtod(t.c_str(), &end);
     if (end == t.c_str() || *end != '\0')
-        fatal(context, ": invalid number '", t, "'");
+        configError(context, ": invalid number '", t, "'");
     return v;
 }
 

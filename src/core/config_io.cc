@@ -1,10 +1,12 @@
 #include "core/config_io.hh"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "base/units.hh"
@@ -23,7 +25,7 @@ parseFlowDirection(const std::string &name)
         return FlowDirection::BottomToTop;
     if (name == "top-to-bottom")
         return FlowDirection::TopToBottom;
-    fatal("config: unknown flow direction '", name, "'");
+    configError("config: unknown flow direction '", name, "'");
 }
 
 SimulationConfig
@@ -45,19 +47,27 @@ parseConfig(std::istream &in)
 
         const std::vector<std::string> tok = splitWhitespace(stripped);
         if (tok.size() != 2) {
-            fatal("config line ", lineno,
+            configError("config line ", lineno,
                   ": expected '<key> <value>'");
         }
         const std::string &key = tok[0];
         const std::string &value = tok[1];
         const std::string ctx = "config line " + std::to_string(lineno);
         auto num = [&]() { return parseDouble(value, ctx); };
+        auto dim = [&]() -> std::size_t {
+            const double v = num();
+            if (v < 1.0 || v != std::floor(v)) {
+                configError(ctx, ": expected a positive integer, got '",
+                            value, "'");
+            }
+            return static_cast<std::size_t>(v);
+        };
         auto flag = [&]() {
             if (value == "1" || value == "true" || value == "yes")
                 return true;
             if (value == "0" || value == "false" || value == "no")
                 return false;
-            fatal(ctx, ": expected a boolean, got '", value, "'");
+            configError(ctx, ": expected a boolean, got '", value, "'");
         };
 
         PackageConfig &p = cfg.package;
@@ -71,7 +81,7 @@ parseConfig(std::istream &in)
             } else if (value == "natural") {
                 p.cooling = CoolingKind::NaturalConvection;
             } else {
-                fatal(ctx, ": cooling must be 'air', 'oil', "
+                configError(ctx, ": cooling must be 'air', 'oil', "
                            "'microchannel', or 'natural'");
             }
         } else if (key == "ambient") {
@@ -138,14 +148,14 @@ parseConfig(std::istream &in)
             } else if (value == "grid") {
                 cfg.model.mode = ModelMode::Grid;
             } else {
-                fatal(ctx, ": model_mode must be 'block' or 'grid'");
+                configError(ctx, ": model_mode must be 'block' or 'grid'");
             }
         } else if (key == "grid_nx") {
-            cfg.model.gridNx = static_cast<std::size_t>(num());
+            cfg.model.gridNx = dim();
         } else if (key == "grid_ny") {
-            cfg.model.gridNy = static_cast<std::size_t>(num());
+            cfg.model.gridNy = dim();
         } else {
-            fatal(ctx, ": unknown key '", key, "'");
+            configError(ctx, ": unknown key '", key, "'");
         }
     }
     return cfg;
@@ -156,7 +166,7 @@ loadConfig(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("config: cannot open '", path, "'");
+        ioError("config: cannot open '", path, "'");
     return parseConfig(in);
 }
 

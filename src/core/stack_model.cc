@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/errors.hh"
+#include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "materials/convection.hh"
 #include "numeric/iterative.hh"
+#include "numeric/robust_solve.hh"
 #include "obs/metrics.hh"
 
 namespace irtherm
@@ -705,7 +708,25 @@ StackModel::steadyNodeTemperatures(
     }
     auto &reg = obs::MetricsRegistry::global();
     obs::ScopedTimer span(reg.timer("core.steady.solve_time"));
-    IterativeResult res = solveLinear(g_, p, !advection, x0, opts);
+    IterativeResult res;
+    int tier = 0;
+    std::string method;
+    if (solve_opts.fallback) {
+        RobustSolveOptions ropts;
+        ropts.iterative = opts;
+        ropts.symmetric = !advection;
+        ropts.scope = FaultInjector::currentContext();
+        RobustSolveResult rob = robustSolve(g_, p, x0, ropts);
+        res = std::move(rob.solve);
+        tier = rob.fallbackTier;
+        method = std::move(rob.method);
+    } else {
+        res = solveLinear(g_, p, !advection, x0, opts);
+        if (!res.converged) {
+            numericError("steadyNodeTemperatures: solver failed, "
+                         "residual ", res.residualNorm);
+        }
+    }
     reg.counter("core.steady.solves").add();
     if (warm)
         reg.counter("core.steady.warm_starts").add();
@@ -716,10 +737,8 @@ StackModel::steadyNodeTemperatures(
         info->residualNorm = res.residualNorm;
         info->initialResidualNorm = res.initialResidualNorm;
         info->warmStarted = warm;
-    }
-    if (!res.converged) {
-        fatal("steadyNodeTemperatures: CG failed, residual ",
-              res.residualNorm);
+        info->fallbackTier = tier;
+        info->method = std::move(method);
     }
     for (double &t : res.x)
         t += pkg_.ambient;

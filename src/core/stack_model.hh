@@ -128,6 +128,13 @@ class StackModel
          * different powers). Ignored when the size mismatches.
          */
         const std::vector<double> *warmStart = nullptr;
+        /**
+         * Escalate through the verified fallback chain (Jacobi-CG,
+         * BiCGSTAB, dense LU) when the primary solve fails
+         * verification. Off restores fail-fast semantics: the first
+         * non-converged solve throws NumericError.
+         */
+        bool fallback = true;
     };
 
     /** Telemetry from one steady solve. */
@@ -137,6 +144,10 @@ class StackModel
         double residualNorm = 0.0;
         double initialResidualNorm = 0.0;
         bool warmStarted = false;
+        /** Fallback escalations taken (0 = primary method passed). */
+        int fallbackTier = 0;
+        /** Solver that produced the answer (e.g. "ssor-cg"). */
+        std::string method;
     };
 
     /** Steady-state node temperatures (kelvin, absolute). */
@@ -145,8 +156,8 @@ class StackModel
 
     /**
      * Steady solve with explicit solver options and optional
-     * telemetry (@p info may be null). fatal() when the solver
-     * fails to converge within the budget.
+     * telemetry (@p info may be null). Throws NumericError when the
+     * solver (and, unless disabled, its fallback chain) fails.
      */
     std::vector<double>
     steadyNodeTemperatures(const std::vector<double> &block_powers,

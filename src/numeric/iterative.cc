@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "base/errors.hh"
+#include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/metrics.hh"
@@ -128,6 +131,16 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
     double rr = dot(r, r);
     res.initialResidualNorm = std::sqrt(rr);
 
+    // Fault probes (single relaxed load each when disarmed).
+    if (FaultInjector::global().shouldFire("cg.diverge")) {
+        res.residualNorm = res.initialResidualNorm;
+        return res; // converged == false: caller's fallback takes over
+    }
+    if (FaultInjector::global().shouldFire("cg.nan")) {
+        r[0] = std::numeric_limits<double>::quiet_NaN();
+        rr = r[0];
+    }
+
     const double bnorm = std::max(norm2(b), 1e-300);
     precond->apply(r, z);
     p = z;
@@ -142,6 +155,15 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
 
     for (std::size_t it = 0; it < opts.maxIterations; ++it) {
         res.residualNorm = std::sqrt(rr);
+        if (!std::isfinite(res.residualNorm)) {
+            // NaN/Inf contaminated the recurrence (bad input, an
+            // injected fault, or breakdown): every later iterate
+            // would stay poisoned, so report failure immediately and
+            // let the caller's fallback chain rebuild cleanly.
+            res.iterations = it;
+            iterCounter.add(it);
+            return res;
+        }
         if (res.residualNorm <= opts.tolerance * bnorm) {
             res.converged = true;
             res.iterations = it;
@@ -151,8 +173,11 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
 
         a.apply(p, ap);
         const double pap = dot(p, ap);
-        if (pap <= 0.0)
-            fatal("conjugateGradient: matrix not positive definite");
+        // Negated comparison so a NaN curvature lands here too.
+        if (!(pap > 0.0)) {
+            numericError("conjugateGradient: matrix not positive "
+                         "definite (p·Ap = ", pap, ")");
+        }
         const double alpha = rz / pap;
 
         // Fused: update x and r and accumulate the new ||r||^2 in one
@@ -214,6 +239,12 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
     std::vector<double> r = b;
     a.multiplyAccumulate(res.x, r, -1.0);
     res.initialResidualNorm = norm2(r);
+    // Same probe as CG so a targeted scope can force every iterative
+    // tier of the fallback chain to report divergence.
+    if (FaultInjector::global().shouldFire("cg.diverge")) {
+        res.residualNorm = res.initialResidualNorm;
+        return res;
+    }
     const std::vector<double> r_hat = r; // shadow residual
     const double bnorm = std::max(norm2(b), 1e-300);
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/fault_injection.hh"
 #include "base/logging.hh"
+#include "numeric/robust_solve.hh"
 
 namespace irtherm
 {
@@ -288,14 +290,22 @@ BackwardEulerIntegrator::step(std::vector<double> &temps,
         symmetric ? conjugateGradient(*system, rhs, temps, solverOpts,
                                       precond.get(), &ws)
                   : biCgStab(systemCsr, rhs, temps, solverOpts);
+    if (!r.converged) {
+        // Rebuild through the verified fallback chain instead of
+        // aborting (a transient NaN or injected fault clears on a
+        // fresh tier); NumericError when every tier fails.
+        RobustSolveOptions ropts;
+        ropts.iterative = solverOpts;
+        ropts.symmetric = symmetric;
+        ropts.scope = FaultInjector::currentContext();
+        const CsrMatrix *csr =
+            systemCsr.rows() == n ? &systemCsr : nullptr;
+        r = robustSolve(*system, csr, rhs, temps, ropts, &ws).solve;
+    }
     solvesMetric.add();
     iterationsHist.observe(static_cast<double>(r.iterations));
     warmStartHist.observe(r.initialResidualNorm);
     residualGauge.set(r.residualNorm);
-    if (!r.converged) {
-        fatal("BackwardEulerIntegrator: CG failed to converge, residual ",
-              r.residualNorm);
-    }
     temps = std::move(r.x);
 }
 
@@ -406,12 +416,18 @@ CrankNicolsonIntegrator::step(std::vector<double> &temps,
         symmetric ? conjugateGradient(*system, rhs, temps, solverOpts,
                                       precond.get(), &ws)
                   : biCgStab(systemCsr, rhs, temps, solverOpts);
+    if (!r.converged) {
+        // Same escalation as BackwardEulerIntegrator::step.
+        RobustSolveOptions ropts;
+        ropts.iterative = solverOpts;
+        ropts.symmetric = symmetric;
+        ropts.scope = FaultInjector::currentContext();
+        const CsrMatrix *csr =
+            systemCsr.rows() == n ? &systemCsr : nullptr;
+        r = robustSolve(*system, csr, rhs, temps, ropts, &ws).solve;
+    }
     solvesMetric.add();
     iterationsHist.observe(static_cast<double>(r.iterations));
-    if (!r.converged) {
-        fatal("CrankNicolsonIntegrator: CG failed to converge, residual ",
-              r.residualNorm);
-    }
     temps = std::move(r.x);
 }
 

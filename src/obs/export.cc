@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "base/fault_injection.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
 
@@ -125,6 +126,11 @@ syncThreadPoolGauges(const MetricsRegistry &reg)
         .set(static_cast<double>(s.serialFallbacks));
     g.gauge("base.pool.region_time_s")
         .set(1e-9 * static_cast<double>(s.regionNanos));
+    // Same pattern for the fault injector (also in base/): surface
+    // how many faults actually fired so an instrumented run's stats
+    // dump proves whether the injection campaign reached its targets.
+    g.gauge("resilience.faults.injected")
+        .set(static_cast<double>(FaultInjector::global().fired()));
 }
 
 } // namespace

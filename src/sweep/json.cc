@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 
 namespace irtherm::sweep
@@ -37,7 +38,7 @@ class Parser
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        fatal(ctx, ": line ", line, " col ", col, ": ", what);
+        configError(ctx, ": line ", line, " col ", col, ": ", what);
     }
 
     char
@@ -322,7 +323,7 @@ JsonValue::at(const std::string &key) const
 {
     const JsonValue *v = find(key);
     if (v == nullptr)
-        fatal("json: missing required key '", key, "'");
+        configError("json: missing required key '", key, "'");
     return *v;
 }
 
@@ -358,7 +359,7 @@ loadJsonFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("json: cannot open '", path, "'");
+        ioError("json: cannot open '", path, "'");
     std::ostringstream body;
     body << in.rdbuf();
     return parseJson(body.str(), path);
@@ -381,7 +382,7 @@ scalarToString(const JsonValue &v, const std::string &context)
         return std::string(buf, res.ptr);
       }
       default:
-        fatal(context, ": expected a scalar, got ",
+        configError(context, ": expected a scalar, got ",
               JsonValue::kindName(v.kind));
     }
 }

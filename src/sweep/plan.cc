@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 #include "sweep/json.hh"
 
@@ -19,7 +20,7 @@ flattenInto(ScenarioSpec &spec, const JsonValue &obj,
             const std::string &prefix, const std::string &ctx)
 {
     if (!obj.isObject())
-        fatal(ctx, ": expected an object");
+        configError(ctx, ": expected an object");
     for (const auto &[key, value] : obj.members) {
         const std::string full =
             prefix.empty() ? key : prefix + "." + key;
@@ -38,19 +39,19 @@ SweepPlan::parse(const std::string &json_text, const std::string &context)
 {
     const JsonValue doc = parseJson(json_text, context);
     if (!doc.isObject())
-        fatal(context, ": plan must be a JSON object");
+        configError(context, ": plan must be a JSON object");
 
     SweepPlan plan;
     for (const auto &[key, value] : doc.members) {
         if (key == "name") {
             if (!value.isString())
-                fatal(context, ": 'name' must be a string");
+                configError(context, ": 'name' must be a string");
             plan.planName = value.text;
         } else if (key == "base") {
             flattenInto(plan.baseSpec, value, "", context + ": base");
         } else if (key == "scenarios") {
             if (!value.isArray())
-                fatal(context, ": 'scenarios' must be an array");
+                configError(context, ": 'scenarios' must be an array");
             for (std::size_t i = 0; i < value.items.size(); ++i) {
                 ScenarioSpec s;
                 flattenInto(s, value.items[i], "",
@@ -60,10 +61,10 @@ SweepPlan::parse(const std::string &json_text, const std::string &context)
             }
         } else if (key == "axes") {
             if (!value.isObject())
-                fatal(context, ": 'axes' must be an object");
+                configError(context, ": 'axes' must be an object");
             for (const auto &[axisKey, axisValues] : value.members) {
                 if (!axisValues.isArray() || axisValues.items.empty()) {
-                    fatal(context, ": axis '", axisKey,
+                    configError(context, ": axis '", axisKey,
                           "' must be a non-empty array");
                 }
                 SweepAxis axis;
@@ -81,7 +82,7 @@ SweepPlan::parse(const std::string &json_text, const std::string &context)
                           return a.key < b.key;
                       });
         } else {
-            fatal(context, ": unknown plan key '", key, "'");
+            configError(context, ": unknown plan key '", key, "'");
         }
     }
     return plan;
@@ -92,7 +93,7 @@ SweepPlan::load(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("sweep plan: cannot open '", path, "'");
+        ioError("sweep plan: cannot open '", path, "'");
     std::ostringstream body;
     body << in.rdbuf();
     return parse(body.str(), path);

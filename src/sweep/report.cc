@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "base/errors.hh"
 #include "base/str.hh"
 #include "base/table.hh"
 #include "obs/export.hh"
@@ -20,6 +21,9 @@ summaryCells(const JobResult &r)
     if (r.status != JobStatus::Ok) {
         return {jobStatusName(r.status), "-", "-", "-", "-",
                 r.warmStarted ? "1" : "0",
+                std::to_string(r.attempts),
+                std::to_string(r.fallbackTier),
+                errorClassName(r.errorClass),
                 formatFixed(r.wallSeconds, 3), r.error};
     }
     return {jobStatusName(r.status),
@@ -28,6 +32,9 @@ summaryCells(const JobResult &r)
             formatFixed(r.gradientKelvin, 2),
             std::to_string(r.cgIterations),
             r.warmStarted ? "1" : "0",
+            std::to_string(r.attempts),
+            std::to_string(r.fallbackTier),
+            errorClassName(r.errorClass),
             formatFixed(r.wallSeconds, 3),
             r.error};
 }
@@ -44,7 +51,8 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
         header.push_back(axis.key);
     for (const char *col :
          {"status", "hottest", "peak_c", "gradient_k",
-          "cg_iterations", "warm_start", "wall_s", "error"})
+          "cg_iterations", "warm_start", "attempts", "fallback_tier",
+          "error_class", "wall_s", "error"})
         header.emplace_back(col);
 
     TextTable table(std::move(header));
@@ -62,7 +70,7 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
         } else {
             // Interrupted before this job ran (stopAfter / kill).
             row.insert(row.end(), {"pending", "-", "-", "-", "-",
-                                   "-", "-", ""});
+                                   "-", "-", "-", "-", "-", ""});
         }
         table.addRow(std::move(row));
     }
@@ -82,9 +90,13 @@ writeSweepJson(std::ostream &os, const SweepPlan &plan,
     os << "  \"ok\": " << summary.ok << ",\n";
     os << "  \"failed\": " << summary.failed << ",\n";
     os << "  \"timeout\": " << summary.timedOut << ",\n";
+    os << "  \"hung\": " << summary.hung << ",\n";
     os << "  \"cached\": " << summary.cached << ",\n";
     os << "  \"duplicates\": " << summary.duplicates << ",\n";
     os << "  \"warm_started\": " << summary.warmStarted << ",\n";
+    os << "  \"resilience\": {\"retried\": " << summary.retried
+       << ", \"fallbacks\": " << summary.fallbacks
+       << ", \"quarantined\": " << summary.quarantined << "},\n";
     os << "  \"axes\": {";
     bool firstAxis = true;
     for (const SweepAxis &axis : plan.axes()) {
@@ -124,7 +136,8 @@ std::string
 renderMarkdownSummary(const std::vector<JobResult> &results,
                       const std::string &title)
 {
-    std::size_t ok = 0, failed = 0, timedOut = 0;
+    std::size_t ok = 0, failed = 0, timedOut = 0, hung = 0;
+    std::size_t retried = 0, fallbacks = 0;
     for (const JobResult &r : results) {
         switch (r.status) {
           case JobStatus::Ok:
@@ -136,14 +149,27 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
           case JobStatus::Timeout:
             ++timedOut;
             break;
+          case JobStatus::Hung:
+            ++hung;
+            break;
         }
+        if (r.attempts > 1)
+            ++retried;
+        if (r.fallbackTier > 0)
+            ++fallbacks;
     }
 
     std::string md;
     md += "# Sweep summary — " + title + "\n\n";
     md += std::to_string(results.size()) + " scenario(s): " +
           std::to_string(ok) + " ok, " + std::to_string(failed) +
-          " failed, " + std::to_string(timedOut) + " timed out.\n\n";
+          " failed, " + std::to_string(timedOut) + " timed out, " +
+          std::to_string(hung) + " hung.\n\n";
+    if (retried > 0 || fallbacks > 0) {
+        md += "Resilience: " + std::to_string(retried) +
+              " job(s) retried, " + std::to_string(fallbacks) +
+              " used a solver fallback.\n\n";
+    }
     md += "| scenario | status | hottest unit | peak (C) | dT (K) |"
           " CG iters | warm | wall (s) |\n";
     md += "|---|---|---|---:|---:|---:|---|---:|\n";

@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <tuple>
+#include <vector>
 
+#include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "sweep/json.hh"
 
 namespace irtherm::sweep
@@ -33,6 +37,8 @@ jobStatusName(JobStatus status)
         return "failed";
       case JobStatus::Timeout:
         return "timeout";
+      case JobStatus::Hung:
+        return "hung";
     }
     return "?";
 }
@@ -46,7 +52,9 @@ parseJobStatus(const std::string &name)
         return JobStatus::Failed;
     if (name == "timeout")
         return JobStatus::Timeout;
-    fatal("sweep journal: unknown job status '", name, "'");
+    if (name == "hung")
+        return JobStatus::Hung;
+    configError("sweep journal: unknown job status '", name, "'");
 }
 
 std::string
@@ -57,6 +65,10 @@ JobResult::toJsonLine() const
     out += ",\"name\":\"" + obs::jsonEscape(name) + "\"";
     out += ",\"status\":\"" + std::string(jobStatusName(status)) + "\"";
     out += ",\"error\":\"" + obs::jsonEscape(error) + "\"";
+    out += ",\"error_class\":\"" +
+           std::string(errorClassName(errorClass)) + "\"";
+    out += ",\"attempts\":" + std::to_string(attempts);
+    out += ",\"fallback_tier\":" + std::to_string(fallbackTier);
     out += ",\"wall_s\":" + jsonNumber(wallSeconds);
     out += ",\"peak_c\":" + jsonNumber(peakCelsius);
     out += ",\"min_c\":" + jsonNumber(minCelsius);
@@ -86,18 +98,18 @@ JobResult::fromJsonLine(const std::string &line,
 {
     const JsonValue doc = parseJson(line, context);
     if (!doc.isObject())
-        fatal(context, ": journal entry must be an object");
+        configError(context, ": journal entry must be an object");
 
     auto str = [&](const char *key) -> std::string {
         const JsonValue &v = doc.at(key);
         if (!v.isString())
-            fatal(context, ": '", key, "' must be a string");
+            configError(context, ": '", key, "' must be a string");
         return v.text;
     };
     auto num = [&](const char *key) -> double {
         const JsonValue &v = doc.at(key);
         if (!v.isNumber())
-            fatal(context, ": '", key, "' must be a number");
+            configError(context, ": '", key, "' must be a number");
         return v.number;
     };
 
@@ -106,6 +118,22 @@ JobResult::fromJsonLine(const std::string &line,
     r.name = str("name");
     r.status = parseJobStatus(str("status"));
     r.error = str("error");
+    // Resilience fields: absent in journals written by older builds.
+    if (const JsonValue *v = doc.find("error_class")) {
+        if (!v->isString())
+            configError(context, ": 'error_class' must be a string");
+        r.errorClass = parseErrorClass(v->text);
+    }
+    if (const JsonValue *v = doc.find("attempts")) {
+        if (!v->isNumber())
+            configError(context, ": 'attempts' must be a number");
+        r.attempts = static_cast<std::size_t>(v->number);
+    }
+    if (const JsonValue *v = doc.find("fallback_tier")) {
+        if (!v->isNumber())
+            configError(context, ": 'fallback_tier' must be a number");
+        r.fallbackTier = static_cast<int>(v->number);
+    }
     r.wallSeconds = num("wall_s");
     r.peakCelsius = num("peak_c");
     r.minCelsius = num("min_c");
@@ -116,14 +144,15 @@ JobResult::fromJsonLine(const std::string &line,
     r.cgIterations = static_cast<std::size_t>(num("cg_iterations"));
     const JsonValue &warm = doc.at("warm_start");
     if (!warm.isBool())
-        fatal(context, ": 'warm_start' must be a boolean");
+        configError(context, ": 'warm_start' must be a boolean");
     r.warmStarted = warm.boolean;
     const JsonValue &blocks = doc.at("blocks");
     if (!blocks.isObject())
-        fatal(context, ": 'blocks' must be an object");
+        configError(context, ": 'blocks' must be an object");
     for (const auto &[block, celsius] : blocks.members) {
         if (!celsius.isNumber())
-            fatal(context, ": block temperature must be a number");
+            configError(context,
+                        ": block temperature must be a number");
         r.blockCelsius.emplace_back(block, celsius.number);
     }
     return r;
@@ -132,21 +161,28 @@ JobResult::fromJsonLine(const std::string &line,
 ResultStore::ResultStore(const std::string &dir) : dir_(dir)
 {
     if (dir_.empty())
-        fatal("sweep: output directory must not be empty");
+        configError("sweep: output directory must not be empty");
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec)
-        fatal("sweep: cannot create output directory '", dir_,
-              "': ", ec.message());
+        ioError("sweep: cannot create output directory '", dir_,
+                "': ", ec.message());
     journal.open(journalPath(), std::ios::app);
     if (!journal)
-        fatal("sweep: cannot open journal '", journalPath(), "'");
+        ioError("sweep: cannot open journal '", journalPath(), "'");
 }
 
 std::string
 ResultStore::journalPath() const
 {
     return (std::filesystem::path(dir_) / "journal.jsonl").string();
+}
+
+std::string
+ResultStore::quarantinePath() const
+{
+    return (std::filesystem::path(dir_) / "journal.quarantine")
+        .string();
 }
 
 std::size_t
@@ -156,20 +192,83 @@ ResultStore::loadJournal()
     if (!in)
         return 0;
     std::lock_guard<std::mutex> lock(mu);
+    quarantinedLines = 0;
     std::string line;
     std::size_t lineno = 0;
     std::size_t loaded = 0;
+    std::vector<std::string> good;
+    // {lineno, reason, raw line} of every unparsable entry.
+    std::vector<std::tuple<std::size_t, std::string, std::string>> bad;
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty())
             continue;
-        JobResult r = JobResult::fromJsonLine(
-            line,
-            journalPath() + " line " + std::to_string(lineno));
-        byHash[r.hash] = std::move(r);
-        ++loaded;
+        const std::string context =
+            journalPath() + " line " + std::to_string(lineno);
+        try {
+            JobResult r = JobResult::fromJsonLine(line, context);
+            byHash[r.hash] = std::move(r);
+            good.push_back(line);
+            ++loaded;
+        } catch (const FatalError &e) {
+            // Truncated flush, disk corruption, or an injected fault:
+            // set the line aside and keep going — the job re-runs.
+            bad.emplace_back(lineno, e.what(), line);
+        }
+    }
+    in.close();
+
+    if (!bad.empty()) {
+        std::ofstream quarantine(quarantinePath(), std::ios::app);
+        if (!quarantine)
+            ioError("sweep: cannot open quarantine '",
+                    quarantinePath(), "'");
+        for (const auto &[no, reason, raw] : bad) {
+            warn("sweep journal: quarantining line ", no, " (",
+                 reason, ")");
+            quarantine << "{\"line\":" << no << ",\"reason\":\""
+                       << obs::jsonEscape(reason) << "\",\"data\":\""
+                       << obs::jsonEscape(raw) << "\"}\n";
+        }
+        quarantine.flush();
+
+        // Rewrite the journal with only the parsable lines, atomically
+        // (tmp + rename) so a crash here cannot lose good entries.
+        const std::string tmp = journalPath() + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out)
+                ioError("sweep: cannot write '", tmp, "'");
+            for (const std::string &l : good)
+                out << l << "\n";
+            out.flush();
+            if (!out)
+                ioError("sweep: short write to '", tmp, "'");
+        }
+        journal.close();
+        std::error_code ec;
+        std::filesystem::rename(tmp, journalPath(), ec);
+        if (ec) {
+            ioError("sweep: cannot replace journal '", journalPath(),
+                    "': ", ec.message());
+        }
+        journal.open(journalPath(), std::ios::app);
+        if (!journal)
+            ioError("sweep: cannot reopen journal '", journalPath(),
+                    "'");
+        quarantinedLines = bad.size();
+        obs::MetricsRegistry::global()
+            .counter("resilience.journal.quarantined")
+            .add(bad.size());
     }
     return loaded;
+}
+
+std::size_t
+ResultStore::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return quarantinedLines;
 }
 
 bool
@@ -191,7 +290,19 @@ void
 ResultStore::add(const JobResult &result)
 {
     std::lock_guard<std::mutex> lock(mu);
-    journal << result.toJsonLine() << "\n";
+    std::string line = result.toJsonLine();
+    FaultInjector &faults = FaultInjector::global();
+    if (faults.shouldFire("journal.truncate", result.name)) {
+        // Simulate a kill mid-flush: a prefix with no newline, so the
+        // next append (if any) merges into one unparsable line.
+        journal << line.substr(0, line.size() / 2);
+    } else if (faults.shouldFire("journal.corrupt", result.name)) {
+        for (std::size_t i = 1; i < line.size(); i += 9)
+            line[i] = '#';
+        journal << line << "\n";
+    } else {
+        journal << line << "\n";
+    }
     journal.flush();
     byHash[result.hash] = result;
 }

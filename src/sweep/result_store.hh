@@ -2,13 +2,21 @@
  * @file
  * Completed-job cache with a crash-safe JSONL journal.
  *
- * Every finished job (ok, failed, or timed out) is recorded in
+ * Every finished job (ok, failed, timed out, or hung) is recorded in
  * memory keyed by its scenario hash AND appended to
  * <dir>/journal.jsonl, one JSON object per line, flushed
  * immediately — so a sweep killed mid-flight loses at most the jobs
  * that were still running. On --resume the store reloads the
  * journal and the runner skips every journaled hash, re-simulating
  * exactly the jobs that never reached the journal.
+ *
+ * Recovery: a process killed mid-flush (or a disk hiccup) can leave
+ * truncated or corrupt lines behind. loadJournal() never dies on
+ * them — each unparsable line is quarantined to
+ * <dir>/journal.quarantine as a JSON record
+ * `{"line": N, "reason": "...", "data": "<raw line>"}`, the journal
+ * is rewritten atomically (tmp + rename) with only the good lines,
+ * and the resume proceeds; the affected jobs simply re-run.
  */
 
 #ifndef IRTHERM_SWEEP_RESULT_STORE_HH
@@ -22,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/errors.hh"
+
 namespace irtherm::sweep
 {
 
@@ -30,12 +40,13 @@ enum class JobStatus
 {
     Ok,
     Failed,  ///< resolve/build/solve raised (e.g. diverging CG)
-    Timeout, ///< exceeded the per-job deadline
+    Timeout, ///< exceeded the per-job deadline cooperatively
+    Hung,    ///< unresponsive past the hard deadline; abandoned
 };
 
 const char *jobStatusName(JobStatus status);
 
-/** Parse a status name ("ok", "failed", "timeout"); fatal() else. */
+/** Parse a status name ("ok", "failed", ...); ConfigError else. */
 JobStatus parseJobStatus(const std::string &name);
 
 /** Everything a completed job reports. */
@@ -45,6 +56,12 @@ struct JobResult
     std::string name; ///< display label
     JobStatus status = JobStatus::Ok;
     std::string error; ///< failure text; empty when ok
+    /** Taxonomy class of the failure (None when ok). */
+    ErrorClass errorClass = ErrorClass::None;
+    /** Executions it took to reach this terminal state (>= 1). */
+    std::size_t attempts = 1;
+    /** Solver fallback escalations in the final attempt. */
+    int fallbackTier = 0;
     double wallSeconds = 0.0;
 
     // Thermal summary (valid when status == Ok).
@@ -62,7 +79,12 @@ struct JobResult
     /** Serialize as one journal JSONL line (no trailing newline). */
     std::string toJsonLine() const;
 
-    /** Parse a journal line; fatal() on malformed entries. */
+    /**
+     * Parse a journal line; throws (ConfigError) on malformed
+     * entries. The resilience fields (`error_class`, `attempts`,
+     * `fallback_tier`) are optional so journals written before they
+     * existed still load.
+     */
     static JobResult fromJsonLine(const std::string &line,
                                   const std::string &context);
 };
@@ -77,8 +99,15 @@ class ResultStore
   public:
     explicit ResultStore(const std::string &dir);
 
-    /** Reload <dir>/journal.jsonl; returns entries loaded. */
+    /**
+     * Reload <dir>/journal.jsonl; returns entries loaded. Corrupt or
+     * truncated lines are quarantined (see file comment) rather than
+     * fatal; quarantined() reports how many this call set aside.
+     */
     std::size_t loadJournal();
+
+    /** Lines quarantined by the last loadJournal(). */
+    std::size_t quarantined() const;
 
     bool has(const std::string &hash) const;
 
@@ -93,12 +122,14 @@ class ResultStore
 
     const std::string &directory() const { return dir_; }
     std::string journalPath() const;
+    std::string quarantinePath() const;
 
   private:
     mutable std::mutex mu;
     std::string dir_;
     std::map<std::string, JobResult> byHash;
     std::ofstream journal;
+    std::size_t quarantinedLines = 0;
 };
 
 } // namespace irtherm::sweep

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "analysis/thermal_map.hh"
+#include "base/errors.hh"
+#include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
@@ -115,6 +120,9 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
     JobResult r;
     r.hash = spec.hashHex();
     r.name = spec.displayName();
+    // Scope key for fault probes: rules with match=<substr> target
+    // this job's solves from any depth of the numeric stack.
+    const FaultInjector::ScopedContext faultScope(r.name);
     const Clock::time_point start = Clock::now();
     const Clock::time_point deadline =
         opts.jobTimeoutSeconds > 0.0
@@ -123,6 +131,14 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
                               opts.jobTimeoutSeconds))
             : Clock::time_point::max();
     try {
+        if (FaultInjector::global().shouldFire("job.stall")) {
+            // Uncooperative sleep — no deadline checks — so the
+            // watchdog's hard deadline is the only thing that fires.
+            const double secs = FaultInjector::global().param(
+                "job.stall", "seconds", 0.2);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(secs));
+        }
         const ResolvedScenario rs = spec.resolve();
         checkDeadline(deadline);
         const StackModel model(rs.floorplan, rs.config.package,
@@ -136,6 +152,7 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
             StackModel::SteadySolveOptions sopts;
             sopts.maxIterations = rs.maxIterations;
             sopts.tolerance = rs.tolerance;
+            sopts.fallback = rs.solverFallback;
             if (!guess.empty())
                 sopts.warmStart = &guess;
             StackModel::SteadySolveInfo info;
@@ -143,6 +160,7 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
                                                  sopts, &info);
             r.cgIterations = info.iterations;
             r.warmStarted = info.warmStarted;
+            r.fallbackTier = info.fallbackTier;
             std::vector<double> rise = nodes;
             for (double &t : rise)
                 t -= rs.config.package.ambient;
@@ -184,14 +202,137 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
         r.status = JobStatus::Ok;
     } catch (const JobTimeout &) {
         r.status = JobStatus::Timeout;
+        r.errorClass = ErrorClass::Timeout;
         r.error = "job deadline exceeded";
     } catch (const std::exception &e) {
         r.status = JobStatus::Failed;
+        r.errorClass = classifyException(e);
         r.error = e.what();
     }
     r.wallSeconds = std::chrono::duration<double>(Clock::now() - start)
                         .count();
     return r;
+}
+
+/** Result slot shared between a worker and its (detachable) runner. */
+struct JobCell
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    JobResult result;
+};
+
+/**
+ * Threads whose jobs blew past the hard deadline. They keep running
+ * detached from the sweep (they only touch shared_ptr-owned copies),
+ * and reap() gives each a bounded chance to finish at sweep end so
+ * short overruns don't leak threads past process teardown.
+ */
+class AbandonedJobs
+{
+  public:
+    void
+    adopt(std::thread t, std::shared_ptr<JobCell> cell)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        entries.emplace_back(std::move(t), std::move(cell));
+    }
+
+    std::size_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return entries.size();
+    }
+
+    /** Join every thread that finishes within @p budgetSeconds
+     *  (total); detach the rest. */
+    void
+    reap(double budgetSeconds)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const Clock::time_point deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(budgetSeconds));
+        for (auto &[thread, cell] : entries) {
+            bool finished = false;
+            {
+                std::unique_lock<std::mutex> cellLock(cell->mu);
+                finished = cell->cv.wait_until(
+                    cellLock, deadline, [&] { return cell->done; });
+            }
+            if (finished)
+                thread.join();
+            else
+                thread.detach();
+        }
+        entries.clear();
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::vector<std::pair<std::thread, std::shared_ptr<JobCell>>>
+        entries;
+};
+
+/**
+ * Run one job under the watchdog. The job executes on its own
+ * thread; if it is still unresponsive at
+ * jobTimeoutSeconds * watchdogGraceFactor (past every cooperative
+ * checkpoint), the thread is abandoned — it holds only copies of the
+ * spec/options and the shared warm-start cache, so it can outlive
+ * the sweep safely — and the job is recorded as `hung`.
+ */
+JobResult
+runGuarded(const ScenarioSpec &spec, const SweepOptions &opts,
+           const std::shared_ptr<WarmStartCache> &warm,
+           AbandonedJobs &abandoned)
+{
+    if (opts.jobTimeoutSeconds <= 0.0)
+        return runOneJob(spec, opts, *warm);
+
+    auto cell = std::make_shared<JobCell>();
+    auto specCopy = std::make_shared<ScenarioSpec>(spec);
+    auto optsCopy = std::make_shared<SweepOptions>(opts);
+    std::thread runner([cell, specCopy, optsCopy, warm] {
+        JobResult jr = runOneJob(*specCopy, *optsCopy, *warm);
+        std::lock_guard<std::mutex> lock(cell->mu);
+        cell->result = std::move(jr);
+        cell->done = true;
+        cell->cv.notify_all();
+    });
+
+    const double grace = std::max(1.0, opts.watchdogGraceFactor);
+    // Hard deadline: the grace multiple of the cooperative deadline,
+    // floored at deadline + 0.5 s so a tiny timeout still resolves
+    // through a cooperative checkpoint (`timeout`) rather than racing
+    // the job thread's startup (`hung`).
+    const double hardDelay =
+        std::max(opts.jobTimeoutSeconds * grace,
+                 opts.jobTimeoutSeconds + 0.5);
+    const Clock::time_point hardDeadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(hardDelay));
+    std::unique_lock<std::mutex> lock(cell->mu);
+    if (cell->cv.wait_until(lock, hardDeadline,
+                            [&] { return cell->done; })) {
+        lock.unlock();
+        runner.join();
+        return std::move(cell->result);
+    }
+    lock.unlock();
+    abandoned.adopt(std::move(runner), cell);
+
+    JobResult hung;
+    hung.hash = spec.hashHex();
+    hung.name = spec.displayName();
+    hung.status = JobStatus::Hung;
+    hung.errorClass = ErrorClass::Timeout;
+    hung.error = "watchdog: job unresponsive past hard deadline";
+    hung.wallSeconds = hardDelay;
+    return hung;
 }
 
 /** RAII: run sweep jobs with the numeric-kernel pool disabled. */
@@ -232,8 +373,10 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     sum.journalPath = store.journalPath();
     if (opts.resume) {
         const std::size_t journaled = store.loadJournal();
+        sum.quarantined = store.quarantined();
         IRTHERM_EVENT("sweep.resume", {"plan", plan.name()},
-                      {"journaled", journaled});
+                      {"journaled", journaled},
+                      {"quarantined", sum.quarantined});
     }
 
     // Pending = not journaled, first occurrence of its hash.
@@ -258,7 +401,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                   {"cached", sum.cached});
 
     SerialKernelGuard serialKernels;
-    WarmStartCache warm;
+    const auto warm = std::make_shared<WarmStartCache>();
+    AbandonedJobs abandoned;
     std::atomic<std::size_t> nextJob{0};
     std::atomic<std::size_t> executed{0};
     std::mutex sumMu;
@@ -275,10 +419,33 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                 break;
             const ScenarioSpec &spec = *pending[i];
             JobResult r;
+            std::size_t attempt = 1;
             {
                 obs::ScopedTimer jobSpan(reg.timer("sweep.job_time"));
-                r = runOneJob(spec, opts, warm);
+                for (;; ++attempt) {
+                    r = runGuarded(spec, opts, warm, abandoned);
+                    if (r.status != JobStatus::Failed ||
+                        !errorClassRetryable(r.errorClass) ||
+                        attempt > opts.maxRetries)
+                        break;
+                    const double delay =
+                        opts.retryBackoffSeconds *
+                        static_cast<double>(1ULL << (attempt - 1));
+                    warn("sweep: job '", r.name, "' failed (",
+                         errorClassName(r.errorClass), "), retry ",
+                         attempt, "/", opts.maxRetries, " in ", delay,
+                         " s: ", r.error);
+                    reg.counter("resilience.retry.attempts").add();
+                    IRTHERM_EVENT("resilience.retry", {"name", r.name},
+                                  {"attempt", attempt},
+                                  {"class",
+                                   errorClassName(r.errorClass)},
+                                  {"delay_s", delay});
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(delay));
+                }
             }
+            r.attempts = attempt;
             store.add(r);
             executed.fetch_add(1, std::memory_order_relaxed);
             reg.counter("sweep.jobs.executed").add();
@@ -304,11 +471,22 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                 warn("sweep: job '", r.name, "' timed out after ",
                      r.wallSeconds, " s");
                 break;
+              case JobStatus::Hung:
+                ++sum.hung;
+                reg.counter("resilience.jobs.hung").add();
+                warn("sweep: job '", r.name,
+                     "' hung; thread abandoned after ", r.wallSeconds,
+                     " s");
+                break;
             }
             if (r.warmStarted) {
                 ++sum.warmStarted;
                 reg.counter("sweep.warm_start.hits").add();
             }
+            if (r.attempts > 1)
+                ++sum.retried;
+            if (r.fallbackTier > 0)
+                ++sum.fallbacks;
         }
     };
 
@@ -328,6 +506,11 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     }
     sum.executed = executed.load();
 
+    // Give abandoned job threads a bounded chance to finish (joined),
+    // detaching any that are still stuck.
+    abandoned.reap(
+        std::max(2.0, 4.0 * opts.jobTimeoutSeconds));
+
     if (opts.writeReports) {
         const std::filesystem::path dir(opts.outDir);
         sum.csvPath = (dir / "report.csv").string();
@@ -345,6 +528,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     IRTHERM_EVENT("sweep.done", {"plan", plan.name()},
                   {"executed", sum.executed}, {"ok", sum.ok},
                   {"failed", sum.failed}, {"timeout", sum.timedOut},
+                  {"hung", sum.hung}, {"retried", sum.retried},
+                  {"fallbacks", sum.fallbacks},
                   {"cached", sum.cached});
     return sum;
 }

@@ -16,9 +16,14 @@
  *
  * Failure isolation: a job that throws (bad scenario key, missing
  * file, diverging CG solve) is recorded as `failed` with the error
- * text; its siblings are unaffected. A job that exceeds the
- * per-job deadline (checked at phase boundaries: resolve, model
- * build, every 32 transient samples) is recorded as `timeout`.
+ * text and its taxonomy class (base/errors.hh); its siblings are
+ * unaffected. Retryable classes (numeric, io) get up to
+ * SweepOptions::maxRetries fresh attempts with exponential backoff.
+ * A job that exceeds the per-job deadline at a cooperative
+ * checkpoint (resolve, model build, every 32 transient samples) is
+ * recorded as `timeout`; one that is still unresponsive at the
+ * watchdog's hard deadline (timeout x grace factor) has its thread
+ * abandoned and is recorded as `hung`.
  *
  * Warm starts: jobs sharing a stack hash (same floorplan + config
  * keys, i.e. the same RC network) seed their steady CG solve from
@@ -52,6 +57,22 @@ struct SweepOptions
     /** Per-job deadline in seconds; 0 disables. Checked at phase
      *  boundaries, so a job overruns by at most one phase. */
     double jobTimeoutSeconds = 0.0;
+    /**
+     * Extra executions allowed for a job whose failure class is
+     * retryable (NumericError / IoError); config errors and timeouts
+     * never retry. 0 disables retry.
+     */
+    std::size_t maxRetries = 2;
+    /** First-retry delay; doubles per subsequent retry. */
+    double retryBackoffSeconds = 0.05;
+    /**
+     * With a deadline set, each job runs under a watchdog: a job
+     * still unresponsive at jobTimeoutSeconds * watchdogGraceFactor
+     * (i.e. past every cooperative checkpoint; floored at deadline
+     * + 0.5 s so tiny deadlines keep resolving cooperatively) is
+     * abandoned and recorded as `hung`. Must be >= 1.
+     */
+    double watchdogGraceFactor = 1.5;
     /** Skip scenarios already present in the journal. */
     bool resume = false;
     /** Write report.csv / report.json after the batch. */
@@ -73,9 +94,13 @@ struct SweepSummary
     std::size_t ok = 0;         ///< executed and succeeded
     std::size_t failed = 0;     ///< executed and failed
     std::size_t timedOut = 0;   ///< executed and hit the deadline
+    std::size_t hung = 0;       ///< abandoned by the watchdog
     std::size_t cached = 0;     ///< skipped: journaled by a prior run
     std::size_t duplicates = 0; ///< skipped: same hash earlier in plan
     std::size_t warmStarted = 0;///< executed with a CG warm start
+    std::size_t retried = 0;    ///< jobs that needed > 1 attempt
+    std::size_t fallbacks = 0;  ///< jobs whose solve used a fallback
+    std::size_t quarantined = 0;///< journal lines set aside on resume
     std::string outDir;
     std::string journalPath;
     std::string csvPath;  ///< empty unless reports were written

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "floorplan/presets.hh"
@@ -24,7 +25,7 @@ parseBool(const std::string &value, const std::string &ctx)
         return true;
     if (value == "0" || value == "false" || value == "no")
         return false;
-    fatal(ctx, ": expected a boolean, got '", value, "'");
+    configError(ctx, ": expected a boolean, got '", value, "'");
 }
 
 std::size_t
@@ -32,7 +33,7 @@ parsePositiveInt(const std::string &value, const std::string &ctx)
 {
     const double n = parseDouble(value, ctx);
     if (n < 1.0 || n != std::floor(n))
-        fatal(ctx, ": expected a positive integer, got '", value, "'");
+        configError(ctx, ": expected a positive integer, got '", value, "'");
     return static_cast<std::size_t>(n);
 }
 
@@ -45,11 +46,11 @@ resolveFloorplan(const std::string &value)
             return floorplans::alphaEv6();
         if (name == "athlon")
             return floorplans::athlon64();
-        fatal("scenario: unknown floorplan preset '", name, "'");
+        configError("scenario: unknown floorplan preset '", name, "'");
     }
     if (startsWith(value, "flp:"))
         return Floorplan::loadFlp(value.substr(4));
-    fatal("scenario: floorplan must be 'preset:<ev6|athlon>' or "
+    configError("scenario: floorplan must be 'preset:<ev6|athlon>' or "
           "'flp:<path>', got '",
           value, "'");
 }
@@ -80,7 +81,7 @@ void
 ScenarioSpec::set(const std::string &key, const std::string &value)
 {
     if (key.empty())
-        fatal("scenario: empty setting key");
+        configError("scenario: empty setting key");
     values[key] = value;
 }
 
@@ -165,7 +166,7 @@ ScenarioSpec::resolve() const
             else if (value == "transient")
                 r.transient = true;
             else
-                fatal(ctx, ": mode must be 'steady' or 'transient'");
+                configError(ctx, ": mode must be 'steady' or 'transient'");
         } else if (key == "integrator") {
             if (value == "auto")
                 r.integrator = IntegratorKind::Auto;
@@ -174,7 +175,7 @@ ScenarioSpec::resolve() const
             else if (value == "be")
                 r.integrator = IntegratorKind::BackwardEuler;
             else
-                fatal(ctx, ": integrator must be 'auto', 'rk4', or "
+                configError(ctx, ": integrator must be 'auto', 'rk4', or "
                            "'be'");
         } else if (key == "power.uniform") {
             uniformPower = parseDouble(value, ctx);
@@ -192,6 +193,8 @@ ScenarioSpec::resolve() const
             r.maxIterations = parsePositiveInt(value, ctx);
         } else if (key == "solver.tolerance") {
             r.tolerance = parseDouble(value, ctx);
+        } else if (key == "solver.fallback") {
+            r.solverFallback = parseBool(value, ctx);
         } else if (key == "outputs.map") {
             r.writeMap = parseBool(value, ctx);
         } else if (startsWith(key, kConfigPrefix)) {
@@ -200,7 +203,7 @@ ScenarioSpec::resolve() const
             configText += value;
             configText += '\n';
         } else {
-            fatal("scenario: unknown key '", key, "'");
+            configError("scenario: unknown key '", key, "'");
         }
     }
 
@@ -211,11 +214,11 @@ ScenarioSpec::resolve() const
     r.config = parseConfig(cfgIn);
 
     if (floorplanValue == nullptr)
-        fatal("scenario: missing required key 'floorplan'");
+        configError("scenario: missing required key 'floorplan'");
     r.floorplan = resolveFloorplan(*floorplanValue);
 
     if (ptracePath != nullptr && havePowerKey) {
-        fatal("scenario: 'ptrace' and 'power.*' keys are mutually "
+        configError("scenario: 'ptrace' and 'power.*' keys are mutually "
               "exclusive");
     }
     if (ptracePath != nullptr) {
@@ -224,7 +227,7 @@ ScenarioSpec::resolve() const
         r.blockPowers = r.trace->averagePowers();
     } else {
         if (!havePowerKey) {
-            fatal("scenario: no power source — set 'power.uniform', "
+            configError("scenario: no power source — set 'power.uniform', "
                   "'power.block.<name>', or 'ptrace'");
         }
         r.blockPowers.assign(r.floorplan.blockCount(), uniformPower);
@@ -233,7 +236,7 @@ ScenarioSpec::resolve() const
     }
 
     if (r.transient && !r.trace.has_value())
-        fatal("scenario: mode=transient requires a 'ptrace'");
+        configError("scenario: mode=transient requires a 'ptrace'");
     if (!r.transient)
         r.trace.reset(); // steady runs only need the average
 

@@ -30,6 +30,10 @@
  *   integrator             "auto" | "rk4" | "be"
  *   solver.max_iterations  steady CG iteration budget
  *   solver.tolerance       steady CG relative tolerance
+ *   solver.fallback        bool (default true): escalate failed
+ *                          solves through the verified fallback
+ *                          chain; off = fail fast on first
+ *                          non-convergence
  *   outputs.map            bool: write <hash>.map.{csv,ppm} (grid mode)
  *   config.<key>           any core/config_io key (cooling,
  *                          oil_velocity, model_mode, grid_nx, ...)
@@ -73,6 +77,8 @@ struct ResolvedScenario
     IntegratorKind integrator = IntegratorKind::Auto;
     std::size_t maxIterations = 100000;
     double tolerance = 1e-11;
+    /** Escalate failed solves through the fallback chain. */
+    bool solverFallback = true;
     bool writeMap = false;
 };
 

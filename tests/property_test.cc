@@ -10,15 +10,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <tuple>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "core/config_io.hh"
 #include "core/package.hh"
 #include "core/simulator.hh"
 #include "core/stack_model.hh"
 #include "floorplan/presets.hh"
+#include "sweep/scenario.hh"
 
 namespace irtherm
 {
@@ -313,6 +317,80 @@ INSTANTIATE_TEST_SUITE_P(Resolutions, GridConvergence,
                                 &info) {
                              return "N" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Validation properties: malformed input always surfaces as a
+// catchable ConfigError — never an abort, never a half-applied state.
+// ---------------------------------------------------------------------
+
+TEST(ValidationProperty, MalformedConfigsAlwaysThrowConfigError)
+{
+    const char *broken[] = {
+        "cooling plasma\n",
+        "cooling\n",
+        "ambient very_warm\n",
+        "oil_velocity -3 extra\n",
+        "grid_nx 0\n",
+        "grid_nx 12.5\n",
+        "model_mode sideways\n",
+        "unknown_key 1\n",
+        "ambient 45\nambient nan_or_bust\n",
+    };
+    for (const char *text : broken) {
+        std::istringstream in(text);
+        try {
+            parseConfig(in);
+            ADD_FAILURE() << "accepted: " << text;
+        } catch (const ConfigError &) {
+            // The required class: deterministic user error.
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "wrong exception type for '" << text
+                          << "': " << e.what();
+        }
+    }
+}
+
+TEST(ValidationProperty, FailedParseIsRepeatableAndNonSticky)
+{
+    // A parser that aborts or leaves global state behind would fail
+    // this: after any number of rejected inputs, a good input still
+    // parses to exactly the same config as a fresh parse.
+    std::istringstream good1("cooling oil\noil_velocity 10\n");
+    const SimulationConfig before = parseConfig(good1);
+    for (int i = 0; i < 50; ++i) {
+        std::istringstream bad("cooling plasma\n");
+        EXPECT_THROW(parseConfig(bad), ConfigError);
+    }
+    std::istringstream good2("cooling oil\noil_velocity 10\n");
+    const SimulationConfig after = parseConfig(good2);
+    std::ostringstream a, b;
+    writeConfig(a, before);
+    writeConfig(b, after);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ValidationProperty, ScenarioRejectionLeavesTheSpecIntact)
+{
+    sweep::ScenarioSpec spec;
+    spec.set("floorplan", "preset:ev6");
+    spec.set("power.uniform", "0.5");
+    const std::uint64_t hashBefore = spec.hash();
+
+    // Sabotage with a bad key; resolve() must throw ConfigError and
+    // leave the spec byte-identical (no partial mutation), so fixing
+    // the key afterwards yields a working scenario.
+    spec.set("config.cooling", "plasma");
+    EXPECT_THROW(spec.resolve(), ConfigError);
+    spec.set("config.cooling", "oil");
+    spec.set("config.oil_velocity", "10");
+    const sweep::ResolvedScenario r = spec.resolve();
+    EXPECT_EQ(r.blockPowers.size(), r.floorplan.blockCount());
+
+    sweep::ScenarioSpec clean;
+    clean.set("floorplan", "preset:ev6");
+    clean.set("power.uniform", "0.5");
+    EXPECT_EQ(clean.hash(), hashBefore);
+}
 
 } // namespace
 } // namespace irtherm

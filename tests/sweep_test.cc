@@ -296,7 +296,7 @@ const char *kFailurePlan =
         "scenarios": [
           {"name": "good-a"},
           {"name": "bad", "power.uniform": 0.6,
-           "solver.max_iterations": 1},
+           "solver.max_iterations": 1, "solver.fallback": "false"},
           {"name": "good-b", "power.uniform": 0.7}]})";
 
 TEST(SweepRunner, FailedJobDoesNotAbortTheBatch)

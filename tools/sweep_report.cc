@@ -9,8 +9,13 @@
  * warm-start flag, and wall time. Paste-able into a PR or lab
  * notebook.
  *
+ * Unparsable journal lines (truncated flush, disk corruption) do not
+ * abort the report: each one is diagnosed on stderr with its path,
+ * line number, and parse failure reason, the line is skipped, and the
+ * tool exits 5 so scripts notice the journal was damaged.
+ *
  * usage: sweep_report <journal.jsonl | sweep-out-dir> [-o <file>]
- *                     [--title <text>]
+ *                     [--title <text>] [--strict]
  */
 
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "base/errors.hh"
 #include "base/logging.hh"
 #include "sweep/report.hh"
 #include "sweep/result_store.hh"
@@ -30,22 +36,50 @@ using namespace irtherm;
 namespace
 {
 
+// Exit codes (also in --help): scripts branch on these.
+constexpr int kExitOk = 0;          ///< report written
+constexpr int kExitError = 1;       ///< unexpected fatal error
+constexpr int kExitUsage = 2;       ///< bad command line
+constexpr int kExitMissing = 3;     ///< journal file does not exist
+constexpr int kExitEmpty = 4;       ///< journal has no entries
+constexpr int kExitSkipped = 5;     ///< report written, lines skipped
+
 void
 usage()
 {
     std::fprintf(
         stderr,
         "usage: sweep_report <journal.jsonl | sweep-out-dir> "
-        "[-o <file>] [--title <text>]\n"
-        "renders a sweep journal as a Markdown summary table\n");
+        "[-o <file>] [--title <text>] [--strict]\n"
+        "renders a sweep journal as a Markdown summary table\n"
+        "\n"
+        "  -o <file>      write Markdown here instead of stdout\n"
+        "  --title <text> heading for the summary table\n"
+        "  --strict       treat any unparsable journal line as fatal\n"
+        "\n"
+        "exit codes:\n"
+        "  0  report written, every line parsed\n"
+        "  1  unexpected error (I/O failure, --strict parse error)\n"
+        "  2  bad command line\n"
+        "  3  journal file does not exist\n"
+        "  4  journal exists but holds no entries\n"
+        "  5  report written, but unparsable lines were skipped\n");
 }
 
+/** One unparsable journal line: where and why. */
+struct LineDiagnostic
+{
+    std::size_t lineno;
+    std::string reason;
+};
+
 std::vector<sweep::JobResult>
-loadJournal(const std::string &path)
+loadJournal(const std::string &path, bool strict,
+            std::vector<LineDiagnostic> &diagnostics)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open journal '", path, "'");
+        ioError("cannot open journal '", path, "'");
     std::vector<sweep::JobResult> results;
     std::string line;
     std::size_t lineno = 0;
@@ -53,8 +87,16 @@ loadJournal(const std::string &path)
         ++lineno;
         if (line.empty())
             continue;
-        results.push_back(sweep::JobResult::fromJsonLine(
-            line, path + " line " + std::to_string(lineno)));
+        const std::string context =
+            path + " line " + std::to_string(lineno);
+        try {
+            results.push_back(
+                sweep::JobResult::fromJsonLine(line, context));
+        } catch (const FatalError &e) {
+            if (strict)
+                throw;
+            diagnostics.push_back({lineno, e.what()});
+        }
     }
     return results;
 }
@@ -68,42 +110,74 @@ main(int argc, char **argv)
         std::string inputPath;
         std::string outPath;
         std::string title;
+        bool strict = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             auto value = [&]() -> std::string {
                 if (i + 1 >= argc)
-                    fatal("missing value after ", arg);
+                    configError("missing value after ", arg);
                 return argv[++i];
             };
             if (arg == "-o") {
                 outPath = value();
             } else if (arg == "--title") {
                 title = value();
+            } else if (arg == "--strict") {
+                strict = true;
             } else if (arg == "-h" || arg == "--help") {
                 usage();
-                return 0;
+                return kExitOk;
             } else if (!arg.empty() && arg[0] == '-') {
-                fatal("unknown argument '", arg, "'");
+                std::fprintf(stderr,
+                             "sweep_report: unknown argument '%s'\n",
+                             arg.c_str());
+                usage();
+                return kExitUsage;
             } else if (inputPath.empty()) {
                 inputPath = arg;
             } else {
-                fatal("unexpected argument '", arg, "'");
+                std::fprintf(
+                    stderr,
+                    "sweep_report: unexpected argument '%s'\n",
+                    arg.c_str());
+                usage();
+                return kExitUsage;
             }
         }
         if (inputPath.empty()) {
             usage();
-            return 2;
+            return kExitUsage;
         }
         if (std::filesystem::is_directory(inputPath)) {
             inputPath = (std::filesystem::path(inputPath) /
                          "journal.jsonl")
                             .string();
         }
+        if (!std::filesystem::exists(inputPath)) {
+            std::fprintf(stderr,
+                         "sweep_report: no journal at '%s'\n",
+                         inputPath.c_str());
+            return kExitMissing;
+        }
         if (title.empty())
             title = inputPath;
 
+        std::vector<LineDiagnostic> diagnostics;
         const std::vector<sweep::JobResult> results =
-            loadJournal(inputPath);
+            loadJournal(inputPath, strict, diagnostics);
+        for (const LineDiagnostic &d : diagnostics) {
+            std::fprintf(stderr,
+                         "sweep_report: %s:%zu: skipped: %s\n",
+                         inputPath.c_str(), d.lineno,
+                         d.reason.c_str());
+        }
+        if (results.empty() && diagnostics.empty()) {
+            std::fprintf(stderr,
+                         "sweep_report: journal '%s' is empty\n",
+                         inputPath.c_str());
+            return kExitEmpty;
+        }
+
         const std::string md =
             sweep::renderMarkdownSummary(results, title);
 
@@ -112,14 +186,20 @@ main(int argc, char **argv)
         } else {
             std::ofstream out(outPath);
             if (!out)
-                fatal("cannot write '", outPath, "'");
+                ioError("cannot write '", outPath, "'");
             out << md;
             std::printf("wrote %s (%zu scenario rows)\n",
                         outPath.c_str(), results.size());
         }
-        return 0;
+        if (!diagnostics.empty()) {
+            std::fprintf(stderr,
+                         "sweep_report: %zu line(s) skipped\n",
+                         diagnostics.size());
+            return kExitSkipped;
+        }
+        return kExitOk;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "sweep_report: %s\n", e.what());
-        return 1;
+        return kExitError;
     }
 }
