@@ -1,0 +1,42 @@
+#include "base/resource_usage.hh"
+
+#include <ctime>
+#include <sys/resource.h>
+
+namespace irtherm
+{
+
+double
+threadCpuSeconds()
+{
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#endif
+    return processCpuSeconds(); // degraded but monotone fallback
+}
+
+double
+processCpuSeconds()
+{
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    const auto toSeconds = [](const timeval &tv) {
+        return static_cast<double>(tv.tv_sec) + 1e-6 * tv.tv_usec;
+    };
+    return toSeconds(ru.ru_utime) + toSeconds(ru.ru_stime);
+}
+
+std::int64_t
+peakRssKb()
+{
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes already.
+    return static_cast<std::int64_t>(ru.ru_maxrss);
+}
+
+} // namespace irtherm

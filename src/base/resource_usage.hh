@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Per-thread / per-process resource sampling for job accounting.
+ *
+ * Two primitives:
+ *  - threadCpuSeconds(): the calling thread's consumed CPU time via
+ *    clock_gettime(CLOCK_THREAD_CPUTIME_ID). Sampling it before and
+ *    after a job attempt charges exactly that attempt's compute to
+ *    the job, regardless of what the other workers are doing.
+ *  - peakRssKb(): the process-wide peak resident set from
+ *    getrusage(RUSAGE_SELF). Peak RSS is a high-water mark, so
+ *    per-job "usage" is reported as the *delta* the job pushed the
+ *    mark up by — zero for most jobs, positive for the one that
+ *    allocated the biggest grid so far.
+ */
+
+#ifndef IRTHERM_BASE_RESOURCE_USAGE_HH
+#define IRTHERM_BASE_RESOURCE_USAGE_HH
+
+#include <cstdint>
+
+namespace irtherm
+{
+
+/** CPU seconds consumed by the calling thread so far. */
+double threadCpuSeconds();
+
+/** CPU seconds (user + system) consumed by the whole process. */
+double processCpuSeconds();
+
+/** Process peak resident set size in kilobytes (high-water mark). */
+std::int64_t peakRssKb();
+
+} // namespace irtherm
+
+#endif // IRTHERM_BASE_RESOURCE_USAGE_HH

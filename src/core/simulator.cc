@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "obs/event_trace.hh"
+#include "obs/span.hh"
 
 namespace irtherm
 {
@@ -49,7 +50,9 @@ void
 ThermalSimulator::initializeSteady(
     const std::vector<double> &block_powers)
 {
-    obs::ScopedTimer span(steadyInitTimer);
+    obs::ScopedTimer initTimer(steadyInitTimer);
+    obs::ScopedSpan span("core.sim.steady_init");
+    span.attr("nodes", stack.nodeCount());
     const std::vector<double> abs_temps =
         stack.steadyNodeTemperatures(block_powers);
     IRTHERM_EVENT("core.steady_init",
@@ -72,7 +75,9 @@ ThermalSimulator::advance(double dt)
 {
     if (dt <= 0.0)
         fatal("ThermalSimulator::advance: non-positive dt");
-    obs::ScopedTimer span(advanceTimer);
+    obs::ScopedTimer stepTimer(advanceTimer);
+    obs::ScopedSpan span("core.sim.advance");
+    span.attr("dt_s", dt).attr("integrator", rk4 ? "rk4" : "be");
     if (rk4) {
         rk4->advance(rise, nodePower, dt);
     } else {

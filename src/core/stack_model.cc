@@ -10,6 +10,7 @@
 #include "numeric/iterative.hh"
 #include "numeric/robust_solve.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace irtherm
 {
@@ -707,7 +708,10 @@ StackModel::steadyNodeTemperatures(
         warm = true;
     }
     auto &reg = obs::MetricsRegistry::global();
-    obs::ScopedTimer span(reg.timer("core.steady.solve_time"));
+    obs::ScopedTimer timer(reg.timer("core.steady.solve_time"));
+    obs::ScopedSpan span("core.steady_solve");
+    span.attr("nodes", cap_.size()).attr("warm_start",
+                                         warm ? "yes" : "no");
     IterativeResult res;
     int tier = 0;
     std::string method;
@@ -732,6 +736,9 @@ StackModel::steadyNodeTemperatures(
         reg.counter("core.steady.warm_starts").add();
     reg.histogram("core.steady.cg_iterations")
         .observe(static_cast<double>(res.iterations));
+    span.attr("iterations", res.iterations).attr("tier", tier);
+    if (!method.empty())
+        span.attr("method", method);
     if (info != nullptr) {
         info->iterations = res.iterations;
         info->residualNorm = res.residualNorm;

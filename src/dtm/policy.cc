@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "obs/event_trace.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace irtherm
 {
@@ -86,6 +87,9 @@ DtmController::step(double now, double sensed_max_temp)
     DtmMetrics &m = DtmMetrics::instance();
     m.steps.add();
 
+    obs::ScopedSpan span("dtm.decision");
+    span.attr("sim_time_s", now).attr("temp_k", sensed_max_temp);
+    const bool wasEngaged = engagedNow;
     const bool hot = sensed_max_temp > cfg.triggerThreshold;
     if (engagedNow) {
         // Stay engaged for the full duration, and keep extending it
@@ -108,6 +112,10 @@ DtmController::step(double now, double sensed_max_temp)
     }
     if (now > 0.0)
         m.dutyCycle.set(totalEngaged / now);
+    span.attr("engaged", engagedNow ? "yes" : "no")
+        .attr("transition", engagedNow == wasEngaged ? "hold"
+                            : engagedNow             ? "engage"
+                                                     : "disengage");
 
     DtmActuation act;
     if (engagedNow) {

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "base/errors.hh"
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace irtherm
 {
@@ -104,6 +106,8 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
     const std::size_t n = a.rows();
     if (a.cols() != n || b.size() != n)
         fatal("conjugateGradient: dimension mismatch");
+    obs::ScopedSpan cgSpan("numeric.cg");
+    cgSpan.attr("n", n);
 
     IterativeResult res;
     res.x = x0.empty() ? std::vector<double>(n, 0.0) : x0;
@@ -153,7 +157,18 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
     double *pd = p.data();
     double *apd = ap.data();
 
+    // One child span per 256-iteration block: fine enough to show
+    // where a long solve spends its time, coarse enough not to
+    // swamp the span ring on a 10^4-iteration run.
+    constexpr std::size_t kIterSpanBlock = 256;
+    std::optional<obs::ScopedSpan> blockSpan;
     for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+        if (it % kIterSpanBlock == 0) {
+            blockSpan.reset();
+            blockSpan.emplace("numeric.cg.iterate");
+            blockSpan->attr("first_iteration", it)
+                .attr("residual", std::sqrt(rr));
+        }
         res.residualNorm = std::sqrt(rr);
         if (!std::isfinite(res.residualNorm)) {
             // NaN/Inf contaminated the recurrence (bad input, an
@@ -162,12 +177,14 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
             // let the caller's fallback chain rebuild cleanly.
             res.iterations = it;
             iterCounter.add(it);
+            cgSpan.attr("iterations", it).attr("converged", "no");
             return res;
         }
         if (res.residualNorm <= opts.tolerance * bnorm) {
             res.converged = true;
             res.iterations = it;
             iterCounter.add(it);
+            cgSpan.attr("iterations", it).attr("converged", "yes");
             return res;
         }
 
@@ -207,6 +224,8 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
     res.iterations = opts.maxIterations;
     res.converged = res.residualNorm <= opts.tolerance * bnorm;
     iterCounter.add(res.iterations);
+    cgSpan.attr("iterations", res.iterations)
+        .attr("converged", res.converged ? "yes" : "no");
     return res;
 }
 

@@ -6,6 +6,7 @@
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "numeric/robust_solve.hh"
+#include "obs/span.hh"
 
 namespace irtherm
 {
@@ -165,6 +166,9 @@ Rk4Integrator::advance(std::vector<double> &temps,
         fatal("Rk4Integrator::advance: vector size mismatch");
     if (dt <= 0.0)
         fatal("Rk4Integrator::advance: non-positive dt");
+    obs::ScopedSpan span("numeric.rk4.advance");
+    span.attr("dt_s", dt);
+    const std::size_t stepsBefore = steps;
 
     double t = 0.0;
     double h = std::min(lastStep, dt);
@@ -205,6 +209,7 @@ Rk4Integrator::advance(std::vector<double> &temps,
         }
     }
     lastStep = h;
+    span.attr("steps", steps - stepsBefore);
 }
 
 BackwardEulerIntegrator::BackwardEulerIntegrator(
@@ -278,6 +283,7 @@ BackwardEulerIntegrator::step(std::vector<double> &temps,
     const std::size_t n = system->rows();
     if (temps.size() != n || power.size() != n)
         fatal("BackwardEulerIntegrator::step: vector size mismatch");
+    obs::ScopedSpan span("numeric.be.step");
     const double *cd = capOverDt.data();
     const double *td = temps.data();
     const double *pw = power.data();
@@ -402,6 +408,7 @@ CrankNicolsonIntegrator::step(std::vector<double> &temps,
     const std::size_t n = system->rows();
     if (temps.size() != n || power.size() != n)
         fatal("CrankNicolsonIntegrator::step: vector size mismatch");
+    obs::ScopedSpan span("numeric.cn.step");
     // rhs = (C/dt) T - (G/2) T + P
     const double *cd = capOverDt.data();
     const double *td = temps.data();

@@ -11,6 +11,7 @@
 #include "numeric/lu.hh"
 #include "obs/event_trace.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace irtherm
 {
@@ -116,6 +117,8 @@ runChain(const LinearOperator &verifyOp, const std::vector<double> &b,
     RobustSolveResult out;
     for (std::size_t t = 0; t < tiers.size(); ++t) {
         out.tiersTried = t + 1;
+        obs::ScopedSpan tierSpan("solve.tier");
+        tierSpan.attr("method", tiers[t].method).attr("tier", t);
         IterativeResult r;
         std::string failure;
         try {
@@ -139,6 +142,8 @@ runChain(const LinearOperator &verifyOp, const std::vector<double> &b,
         } catch (const FatalError &e) {
             failure = e.what();
         }
+        tierSpan.attr("iterations", r.iterations)
+            .attr("accepted", failure.empty() ? "yes" : "no");
 
         if (failure.empty()) {
             out.solve = std::move(r);

@@ -1,6 +1,7 @@
 #include "obs/event_trace.hh"
 
 #include "base/logging.hh"
+#include "obs/trace_clock.hh"
 
 namespace irtherm::obs
 {
@@ -10,7 +11,6 @@ EventTrace::EventTrace(std::size_t capacity_) : cap(capacity_)
     if (cap == 0)
         fatal("EventTrace: zero capacity");
     ring.resize(cap);
-    epoch = std::chrono::steady_clock::now();
 }
 
 void
@@ -43,10 +43,7 @@ EventTrace::record(std::string type, std::vector<EventField> fields)
 {
     if (!enabled())
         return;
-    const double wall =
-        std::chrono::duration_cast<std::chrono::duration<double>>(
-            std::chrono::steady_clock::now() - epoch)
-            .count();
+    const double wall = monotonicSeconds();
     std::lock_guard<std::mutex> lock(mu);
     TraceEvent &slot = ring[head];
     if (count == cap)
@@ -103,7 +100,8 @@ EventTrace::clear()
     count = 0;
     seq = 0;
     droppedCount = 0;
-    epoch = std::chrono::steady_clock::now();
+    // The timeline origin (shared trace epoch) deliberately does not
+    // reset: a cleared-and-refilled trace still overlays spans.
 }
 
 EventTrace &

@@ -20,7 +20,6 @@
 #define IRTHERM_OBS_EVENT_TRACE_HH
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -60,7 +59,10 @@ struct EventField
 struct TraceEvent
 {
     std::uint64_t seq = 0;   ///< global sequence number (monotonic)
-    double wallSeconds = 0.0;///< wall time since trace construction
+    /** Monotonic seconds since the shared trace epoch
+     *  (obs/trace_clock.hh) — the same timebase spans use, so events
+     *  overlay directly on the Perfetto span timeline. */
+    double wallSeconds = 0.0;
     std::string type;        ///< e.g. "dtm.engage"
     std::vector<EventField> fields;
 };
@@ -123,7 +125,6 @@ class EventTrace
     std::uint64_t seq = 0;
     std::uint64_t droppedCount = 0;
     std::atomic<bool> on{false};
-    std::chrono::steady_clock::time_point epoch;
 };
 
 } // namespace irtherm::obs

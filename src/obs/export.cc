@@ -1,12 +1,15 @@
 #include "obs/export.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "base/fault_injection.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
+#include "obs/trace_clock.hh"
 
 namespace irtherm::obs
 {
@@ -44,7 +47,10 @@ appendHistogramJson(std::ostringstream &os, const Histogram &h)
        << ",\"mean\":" << jsonNumber(h.mean());
     if (h.count() > 0) {
         os << ",\"min\":" << jsonNumber(h.min())
-           << ",\"max\":" << jsonNumber(h.max());
+           << ",\"max\":" << jsonNumber(h.max())
+           << ",\"p50\":" << jsonNumber(histogramQuantile(h, 0.50))
+           << ",\"p95\":" << jsonNumber(histogramQuantile(h, 0.95))
+           << ",\"p99\":" << jsonNumber(histogramQuantile(h, 0.99));
     }
     os << ",\"buckets\":[";
     bool first = true;
@@ -143,7 +149,9 @@ metricsToJson(const MetricsRegistry &reg)
 
     std::ostringstream os;
     os << "{\"schema\":\"irtherm.stats.v1\",\"metrics_enabled\":"
-       << (kMetricsEnabled ? "true" : "false");
+       << (kMetricsEnabled ? "true" : "false")
+       << ",\"wall_start_unix_s\":"
+       << jsonNumber(wallClockStartUnixSeconds());
 
     for (const MetricKind kind :
          {MetricKind::Counter, MetricKind::Gauge, MetricKind::Timer,
@@ -179,10 +187,19 @@ metricsToJson(const MetricsRegistry &reg)
                 break;
               case MetricKind::Timer: {
                 const Timer &t = reg.timerAt(name);
+                const Histogram &d = t.distribution();
                 os << "{\"count\":" << t.count()
                    << ",\"total_s\":" << jsonNumber(t.totalSeconds())
-                   << ",\"mean_s\":" << jsonNumber(t.meanSeconds())
-                   << "}";
+                   << ",\"mean_s\":" << jsonNumber(t.meanSeconds());
+                if (d.count() > 0) {
+                    os << ",\"p50_s\":"
+                       << jsonNumber(histogramQuantile(d, 0.50))
+                       << ",\"p95_s\":"
+                       << jsonNumber(histogramQuantile(d, 0.95))
+                       << ",\"p99_s\":"
+                       << jsonNumber(histogramQuantile(d, 0.99));
+                }
+                os << "}";
                 break;
               }
               case MetricKind::Histogram:
@@ -205,13 +222,15 @@ writeMetricsJson(std::ostream &os, const MetricsRegistry &reg)
 namespace
 {
 
-/** Uniform per-metric summary row: count, value, mean, min, max. */
+/** Uniform per-metric summary row: count, value, mean, p95, min,
+ *  max. */
 struct MetricRow
 {
     std::string kind;
     std::string count;
     std::string value;
     std::string mean;
+    std::string p95;
     std::string min;
     std::string max;
 };
@@ -236,6 +255,9 @@ summarize(const MetricsRegistry &reg, const std::string &name,
         row.count = std::to_string(t.count());
         row.value = jsonNumber(t.totalSeconds());
         row.mean = jsonNumber(t.meanSeconds());
+        if (t.distribution().count() > 0)
+            row.p95 =
+                jsonNumber(histogramQuantile(t.distribution(), 0.95));
         break;
       }
       case MetricKind::Histogram: {
@@ -245,6 +267,7 @@ summarize(const MetricsRegistry &reg, const std::string &name,
         row.value = jsonNumber(h.sum());
         row.mean = jsonNumber(h.mean());
         if (h.count() > 0) {
+            row.p95 = jsonNumber(histogramQuantile(h, 0.95));
             row.min = jsonNumber(h.min());
             row.max = jsonNumber(h.max());
         }
@@ -257,12 +280,12 @@ summarize(const MetricsRegistry &reg, const std::string &name,
 TextTable
 metricsTable(const MetricsRegistry &reg)
 {
-    TextTable t({"metric", "kind", "count", "value", "mean", "min",
-                 "max"});
+    TextTable t({"metric", "kind", "count", "value", "mean", "p95",
+                 "min", "max"});
     for (const auto &[name, kind] : reg.names()) {
         const MetricRow row = summarize(reg, name, kind);
         t.addRow({name, row.kind, row.count, row.value, row.mean,
-                  row.min, row.max});
+                  row.p95, row.min, row.max});
     }
     return t;
 }
@@ -286,6 +309,10 @@ printMetricsSummary(std::ostream &os, const MetricsRegistry &reg)
 void
 writeTraceJsonl(std::ostream &os, const EventTrace &trace)
 {
+    // Meta header: lets a reader map the monotonic wall_s offsets
+    // (shared trace epoch) back to civil time.
+    os << "{\"schema\":\"irtherm.trace.v1\",\"wall_start_unix_s\":"
+       << jsonNumber(wallClockStartUnixSeconds()) << "}\n";
     for (const TraceEvent &e : trace.snapshot()) {
         os << "{\"seq\":" << e.seq
            << ",\"wall_s\":" << jsonNumber(e.wallSeconds)
@@ -303,6 +330,220 @@ writeTraceJsonl(std::ostream &os, const EventTrace &trace)
         }
         os << "}}\n";
     }
+}
+
+namespace
+{
+
+/** One trace_event entry plus its sort keys. */
+struct TraceEntry
+{
+    double tsUs = 0.0;
+    int phaseOrder = 0; ///< M=0, E=1, B=2, i=3 at equal ts
+    int depthKey = 0;   ///< B: depth asc; E: -depth (deepest first)
+    std::string json;
+};
+
+void
+appendAttrJson(std::ostringstream &os, const EventField &f)
+{
+    os << jsonString(f.key) << ":";
+    if (f.numeric)
+        os << jsonNumber(f.num);
+    else
+        os << jsonString(f.text);
+}
+
+} // namespace
+
+std::string
+spansToTraceJson(const SpanRecorder &rec, const EventTrace *overlay)
+{
+    std::vector<TraceEntry> entries;
+
+    // Thread-name metadata. chrome://tracing keys rows on (pid,
+    // tid); unnamed threads fall back to "thread <i>".
+    for (const auto &[index, label] : rec.threadLabels()) {
+        std::ostringstream os;
+        const std::string name =
+            label.empty() ? "thread " + std::to_string(index) : label;
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1"
+           << ",\"tid\":" << index << ",\"args\":{\"name\":"
+           << jsonString(name) << "}}";
+        entries.push_back({0.0, 0, 0, os.str()});
+    }
+
+    for (const SpanRecord &s : rec.snapshot()) {
+        const double beginUs = s.startSeconds * 1e6;
+        const double endUs =
+            (s.startSeconds + s.durationSeconds) * 1e6;
+        {
+            std::ostringstream os;
+            os << "{\"ph\":\"B\",\"name\":" << jsonString(s.name)
+               << ",\"cat\":\"span\",\"pid\":1,\"tid\":"
+               << s.threadIndex << ",\"ts\":" << jsonNumber(beginUs)
+               << ",\"args\":{\"id\":" << s.id
+               << ",\"parent\":" << s.parentId;
+            for (const EventField &f : s.attrs) {
+                os << ",";
+                appendAttrJson(os, f);
+            }
+            os << "}}";
+            entries.push_back({beginUs, 2,
+                               static_cast<int>(s.depth), os.str()});
+        }
+        {
+            std::ostringstream os;
+            os << "{\"ph\":\"E\",\"name\":" << jsonString(s.name)
+               << ",\"cat\":\"span\",\"pid\":1,\"tid\":"
+               << s.threadIndex << ",\"ts\":" << jsonNumber(endUs)
+               << "}";
+            entries.push_back({endUs, 1,
+                               -static_cast<int>(s.depth), os.str()});
+        }
+    }
+
+    if (overlay != nullptr) {
+        for (const TraceEvent &e : overlay->snapshot()) {
+            const double tsUs = e.wallSeconds * 1e6;
+            std::ostringstream os;
+            // Process-scoped instants: events carry no thread id.
+            os << "{\"ph\":\"i\",\"s\":\"p\",\"name\":"
+               << jsonString(e.type)
+               << ",\"cat\":\"event\",\"pid\":1,\"tid\":0,\"ts\":"
+               << jsonNumber(tsUs) << ",\"args\":{";
+            bool first = true;
+            for (const EventField &f : e.fields) {
+                if (!first)
+                    os << ",";
+                first = false;
+                appendAttrJson(os, f);
+            }
+            os << "}}";
+            entries.push_back({tsUs, 3, 0, os.str()});
+        }
+    }
+
+    // Duration events must nest: at a shared timestamp, close the
+    // deepest span first and open the shallowest first, with all
+    // closes ahead of any opens.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const TraceEntry &a, const TraceEntry &b) {
+                         if (a.tsUs != b.tsUs)
+                             return a.tsUs < b.tsUs;
+                         if (a.phaseOrder != b.phaseOrder)
+                             return a.phaseOrder < b.phaseOrder;
+                         return a.depthKey < b.depthKey;
+                     });
+
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"wall_start_unix_s\":"
+       << jsonNumber(wallClockStartUnixSeconds())
+       << ",\"traceEvents\":[";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\n" << entries[i].json;
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+writeSpansTraceJson(std::ostream &os, const SpanRecorder &rec,
+                    const EventTrace *overlay)
+{
+    os << spansToTraceJson(rec, overlay);
+}
+
+namespace
+{
+
+/** Prometheus sample value (the format spells infinities +Inf). */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return jsonNumber(v);
+}
+
+/** irtherm_ prefix plus [a-zA-Z0-9_:] body, dots to underscores. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "irtherm_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+metricsToPrometheus(const MetricsRegistry &reg)
+{
+    syncThreadPoolGauges(reg);
+    std::ostringstream os;
+    for (const auto &[name, kind] : reg.names()) {
+        const std::string base = promName(name);
+        switch (kind) {
+          case MetricKind::Counter:
+            os << "# TYPE " << base << "_total counter\n"
+               << base << "_total "
+               << reg.counterAt(name).value() << "\n";
+            break;
+          case MetricKind::Gauge:
+            os << "# TYPE " << base << " gauge\n"
+               << base << " "
+               << promNumber(reg.gaugeAt(name).value()) << "\n";
+            break;
+          case MetricKind::Timer: {
+            const Timer &t = reg.timerAt(name);
+            const Histogram &d = t.distribution();
+            const std::string s = base + "_seconds";
+            os << "# TYPE " << s << " summary\n";
+            for (const double q : {0.5, 0.95, 0.99}) {
+                os << s << "{quantile=\"" << promNumber(q) << "\"} "
+                   << promNumber(d.count() > 0
+                                     ? histogramQuantile(d, q)
+                                     : 0.0)
+                   << "\n";
+            }
+            os << s << "_sum " << promNumber(t.totalSeconds()) << "\n"
+               << s << "_count " << t.count() << "\n";
+            break;
+          }
+          case MetricKind::Histogram: {
+            const Histogram &h = reg.histogramAt(name);
+            os << "# TYPE " << base << " histogram\n";
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < Histogram::kBucketCount;
+                 ++i) {
+                const std::uint64_t c = h.bucketCount(i);
+                if (c == 0)
+                    continue;
+                cum += c;
+                os << base << "_bucket{le=\""
+                   << promNumber(Histogram::bucketUpperBound(i))
+                   << "\"} " << cum << "\n";
+            }
+            os << base << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
+               << base << "_sum " << promNumber(h.sum()) << "\n"
+               << base << "_count " << h.count() << "\n";
+            break;
+          }
+        }
+    }
+    return os.str();
 }
 
 } // namespace irtherm::obs

@@ -1,0 +1,219 @@
+#include "obs/http_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/errors.hh"
+
+namespace irtherm::obs
+{
+
+namespace
+{
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      default:
+        return "Error";
+    }
+}
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // peer went away; nothing useful to do
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+sendResponse(int fd, const HttpResponse &resp)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      statusText(resp.status) +
+                      "\r\nContent-Type: " + resp.contentType +
+                      "\r\nContent-Length: " +
+                      std::to_string(resp.body.size()) +
+                      "\r\nConnection: close\r\n\r\n" + resp.body;
+    sendAll(fd, out);
+}
+
+} // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void
+HttpServer::route(const std::string &path, Handler handler)
+{
+    if (running())
+        ioError("HttpServer: route() after start()");
+    routes[path] = std::move(handler);
+}
+
+void
+HttpServer::start(int port, const std::string &bindAddress)
+{
+    if (running())
+        ioError("HttpServer: already running");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        ioError("HttpServer: socket(): ", std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, bindAddress.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(fd);
+        ioError("HttpServer: bad bind address '", bindAddress, "'");
+    }
+
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ioError("HttpServer: bind(", bindAddress, ":", port,
+                "): ", std::strerror(err));
+    }
+    if (::listen(fd, 16) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ioError("HttpServer: listen(): ", std::strerror(err));
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ioError("HttpServer: getsockname(): ", std::strerror(err));
+    }
+
+    listenFd = fd;
+    boundPort = ntohs(bound.sin_port);
+    live.store(true, std::memory_order_release);
+    listener = std::thread([this] { listenLoop(); });
+}
+
+void
+HttpServer::stop()
+{
+    if (!live.exchange(false, std::memory_order_acq_rel)) {
+        if (listener.joinable())
+            listener.join();
+        return;
+    }
+    // Unblock accept(): shutdown() first so the loop's accept fails,
+    // then close. Linux accept() on a closed-by-another-thread fd is
+    // not guaranteed to return, shutdown() is.
+    ::shutdown(listenFd, SHUT_RDWR);
+    ::close(listenFd);
+    listenFd = -1;
+    if (listener.joinable())
+        listener.join();
+    boundPort = 0;
+}
+
+void
+HttpServer::listenLoop()
+{
+    while (live.load(std::memory_order_acquire)) {
+        const int conn = ::accept(listenFd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listening socket shut down
+        }
+        // Bound how long a stalled client can hold the single
+        // listener thread hostage.
+        timeval tv{};
+        tv.tv_sec = 2;
+        ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        serveConnection(conn);
+        ::close(conn);
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    // Read until the end of the request headers. GET requests carry
+    // no body, so this is the full request.
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.size() < 16384) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    const std::size_t lineEnd = req.find("\r\n");
+    if (lineEnd == std::string::npos) {
+        sendResponse(fd, {400, "text/plain; charset=utf-8",
+                          "bad request\n"});
+        ++served;
+        return;
+    }
+    const std::string line = req.substr(0, lineEnd);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        sendResponse(fd, {400, "text/plain; charset=utf-8",
+                          "bad request\n"});
+        ++served;
+        return;
+    }
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.resize(query);
+
+    HttpResponse resp;
+    if (method != "GET" && method != "HEAD") {
+        resp = {405, "text/plain; charset=utf-8",
+                "method not allowed\n"};
+    } else {
+        const auto it = routes.find(path);
+        if (it == routes.end())
+            resp = {404, "text/plain; charset=utf-8", "not found\n"};
+        else
+            resp = it->second();
+    }
+    if (method == "HEAD")
+        resp.body.clear();
+    sendResponse(fd, resp);
+    ++served;
+}
+
+} // namespace irtherm::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal embedded HTTP/1.1 server for live telemetry endpoints.
+ *
+ * Deliberately tiny: raw POSIX sockets, one blocking listener thread,
+ * one request per connection (Connection: close), GET only, exact
+ * path match. That is all /metrics, /status and /healthz need, and it
+ * keeps the dependency count at zero.
+ *
+ * Security posture: binds 127.0.0.1 by default. The endpoints expose
+ * solver progress and resource numbers — harmless on a workstation,
+ * but exposing them beyond the local host is an explicit opt-in
+ * (pass a different bind address).
+ */
+
+#ifndef IRTHERM_OBS_HTTP_SERVER_HH
+#define IRTHERM_OBS_HTTP_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace irtherm::obs
+{
+
+/** A handler's reply. Body is sent verbatim with Content-Length. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/**
+ * One-listener-thread HTTP server.
+ *
+ * Register handlers, then start(). Handlers run on the listener
+ * thread, so they must be quick and must not call back into stop().
+ * port 0 requests an ephemeral port; port() reports the actual one.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse()>;
+
+    HttpServer() = default;
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Map an exact request path ("/status") to a handler. Must be
+     *  called before start(). */
+    void route(const std::string &path, Handler handler);
+
+    /**
+     * Bind, listen, and spawn the listener thread. Throws IoError on
+     * socket failures (port in use, bad address).
+     */
+    void start(int port, const std::string &bindAddress = "127.0.0.1");
+
+    /** True between a successful start() and stop(). */
+    bool running() const { return live.load(std::memory_order_acquire); }
+
+    /** The bound port (resolves port-0 requests); 0 if not running. */
+    int port() const { return boundPort; }
+
+    /** Requests answered so far (including 404s). */
+    std::uint64_t requestCount() const
+    {
+        return served.load(std::memory_order_relaxed);
+    }
+
+    /** Close the listening socket and join the thread. Idempotent. */
+    void stop();
+
+  private:
+    void listenLoop();
+    void serveConnection(int fd);
+
+    std::map<std::string, Handler> routes;
+    std::thread listener;
+    std::atomic<bool> live{false};
+    std::atomic<std::uint64_t> served{0};
+    int listenFd = -1;
+    int boundPort = 0;
+};
+
+} // namespace irtherm::obs
+
+#endif // IRTHERM_OBS_HTTP_SERVER_HH

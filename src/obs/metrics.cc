@@ -1,5 +1,6 @@
 #include "obs/metrics.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/logging.hh"
@@ -40,6 +41,30 @@ checkName(const std::string &name)
 
 } // namespace
 
+Timer::Timer() : dist(std::make_unique<Histogram>()) {}
+
+Timer::~Timer() = default;
+
+void
+Timer::addNanos(std::uint64_t ns)
+{
+    if constexpr (kMetricsEnabled) {
+        total.fetch_add(ns, std::memory_order_relaxed);
+        calls.fetch_add(1, std::memory_order_relaxed);
+        dist->observe(1e-9 * static_cast<double>(ns));
+    } else {
+        (void)ns;
+    }
+}
+
+void
+Timer::reset()
+{
+    total.store(0, std::memory_order_relaxed);
+    calls.store(0, std::memory_order_relaxed);
+    dist->reset();
+}
+
 std::size_t
 Histogram::bucketIndex(double value)
 {
@@ -78,6 +103,41 @@ Histogram::reset()
     high.store(-1e300, std::memory_order_relaxed);
     for (auto &b : buckets)
         b.store(0, std::memory_order_relaxed);
+}
+
+double
+histogramQuantile(const Histogram &h, double q)
+{
+    const std::uint64_t c = h.count();
+    if (c == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return h.min();
+    if (q >= 1.0)
+        return h.max();
+    const double rank = q * static_cast<double>(c);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        const std::uint64_t bc = h.bucketCount(i);
+        if (bc == 0)
+            continue;
+        if (static_cast<double>(below + bc) >= rank) {
+            const double lo = Histogram::bucketLowerBound(i);
+            const double hi = Histogram::bucketUpperBound(i);
+            const double frac =
+                (rank - static_cast<double>(below)) /
+                static_cast<double>(bc);
+            double v = lo + frac * (hi - lo);
+            // The observed extremes bound the estimate; this also
+            // tames the underflow bucket (lo = 0) and the open top
+            // bucket.
+            v = std::max(v, h.min());
+            v = std::min(v, h.max());
+            return v;
+        }
+        below += bc;
+    }
+    return h.max();
 }
 
 MetricsRegistry::Cell &

@@ -128,20 +128,23 @@ class Gauge
     std::atomic<double> v{0.0};
 };
 
-/** Accumulated wall time plus invocation count. */
+class Histogram;
+
+/**
+ * Accumulated wall time plus invocation count, with a per-call
+ * duration histogram behind it so exporters can derive latency
+ * percentiles (p50/p95/p99), not just the mean.
+ */
 class Timer
 {
   public:
-    void
-    addNanos(std::uint64_t ns)
-    {
-        if constexpr (kMetricsEnabled) {
-            total.fetch_add(ns, std::memory_order_relaxed);
-            calls.fetch_add(1, std::memory_order_relaxed);
-        } else {
-            (void)ns;
-        }
-    }
+    Timer();
+    ~Timer();
+
+    Timer(const Timer &) = delete;
+    Timer &operator=(const Timer &) = delete;
+
+    void addNanos(std::uint64_t ns);
 
     std::uint64_t count() const
     {
@@ -161,16 +164,15 @@ class Timer
         return c == 0 ? 0.0 : totalSeconds() / static_cast<double>(c);
     }
 
-    void
-    reset()
-    {
-        total.store(0, std::memory_order_relaxed);
-        calls.store(0, std::memory_order_relaxed);
-    }
+    /** Per-call durations in seconds (for percentile estimates). */
+    const Histogram &distribution() const { return *dist; }
+
+    void reset();
 
   private:
     std::atomic<std::uint64_t> total{0};
     std::atomic<std::uint64_t> calls{0};
+    std::unique_ptr<Histogram> dist; ///< per-call seconds
 };
 
 /** RAII wall-clock span feeding a Timer. */
@@ -275,6 +277,15 @@ class Histogram
     std::atomic<double> high{-1e300};
     std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
 };
+
+/**
+ * Quantile estimate for @p q in [0, 1]: walks the cumulative bucket
+ * counts to the bucket containing the rank, interpolates linearly
+ * within that bucket's bounds, and clamps to the observed
+ * [min(), max()] (which also tames the open-ended underflow and
+ * overflow buckets). Returns 0 when the histogram is empty.
+ */
+double histogramQuantile(const Histogram &h, double q);
 
 /** Discriminator for registry entries. */
 enum class MetricKind

@@ -1,0 +1,66 @@
+#include "obs/trace_clock.hh"
+
+namespace irtherm::obs
+{
+
+namespace
+{
+
+/** Both clocks sampled back to back; skew is sub-microsecond. */
+struct EpochPair
+{
+    std::chrono::steady_clock::time_point mono;
+    double wallUnixSeconds;
+
+    EpochPair()
+        : mono(std::chrono::steady_clock::now()),
+          wallUnixSeconds(
+              std::chrono::duration_cast<
+                  std::chrono::duration<double>>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count())
+    {}
+};
+
+const EpochPair &
+epochPair()
+{
+    static const EpochPair pair;
+    return pair;
+}
+
+} // namespace
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    return epochPair().mono;
+}
+
+double
+monotonicSeconds(std::chrono::steady_clock::time_point t)
+{
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               t - epochPair().mono)
+        .count();
+}
+
+double
+monotonicSeconds()
+{
+    // Touch the epoch before sampling: on the very first call the
+    // static must be captured first, or "now" lands a hair *before*
+    // the epoch and the process's first timestamp goes negative.
+    const EpochPair &epoch = epochPair();
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - epoch.mono)
+        .count();
+}
+
+double
+wallClockStartUnixSeconds()
+{
+    return epochPair().wallUnixSeconds;
+}
+
+} // namespace irtherm::obs

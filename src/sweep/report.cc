@@ -24,7 +24,10 @@ summaryCells(const JobResult &r)
                 std::to_string(r.attempts),
                 std::to_string(r.fallbackTier),
                 errorClassName(r.errorClass),
-                formatFixed(r.wallSeconds, 3), r.error};
+                formatFixed(r.wallSeconds, 3),
+                formatFixed(r.resources.cpuSeconds, 3),
+                std::to_string(r.resources.peakRssDeltaKb),
+                r.error};
     }
     return {jobStatusName(r.status),
             r.hottestUnit,
@@ -36,6 +39,8 @@ summaryCells(const JobResult &r)
             std::to_string(r.fallbackTier),
             errorClassName(r.errorClass),
             formatFixed(r.wallSeconds, 3),
+            formatFixed(r.resources.cpuSeconds, 3),
+            std::to_string(r.resources.peakRssDeltaKb),
             r.error};
 }
 
@@ -52,7 +57,7 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
     for (const char *col :
          {"status", "hottest", "peak_c", "gradient_k",
           "cg_iterations", "warm_start", "attempts", "fallback_tier",
-          "error_class", "wall_s", "error"})
+          "error_class", "wall_s", "cpu_s", "rss_delta_kb", "error"})
         header.emplace_back(col);
 
     TextTable table(std::move(header));
@@ -69,8 +74,8 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
                 row.push_back(std::move(cell));
         } else {
             // Interrupted before this job ran (stopAfter / kill).
-            row.insert(row.end(), {"pending", "-", "-", "-", "-",
-                                   "-", "-", "-", "-", "-", ""});
+            row.insert(row.end(), {"pending", "-", "-", "-", "-", "-",
+                                   "-", "-", "-", "-", "-", "-", ""});
         }
         table.addRow(std::move(row));
     }
@@ -171,8 +176,8 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
               " used a solver fallback.\n\n";
     }
     md += "| scenario | status | hottest unit | peak (C) | dT (K) |"
-          " CG iters | warm | wall (s) |\n";
-    md += "|---|---|---|---:|---:|---:|---|---:|\n";
+          " CG iters | warm | wall (s) | cpu (s) |\n";
+    md += "|---|---|---|---:|---:|---:|---|---:|---:|\n";
     for (const JobResult &r : results) {
         // Pipes inside names would break the table layout.
         std::string name = r.name;
@@ -184,7 +189,8 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
                   formatFixed(r.gradientKelvin, 2) + " | " +
                   std::to_string(r.cgIterations) + " | " +
                   (r.warmStarted ? "yes" : "no") + " | " +
-                  formatFixed(r.wallSeconds, 3) + " |\n";
+                  formatFixed(r.wallSeconds, 3) + " | " +
+                  formatFixed(r.resources.cpuSeconds, 3) + " |\n";
         } else {
             std::string err = r.error;
             std::replace(err.begin(), err.end(), '|', '/');
@@ -192,8 +198,53 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
             if (err.size() > 80)
                 err = err.substr(0, 77) + "...";
             md += err + " | - | - | - | - | " +
-                  formatFixed(r.wallSeconds, 3) + " |\n";
+                  formatFixed(r.wallSeconds, 3) + " | " +
+                  formatFixed(r.resources.cpuSeconds, 3) + " |\n";
         }
+    }
+    return md;
+}
+
+std::string
+renderTopJobsMarkdown(const std::vector<JobResult> &results,
+                      std::size_t n)
+{
+    std::vector<const JobResult *> order;
+    order.reserve(results.size());
+    for (const JobResult &r : results)
+        order.push_back(&r);
+    // CPU descending; wall then name break ties so reruns over the
+    // same journal list the same order.
+    std::sort(order.begin(), order.end(),
+              [](const JobResult *a, const JobResult *b) {
+                  if (a->resources.cpuSeconds !=
+                      b->resources.cpuSeconds)
+                      return a->resources.cpuSeconds >
+                             b->resources.cpuSeconds;
+                  if (a->wallSeconds != b->wallSeconds)
+                      return a->wallSeconds > b->wallSeconds;
+                  return a->name < b->name;
+              });
+    if (order.size() > n)
+        order.resize(n);
+
+    std::string md;
+    md += "## Top " + std::to_string(order.size()) +
+          " jobs by CPU time\n\n";
+    md += "| scenario | status | cpu (s) | wall (s) | rss +kB |"
+          " solver iters | retries | fallbacks |\n";
+    md += "|---|---|---:|---:|---:|---:|---:|---:|\n";
+    for (const JobResult *r : order) {
+        std::string name = r->name;
+        std::replace(name.begin(), name.end(), '|', '/');
+        md += "| " + name + " | " + jobStatusName(r->status) + " | " +
+              formatFixed(r->resources.cpuSeconds, 3) + " | " +
+              formatFixed(r->wallSeconds, 3) + " | " +
+              std::to_string(r->resources.peakRssDeltaKb) + " | " +
+              std::to_string(r->resources.solverIterations) + " | " +
+              std::to_string(r->resources.retries) + " | " +
+              std::to_string(r->resources.fallbackEscalations) +
+              " |\n";
     }
     return md;
 }

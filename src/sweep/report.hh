@@ -47,6 +47,16 @@ void writeSweepJson(std::ostream &os, const SweepPlan &plan,
 std::string renderMarkdownSummary(const std::vector<JobResult> &results,
                                   const std::string &title);
 
+/**
+ * Markdown "slowest jobs" table: the top `n` journal entries by CPU
+ * seconds (from the per-job resources accounting), with wall time,
+ * RSS growth, solver iterations, retries and fallback escalations.
+ * Ties break on wall seconds, then scenario name, so the ordering is
+ * stable across runs.
+ */
+std::string renderTopJobsMarkdown(const std::vector<JobResult> &results,
+                                  std::size_t n);
+
 } // namespace irtherm::sweep
 
 #endif // IRTHERM_SWEEP_REPORT_HH

@@ -79,6 +79,15 @@ JobResult::toJsonLine() const
     out += ",\"cg_iterations\":" + std::to_string(cgIterations);
     out += ",\"warm_start\":";
     out += warmStarted ? "true" : "false";
+    out += ",\"resources\":{\"cpu_s\":" +
+           jsonNumber(resources.cpuSeconds) +
+           ",\"rss_delta_kb\":" +
+           std::to_string(resources.peakRssDeltaKb) +
+           ",\"solver_iterations\":" +
+           std::to_string(resources.solverIterations) +
+           ",\"retries\":" + std::to_string(resources.retries) +
+           ",\"fallbacks\":" +
+           std::to_string(resources.fallbackEscalations) + "}";
     out += ",\"blocks\":{";
     bool first = true;
     for (const auto &[block, celsius] : blockCelsius) {
@@ -146,6 +155,30 @@ JobResult::fromJsonLine(const std::string &line,
     if (!warm.isBool())
         configError(context, ": 'warm_start' must be a boolean");
     r.warmStarted = warm.boolean;
+    // The resources object arrived with the telemetry layer; older
+    // journals simply leave the defaults (all zero).
+    if (const JsonValue *res = doc.find("resources")) {
+        if (!res->isObject())
+            configError(context, ": 'resources' must be an object");
+        auto resNum = [&](const char *key) -> double {
+            const JsonValue *v = res->find(key);
+            if (v == nullptr)
+                return 0.0;
+            if (!v->isNumber())
+                configError(context, ": 'resources.", key,
+                            "' must be a number");
+            return v->number;
+        };
+        r.resources.cpuSeconds = resNum("cpu_s");
+        r.resources.peakRssDeltaKb =
+            static_cast<std::int64_t>(resNum("rss_delta_kb"));
+        r.resources.solverIterations =
+            static_cast<std::size_t>(resNum("solver_iterations"));
+        r.resources.retries =
+            static_cast<std::size_t>(resNum("retries"));
+        r.resources.fallbackEscalations =
+            static_cast<int>(resNum("fallbacks"));
+    }
     const JsonValue &blocks = doc.at("blocks");
     if (!blocks.isObject())
         configError(context, ": 'blocks' must be an object");

@@ -23,6 +23,7 @@
 #define IRTHERM_SWEEP_RESULT_STORE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -48,6 +49,25 @@ const char *jobStatusName(JobStatus status);
 
 /** Parse a status name ("ok", "failed", ...); ConfigError else. */
 JobStatus parseJobStatus(const std::string &name);
+
+/**
+ * Per-job resource accounting (journal `resources` object). All
+ * fields cover the job's *total* footprint across every attempt.
+ */
+struct JobResources
+{
+    /** CPU seconds charged to the job's worker/watchdog thread. */
+    double cpuSeconds = 0.0;
+    /** How far this job pushed up the process peak-RSS high-water
+     *  mark (kilobytes); 0 for most jobs. */
+    std::int64_t peakRssDeltaKb = 0;
+    /** Solver iterations summed over attempts. */
+    std::size_t solverIterations = 0;
+    /** Extra executions beyond the first (attempts - 1). */
+    std::size_t retries = 0;
+    /** Fallback-tier escalations in the final attempt. */
+    int fallbackEscalations = 0;
+};
 
 /** Everything a completed job reports. */
 struct JobResult
@@ -75,6 +95,8 @@ struct JobResult
     bool warmStarted = false;     ///< seeded from a cached neighbor
     /** Per-block steady silicon temperatures (celsius). */
     std::vector<std::pair<std::string, double>> blockCelsius;
+    /** Resource accounting across all attempts. */
+    JobResources resources;
 
     /** Serialize as one journal JSONL line (no trailing newline). */
     std::string toJsonLine() const;
@@ -82,8 +104,8 @@ struct JobResult
     /**
      * Parse a journal line; throws (ConfigError) on malformed
      * entries. The resilience fields (`error_class`, `attempts`,
-     * `fallback_tier`) are optional so journals written before they
-     * existed still load.
+     * `fallback_tier`) and the `resources` object are optional so
+     * journals written before they existed still load.
      */
     static JobResult fromJsonLine(const std::string &line,
                                   const std::string &context);

@@ -17,13 +17,18 @@
 #include "base/errors.hh"
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
+#include "base/resource_usage.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "core/simulator.hh"
 #include "core/stack_model.hh"
 #include "obs/event_trace.hh"
+#include "obs/export.hh"
+#include "obs/http_server.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sweep/report.hh"
+#include "sweep/status.hh"
 
 namespace irtherm::sweep
 {
@@ -115,11 +120,23 @@ summarize(JobResult &r, const StackModel &model,
 /** Run one scenario end to end; never throws (failure isolation). */
 JobResult
 runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
-          WarmStartCache &warm)
+          WarmStartCache &warm, std::size_t attempt,
+          const std::string &workerLabel)
 {
     JobResult r;
     r.hash = spec.hashHex();
     r.name = spec.displayName();
+    // With a watchdog armed the job runs on a fresh thread; carrying
+    // the worker's label over keeps /status attributing the live
+    // span path to the logical worker even mid-hang.
+    if (!workerLabel.empty())
+        obs::SpanRecorder::setThreadLabel(workerLabel);
+    obs::ScopedSpan jobSpan("sweep.job");
+    jobSpan.attr("name", r.name)
+        .attr("hash", r.hash)
+        .attr("attempt", attempt);
+    const double cpuBefore = threadCpuSeconds();
+    const std::int64_t rssBefore = peakRssKb();
     // Scope key for fault probes: rules with match=<substr> target
     // this job's solves from any depth of the numeric stack.
     const FaultInjector::ScopedContext faultScope(r.name);
@@ -211,6 +228,18 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
     }
     r.wallSeconds = std::chrono::duration<double>(Clock::now() - start)
                         .count();
+    // Resources for THIS attempt; the worker loop accumulates across
+    // retries. Peak RSS is a process high-water mark, so the job is
+    // charged only with how far it pushed the mark up.
+    r.resources.cpuSeconds = threadCpuSeconds() - cpuBefore;
+    r.resources.peakRssDeltaKb =
+        std::max<std::int64_t>(0, peakRssKb() - rssBefore);
+    r.resources.solverIterations = r.cgIterations;
+    r.resources.fallbackEscalations = r.fallbackTier;
+    jobSpan.attr("status", jobStatusName(r.status))
+        .attr("cpu_s", r.resources.cpuSeconds)
+        .attr("cg_iterations", r.cgIterations)
+        .attr("fallback_tier", r.fallbackTier);
     return r;
 }
 
@@ -288,16 +317,19 @@ class AbandonedJobs
 JobResult
 runGuarded(const ScenarioSpec &spec, const SweepOptions &opts,
            const std::shared_ptr<WarmStartCache> &warm,
-           AbandonedJobs &abandoned)
+           AbandonedJobs &abandoned, std::size_t attempt,
+           const std::string &workerLabel)
 {
     if (opts.jobTimeoutSeconds <= 0.0)
-        return runOneJob(spec, opts, *warm);
+        return runOneJob(spec, opts, *warm, attempt, workerLabel);
 
     auto cell = std::make_shared<JobCell>();
     auto specCopy = std::make_shared<ScenarioSpec>(spec);
     auto optsCopy = std::make_shared<SweepOptions>(opts);
-    std::thread runner([cell, specCopy, optsCopy, warm] {
-        JobResult jr = runOneJob(*specCopy, *optsCopy, *warm);
+    std::thread runner([cell, specCopy, optsCopy, warm, attempt,
+                        workerLabel] {
+        JobResult jr = runOneJob(*specCopy, *optsCopy, *warm, attempt,
+                                 workerLabel);
         std::lock_guard<std::mutex> lock(cell->mu);
         cell->result = std::move(jr);
         cell->done = true;
@@ -360,7 +392,10 @@ SweepSummary
 runSweep(const SweepPlan &plan, const SweepOptions &opts)
 {
     auto &reg = obs::MetricsRegistry::global();
-    obs::ScopedTimer batchSpan(reg.timer("sweep.batch_time"));
+    obs::ScopedTimer batchTimer(reg.timer("sweep.batch_time"));
+    obs::SpanRecorder::setThreadLabel("sweep-main");
+    obs::ScopedSpan batchSpan("sweep.batch");
+    batchSpan.attr("plan", plan.name());
 
     SweepSummary sum;
     sum.outDir = opts.outDir;
@@ -407,7 +442,45 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     std::atomic<std::size_t> executed{0};
     std::mutex sumMu;
 
-    auto workerLoop = [&]() {
+    std::size_t width =
+        opts.workers != 0 ? opts.workers
+                          : ThreadPool::plannedGlobalThreads();
+    width = std::max<std::size_t>(1, std::min(width, pending.size()));
+
+    // Live telemetry: the board aggregates counters; the server (if
+    // asked for) exposes it plus Prometheus metrics for the sweep's
+    // duration. Handlers run on the listener thread and only read
+    // shared state through their own locks.
+    SweepStatusBoard board;
+    board.begin(plan.name(), sum.total, pending.size(), sum.cached,
+                width);
+    obs::HttpServer server;
+    if (opts.servePort >= 0) {
+        server.route("/status", [&board] {
+            return obs::HttpResponse{200, "application/json",
+                                     board.statusJson() + "\n"};
+        });
+        server.route("/metrics", [&reg] {
+            return obs::HttpResponse{
+                200, "text/plain; version=0.0.4; charset=utf-8",
+                obs::metricsToPrometheus(reg)};
+        });
+        server.route("/healthz", [] {
+            return obs::HttpResponse{200,
+                                     "text/plain; charset=utf-8",
+                                     "ok\n"};
+        });
+        server.start(opts.servePort, opts.serveBindAddress);
+        inform("sweep: serving /status /metrics /healthz on ",
+               opts.serveBindAddress, ":", server.port());
+        if (opts.onServerStart)
+            opts.onServerStart(server.port());
+    }
+
+    auto workerLoop = [&](std::size_t workerIndex) {
+        const std::string label =
+            "worker" + std::to_string(workerIndex);
+        obs::SpanRecorder::setThreadLabel(label);
         while (true) {
             if (opts.stopAfter != 0 &&
                 executed.load(std::memory_order_relaxed) >=
@@ -420,10 +493,17 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
             const ScenarioSpec &spec = *pending[i];
             JobResult r;
             std::size_t attempt = 1;
+            JobResources acc; ///< resource totals across attempts
+            board.jobStarted();
             {
-                obs::ScopedTimer jobSpan(reg.timer("sweep.job_time"));
+                obs::ScopedTimer jobTimer(reg.timer("sweep.job_time"));
                 for (;; ++attempt) {
-                    r = runGuarded(spec, opts, warm, abandoned);
+                    r = runGuarded(spec, opts, warm, abandoned,
+                                   attempt, label);
+                    acc.cpuSeconds += r.resources.cpuSeconds;
+                    acc.peakRssDeltaKb += r.resources.peakRssDeltaKb;
+                    acc.solverIterations +=
+                        r.resources.solverIterations;
                     if (r.status != JobStatus::Failed ||
                         !errorClassRetryable(r.errorClass) ||
                         attempt > opts.maxRetries)
@@ -446,7 +526,11 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                 }
             }
             r.attempts = attempt;
+            acc.retries = attempt - 1;
+            acc.fallbackEscalations = r.fallbackTier;
+            r.resources = acc;
             store.add(r);
+            board.jobFinished(r.status);
             executed.fetch_add(1, std::memory_order_relaxed);
             reg.counter("sweep.jobs.executed").add();
             IRTHERM_EVENT("sweep.job.done", {"name", r.name},
@@ -490,17 +574,13 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         }
     };
 
-    std::size_t width =
-        opts.workers != 0 ? opts.workers
-                          : ThreadPool::plannedGlobalThreads();
-    width = std::max<std::size_t>(1, std::min(width, pending.size()));
     if (width <= 1) {
-        workerLoop();
+        workerLoop(0);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(width);
         for (std::size_t t = 0; t < width; ++t)
-            threads.emplace_back(workerLoop);
+            threads.emplace_back(workerLoop, t);
         for (std::thread &t : threads)
             t.join();
     }
@@ -531,6 +611,11 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                   {"hung", sum.hung}, {"retried", sum.retried},
                   {"fallbacks", sum.fallbacks},
                   {"cached", sum.cached});
+    batchSpan.attr("executed", sum.executed)
+        .attr("ok", sum.ok)
+        .attr("failed", sum.failed)
+        .attr("timeout", sum.timedOut)
+        .attr("hung", sum.hung);
     return sum;
 }
 

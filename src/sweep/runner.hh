@@ -38,6 +38,7 @@
 #define IRTHERM_SWEEP_RUNNER_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "sweep/plan.hh"
@@ -84,6 +85,22 @@ struct SweepOptions
      * workers == 1; with more workers in-flight jobs still finish.
      */
     std::size_t stopAfter = 0;
+    /**
+     * Serve live telemetry (/metrics, /status, /healthz) for the
+     * duration of the sweep: -1 disables, 0 picks an ephemeral port,
+     * anything else binds that port. The server lives on one
+     * listener thread and binds serveBindAddress.
+     */
+    int servePort = -1;
+    /** Bind address for the status server (loopback by default; see
+     *  the security note in obs/http_server.hh). */
+    std::string serveBindAddress = "127.0.0.1";
+    /**
+     * Called once the status server is listening, with the bound
+     * port (resolves servePort == 0). Runs before any job starts, so
+     * tests and scripts can connect while the sweep is in flight.
+     */
+    std::function<void(int)> onServerStart;
 };
 
 /** What a sweep did, plus where it wrote its artifacts. */

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Live progress snapshot of a running sweep, serialized as the
+ * `irtherm.sweep.status.v1` JSON document behind the /status
+ * endpoint.
+ *
+ * The board is a passive aggregate: workers call jobStarted() /
+ * jobFinished() around each job, and statusJson() renders whatever
+ * is true at that instant — done/running/failed/hung counts, an ETA
+ * extrapolated from the trailing completion throughput, and each
+ * registered thread's current span path (from the global
+ * SpanRecorder), which is what shows a watcher that worker 2 is
+ * three fallback tiers deep in job 37 *right now*.
+ */
+
+#ifndef IRTHERM_SWEEP_STATUS_HH
+#define IRTHERM_SWEEP_STATUS_HH
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "sweep/result_store.hh"
+
+namespace irtherm::sweep
+{
+
+/** Thread-safe live counters + snapshot serializer for one sweep. */
+class SweepStatusBoard
+{
+  public:
+    /** Fix the denominators before workers start. */
+    void begin(const std::string &planName, std::size_t totalJobs,
+               std::size_t pendingJobs, std::size_t cachedJobs,
+               std::size_t workers);
+
+    /** A worker picked up a job (first attempt). */
+    void jobStarted();
+
+    /** A job reached a terminal state. */
+    void jobFinished(JobStatus status);
+
+    /** Render the irtherm.sweep.status.v1 JSON document. */
+    std::string statusJson() const;
+
+  private:
+    mutable std::mutex mu;
+    std::string plan;
+    std::size_t total = 0;
+    std::size_t pending = 0;
+    std::size_t cached = 0;
+    std::size_t workers = 0;
+    std::size_t running = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timedOut = 0;
+    std::size_t hung = 0;
+    double beginSeconds = 0.0; ///< monotonic, shared trace epoch
+    /** Monotonic completion stamps of the most recent jobs (trailing
+     *  throughput window for the ETA). */
+    std::deque<double> finishStamps;
+};
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_STATUS_HH

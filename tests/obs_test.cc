@@ -518,12 +518,21 @@ TEST(EventTrace, JsonlLinesAreValidJson)
     while (std::getline(is, line)) {
         ++lines;
         EXPECT_TRUE(JsonChecker::valid(line)) << line;
+        if (lines == 1) {
+            // Meta header: schema marker plus the wall-clock origin
+            // of the shared monotonic timeline.
+            EXPECT_NE(line.find("\"irtherm.trace.v1\""),
+                      std::string::npos);
+            EXPECT_NE(line.find("\"wall_start_unix_s\""),
+                      std::string::npos);
+            continue;
+        }
         EXPECT_NE(line.find("\"seq\""), std::string::npos);
         EXPECT_NE(line.find("\"wall_s\""), std::string::npos);
         EXPECT_NE(line.find("\"type\""), std::string::npos);
         EXPECT_NE(line.find("\"fields\""), std::string::npos);
     }
-    EXPECT_EQ(lines, 2u);
+    EXPECT_EQ(lines, 3u);
     EXPECT_NE(os.str().find("line\\nbreak"), std::string::npos);
 }
 

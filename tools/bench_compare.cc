@@ -1,0 +1,215 @@
+/**
+ * @file
+ * bench_compare — regression gate over two irtherm.bench.v1 files.
+ *
+ * Compares the optimized_s timing of every bench that appears in
+ * both a baseline file (typically the committed BENCH_perf.json) and
+ * a candidate file (a fresh bench_to_json run), prints a per-bench
+ * delta table, and exits non-zero when any bench slowed down by more
+ * than the tolerance (default 10%). Benches present on only one side
+ * are reported but do not fail the comparison — the set is expected
+ * to drift as the suite grows.
+ *
+ * Timing on shared CI runners is noisy, so the job wiring this gate
+ * is advisory: the exit code flags a likely regression for a human,
+ * it does not block the merge.
+ *
+ * usage: bench_compare <baseline.json> <candidate.json>
+ *                      [--tolerance <fraction>]
+ *
+ * exit codes:
+ *   0  no bench regressed beyond the tolerance
+ *   1  at least one bench regressed
+ *   2  bad command line or unreadable/ill-formed input
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/errors.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+#include "sweep/json.hh"
+
+using namespace irtherm;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_compare <baseline.json> <candidate.json> "
+        "[--tolerance <fraction>]\n"
+        "compares two irtherm.bench.v1 files by optimized_s\n"
+        "\n"
+        "  --tolerance <f>  allowed slowdown fraction before a bench "
+        "counts as regressed (default 0.10 = 10%%)\n"
+        "\n"
+        "exit codes:\n"
+        "  0  within tolerance\n"
+        "  1  regression: some bench slowed beyond the tolerance\n"
+        "  2  usage error or unreadable input\n");
+}
+
+struct BenchTiming
+{
+    std::string name;
+    double optimizedSeconds;
+};
+
+/** Load the benches array of an irtherm.bench.v1 file. */
+std::vector<BenchTiming>
+loadBenchFile(const std::string &path)
+{
+    const sweep::JsonValue doc = sweep::loadJsonFile(path);
+    if (!doc.isObject())
+        ioError(path, ": expected a JSON object");
+    const sweep::JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->text != "irtherm.bench.v1")
+        ioError(path, ": not an irtherm.bench.v1 file");
+    const sweep::JsonValue &benches = doc.at("benches");
+    if (!benches.isArray())
+        ioError(path, ": 'benches' is not an array");
+    std::vector<BenchTiming> out;
+    for (const sweep::JsonValue &b : benches.items) {
+        if (!b.isObject())
+            ioError(path, ": bench entry is not an object");
+        const sweep::JsonValue &name = b.at("name");
+        const sweep::JsonValue &opt = b.at("optimized_s");
+        if (!name.isString() || !opt.isNumber())
+            ioError(path, ": bench entry missing name/optimized_s");
+        out.push_back({name.text, opt.number});
+    }
+    return out;
+}
+
+const BenchTiming *
+findBench(const std::vector<BenchTiming> &v, const std::string &name)
+{
+    for (const BenchTiming &b : v) {
+        if (b.name == name)
+            return &b;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string baselinePath;
+        std::string candidatePath;
+        double tolerance = 0.10;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--tolerance") {
+                if (i + 1 >= argc)
+                    configError("missing value after --tolerance");
+                const std::string v = argv[++i];
+                char *end = nullptr;
+                tolerance = std::strtod(v.c_str(), &end);
+                if (end == v.c_str() || *end != '\0' ||
+                    !(tolerance >= 0.0))
+                    configError("--tolerance wants a non-negative "
+                                "fraction, got '", v, "'");
+            } else if (arg == "-h" || arg == "--help") {
+                usage();
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(stderr,
+                             "bench_compare: unknown argument '%s'\n",
+                             arg.c_str());
+                usage();
+                return 2;
+            } else if (baselinePath.empty()) {
+                baselinePath = arg;
+            } else if (candidatePath.empty()) {
+                candidatePath = arg;
+            } else {
+                std::fprintf(
+                    stderr,
+                    "bench_compare: unexpected argument '%s'\n",
+                    arg.c_str());
+                usage();
+                return 2;
+            }
+        }
+        if (baselinePath.empty() || candidatePath.empty()) {
+            usage();
+            return 2;
+        }
+
+        const std::vector<BenchTiming> baseline =
+            loadBenchFile(baselinePath);
+        const std::vector<BenchTiming> candidate =
+            loadBenchFile(candidatePath);
+
+        TextTable table(
+            {"bench", "baseline_s", "candidate_s", "delta", "verdict"});
+        std::size_t compared = 0;
+        std::vector<std::string> regressed;
+        for (const BenchTiming &b : baseline) {
+            const BenchTiming *c = findBench(candidate, b.name);
+            if (c == nullptr) {
+                table.addRow({b.name, formatFixed(b.optimizedSeconds, 6),
+                              "-", "-", "missing in candidate"});
+                continue;
+            }
+            ++compared;
+            // Guard the ratio: a zero/negative baseline timing is a
+            // broken measurement, not an infinite speedup.
+            if (!(b.optimizedSeconds > 0.0)) {
+                table.addRow({b.name, formatFixed(b.optimizedSeconds, 6),
+                              formatFixed(c->optimizedSeconds, 6), "-",
+                              "bad baseline timing"});
+                continue;
+            }
+            const double delta =
+                c->optimizedSeconds / b.optimizedSeconds - 1.0;
+            const bool bad = delta > tolerance;
+            if (bad)
+                regressed.push_back(b.name);
+            table.addRow({b.name, formatFixed(b.optimizedSeconds, 6),
+                          formatFixed(c->optimizedSeconds, 6),
+                          (delta >= 0.0 ? "+" : "") +
+                              formatFixed(100.0 * delta, 1) + "%",
+                          bad      ? "REGRESSED"
+                          : delta < 0.0 ? "faster"
+                                        : "ok"});
+        }
+        for (const BenchTiming &c : candidate) {
+            if (findBench(baseline, c.name) == nullptr)
+                table.addRow({c.name, "-",
+                              formatFixed(c.optimizedSeconds, 6), "-",
+                              "new bench"});
+        }
+        table.print(std::cout);
+        std::printf("%zu bench(es) compared, tolerance %.0f%%\n",
+                    compared, 100.0 * tolerance);
+
+        if (!regressed.empty()) {
+            std::fprintf(stderr,
+                         "bench_compare: %zu bench(es) regressed "
+                         "beyond %.0f%%:",
+                         regressed.size(), 100.0 * tolerance);
+            for (const std::string &name : regressed)
+                std::fprintf(stderr, " %s", name.c_str());
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return 2;
+    }
+}

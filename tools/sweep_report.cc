@@ -14,11 +14,17 @@
  * line number, and parse failure reason, the line is skipped, and the
  * tool exits 5 so scripts notice the journal was damaged.
  *
+ * --top N appends a "slowest jobs" table ranked by the per-job CPU
+ * seconds recorded in the journal's resources block (ties break on
+ * wall time, then name, so the order is stable across reruns).
+ *
  * usage: sweep_report <journal.jsonl | sweep-out-dir> [-o <file>]
- *                     [--title <text>] [--strict]
+ *                     [--title <text>] [--top <n>] [--strict]
  */
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -50,11 +56,13 @@ usage()
     std::fprintf(
         stderr,
         "usage: sweep_report <journal.jsonl | sweep-out-dir> "
-        "[-o <file>] [--title <text>] [--strict]\n"
+        "[-o <file>] [--title <text>] [--top <n>] [--strict]\n"
         "renders a sweep journal as a Markdown summary table\n"
         "\n"
         "  -o <file>      write Markdown here instead of stdout\n"
         "  --title <text> heading for the summary table\n"
+        "  --top <n>      append the n slowest jobs by CPU time "
+        "(from the journal's resources accounting)\n"
         "  --strict       treat any unparsable journal line as fatal\n"
         "\n"
         "exit codes:\n"
@@ -110,6 +118,7 @@ main(int argc, char **argv)
         std::string inputPath;
         std::string outPath;
         std::string title;
+        std::size_t topN = 0;
         bool strict = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -122,6 +131,15 @@ main(int argc, char **argv)
                 outPath = value();
             } else if (arg == "--title") {
                 title = value();
+            } else if (arg == "--top") {
+                const std::string v = value();
+                char *end = nullptr;
+                const double n = std::strtod(v.c_str(), &end);
+                if (end == v.c_str() || *end != '\0' || n < 1.0 ||
+                    n != std::floor(n))
+                    configError("--top wants a positive integer, "
+                                "got '", v, "'");
+                topN = static_cast<std::size_t>(n);
             } else if (arg == "--strict") {
                 strict = true;
             } else if (arg == "-h" || arg == "--help") {
@@ -178,8 +196,9 @@ main(int argc, char **argv)
             return kExitEmpty;
         }
 
-        const std::string md =
-            sweep::renderMarkdownSummary(results, title);
+        std::string md = sweep::renderMarkdownSummary(results, title);
+        if (topN > 0)
+            md += "\n" + sweep::renderTopJobsMarkdown(results, topN);
 
         if (outPath.empty()) {
             std::cout << md;
