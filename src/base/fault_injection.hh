@@ -20,6 +20,11 @@
  *     job.stall         sleep inside a sweep job (watchdog bait)
  *     journal.corrupt   scramble bytes of one journal line
  *     journal.truncate  write only a prefix of one journal line
+ *     journal.torn_segment  kill mid-segment-seal: only a prefix of
+ *                       a columnar segment reaches disk, and the
+ *                       writer stops sealing/checkpointing after it
+ *                       (resume must quarantine the segment and
+ *                       recover its rows from the JSONL tail)
  *
  * Rule options:
  *     match=<substr>  only fire when the probe's scope key (e.g. the

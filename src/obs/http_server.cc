@@ -29,6 +29,8 @@ statusText(int status)
         return "Not Found";
       case 405:
         return "Method Not Allowed";
+      case 431:
+        return "Request Header Fields Too Large";
       default:
         return "Error";
     }
@@ -151,10 +153,14 @@ HttpServer::listenLoop()
             break; // listening socket shut down
         }
         // Bound how long a stalled client can hold the single
-        // listener thread hostage.
+        // listener thread hostage — in BOTH directions. A client
+        // that connects and never sends trips SO_RCVTIMEO; a
+        // slow reader that never drains its receive window trips
+        // SO_SNDTIMEO once the kernel buffers fill.
         timeval tv{};
         tv.tv_sec = 2;
         ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         serveConnection(conn);
         ::close(conn);
     }
@@ -173,6 +179,16 @@ HttpServer::serveConnection(int fd)
         if (n <= 0)
             return;
         req.append(buf, static_cast<std::size_t>(n));
+    }
+    if (req.find("\r\n\r\n") == std::string::npos &&
+        req.size() >= 16384) {
+        // The cap tripped before the headers ended: an oversized (or
+        // never-terminated) request. Refuse explicitly rather than
+        // trying to parse a request line out of a 16 KB blob.
+        sendResponse(fd, {431, "text/plain; charset=utf-8",
+                          "request too large\n"});
+        ++served;
+        return;
     }
 
     const std::size_t lineEnd = req.find("\r\n");

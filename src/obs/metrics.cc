@@ -106,19 +106,23 @@ Histogram::reset()
 }
 
 double
-histogramQuantile(const Histogram &h, double q)
+histogramQuantile(
+    const std::array<std::uint64_t, Histogram::kBucketCount> &buckets,
+    double minValue, double maxValue, double q)
 {
-    const std::uint64_t c = h.count();
+    std::uint64_t c = 0;
+    for (const std::uint64_t bc : buckets)
+        c += bc;
     if (c == 0)
         return 0.0;
     if (q <= 0.0)
-        return h.min();
+        return minValue;
     if (q >= 1.0)
-        return h.max();
+        return maxValue;
     const double rank = q * static_cast<double>(c);
     std::uint64_t below = 0;
     for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
-        const std::uint64_t bc = h.bucketCount(i);
+        const std::uint64_t bc = buckets[i];
         if (bc == 0)
             continue;
         if (static_cast<double>(below + bc) >= rank) {
@@ -131,13 +135,24 @@ histogramQuantile(const Histogram &h, double q)
             // The observed extremes bound the estimate; this also
             // tames the underflow bucket (lo = 0) and the open top
             // bucket.
-            v = std::max(v, h.min());
-            v = std::min(v, h.max());
+            v = std::max(v, minValue);
+            v = std::min(v, maxValue);
             return v;
         }
         below += bc;
     }
-    return h.max();
+    return maxValue;
+}
+
+double
+histogramQuantile(const Histogram &h, double q)
+{
+    if (h.count() == 0)
+        return 0.0;
+    std::array<std::uint64_t, Histogram::kBucketCount> buckets{};
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i)
+        buckets[i] = h.bucketCount(i);
+    return histogramQuantile(buckets, h.min(), h.max(), q);
 }
 
 MetricsRegistry::Cell &

@@ -287,6 +287,19 @@ class Histogram
  */
 double histogramQuantile(const Histogram &h, double q);
 
+/**
+ * Same estimate over a raw bucket array laid out exactly like
+ * Histogram's (kBucketCount log2 buckets, see bucketIndex). Lets
+ * code that must aggregate regardless of IRTHERM_METRICS_ENABLED —
+ * e.g. the sweep analytics layer, whose counts are product data, not
+ * instrumentation — reuse the bucket geometry and interpolation.
+ * @p minValue / @p maxValue are the observed extremes used to clamp
+ * the open-ended buckets; pass the tracked min/max.
+ */
+double histogramQuantile(
+    const std::array<std::uint64_t, Histogram::kBucketCount> &buckets,
+    double minValue, double maxValue, double q);
+
 /** Discriminator for registry entries. */
 enum class MetricKind
 {

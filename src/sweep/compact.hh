@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Offline journal access: fast read path, JSONL→segment compaction,
+ * and synthetic journal generation.
+ *
+ * ResultStore owns the *live* analytics state of a running sweep;
+ * the helpers here are for tools (`sweep_report`, `journal_compact`)
+ * that look at a sweep directory from outside — possibly while a
+ * sweep is still running — so readJournal() is strictly read-only:
+ * it never quarantines, rewrites, or seals anything.
+ */
+
+#ifndef IRTHERM_SWEEP_COMPACT_HH
+#define IRTHERM_SWEEP_COMPACT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/result_store.hh"
+
+namespace irtherm::sweep
+{
+
+/** Everything readJournal() recovered from a sweep directory. */
+struct JournalData
+{
+    /** Completed jobs, deduplicated by scenario hash (last wins),
+     *  in hash order. */
+    std::vector<JobResult> rows;
+    /** `irtherm.sweep.aggregates.v1` for exactly @ref rows. */
+    std::string aggregatesJson;
+    /** True when the fast path ran: aggregates restored from the
+     *  checkpoint, rows from segments + the JSONL tail — no full
+     *  JSONL parse. */
+    bool fromCheckpoint = false;
+    std::size_t segmentsRead = 0;
+    /** Rows recovered by parsing the JSONL tail (fast path) or the
+     *  whole JSONL file (fallback). */
+    std::size_t jsonlRows = 0;
+    /** Unparsable JSONL lines skipped (not quarantined — read-only). */
+    std::size_t skippedLines = 0;
+};
+
+/**
+ * Load a sweep directory's results. Fast path when an aggregate
+ * checkpoint exists and every covered segment reads cleanly:
+ * checkpoint + segments + JSONL tail. Any damage (or
+ * @p fullScan = true) falls back to parsing the whole JSONL journal.
+ * Read-only either way.
+ */
+JournalData readJournal(const std::string &dir, bool fullScan = false);
+
+/** What compactJournal() did. */
+struct CompactStats
+{
+    std::size_t rows = 0;        ///< rows covered by the checkpoint
+    std::size_t segments = 0;    ///< sealed segments after compaction
+    std::size_t quarantined = 0; ///< JSONL lines set aside
+    std::uint64_t journalBytes = 0; ///< journal.jsonl size
+    std::uint64_t segmentBytes = 0; ///< total sealed segment size
+};
+
+/**
+ * Compact <dir>/journal.jsonl into columnar segments of
+ * @p segmentJobs rows each plus an aggregate checkpoint — the
+ * offline equivalent of what a live sweep does incrementally. Safe
+ * to re-run (already-sealed rows are not resealed). Unlike
+ * readJournal() this WRITES to the directory; don't aim it at a
+ * sweep that is still running.
+ */
+CompactStats compactJournal(const std::string &dir,
+                            std::size_t segmentJobs);
+
+/**
+ * Append @p jobs synthetic-but-plausible rows to
+ * <dir>/journal.jsonl (creating the directory as needed),
+ * deterministically from @p seed. Exists so CI can fabricate a
+ * 50k-job sweep in milliseconds and exercise the scale behavior of
+ * compaction, reporting, and `/status`.
+ */
+void synthesizeJournal(const std::string &dir, std::size_t jobs,
+                       std::uint64_t seed);
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_COMPACT_HH

@@ -1,0 +1,313 @@
+#include "sweep/dashboard.hh"
+
+namespace irtherm::sweep
+{
+
+const char *
+dashboardHtml()
+{
+    // Palette: validated reference tokens (single-hue sequential blue
+    // for magnitude, fixed status colors always paired with a text
+    // label, ink/chrome tokens with a selected dark mode).
+    static const char kPage[] = R"HTML(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>irtherm sweep dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --grid:           #e1e0d9;
+  --baseline:       #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+  --seq-300:        #6da7ec;
+  --status-good:    #0ca30c;
+  --status-warning: #fab219;
+  --status-serious: #ec835a;
+  --status-critical:#d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --grid:           #2c2c2a;
+    --baseline:       #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+    --seq-300:        #5598e7;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --page:           #0d0d0d;
+  --surface-1:      #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --grid:           #2c2c2a;
+  --baseline:       #383835;
+  --border:         rgba(255,255,255,0.10);
+  --series-1:       #3987e5;
+  --seq-300:        #5598e7;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1060px; margin: 0 auto; padding: 20px 16px 48px; }
+header { display: flex; align-items: baseline; gap: 12px; margin: 4px 0 16px; }
+header h1 { font-size: 18px; margin: 0; font-weight: 600; }
+#plan { color: var(--text-secondary); }
+#link { margin-left: auto; color: var(--text-muted); font-size: 12px; }
+#link b { color: var(--text-primary); font-weight: 600; }
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); gap: 12px; }
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px 14px;
+}
+.tile .k { color: var(--text-secondary); font-size: 12px; }
+.tile .v { font-size: 26px; margin-top: 2px; }
+.tile .s { color: var(--text-muted); font-size: 12px; margin-top: 2px; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 14px 16px;
+  margin-top: 12px;
+}
+.card h2 { font-size: 13px; font-weight: 600; margin: 0 0 10px; color: var(--text-secondary); }
+.grid2 { display: grid; grid-template-columns: 1fr 1fr; gap: 12px; }
+@media (max-width: 760px) { .grid2 { grid-template-columns: 1fr; } }
+#progress { height: 8px; background: var(--grid); border-radius: 4px; overflow: hidden; margin-top: 8px; }
+#progress div { height: 100%; width: 0; background: var(--series-1); border-radius: 4px; }
+.states { display: flex; flex-wrap: wrap; gap: 14px; }
+.state { display: flex; align-items: center; gap: 6px; font-size: 13px; }
+.state i { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.state b { font-weight: 600; }
+.state span { color: var(--text-secondary); }
+.hist { display: flex; align-items: flex-end; gap: 2px; height: 120px; border-bottom: 1px solid var(--baseline); }
+.hist div { flex: 1; min-width: 3px; background: var(--series-1); border-radius: 3px 3px 0 0; }
+.hx { display: flex; justify-content: space-between; color: var(--text-muted); font-size: 11px; margin-top: 4px; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th { text-align: left; color: var(--text-muted); font-weight: 500; font-size: 12px; border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0; }
+td { border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0; }
+td.n, th.n { text-align: right; font-variant-numeric: tabular-nums; }
+tr:last-child td { border-bottom: none; }
+#err { color: var(--status-critical); font-size: 12px; display: none; }
+.axis-block { margin-top: 10px; }
+.axis-block h3 { font-size: 12px; margin: 0 0 6px; color: var(--text-secondary); font-weight: 600; }
+</style>
+</head>
+<body>
+<main>
+  <header>
+    <h1>irtherm sweep</h1>
+    <span id="plan">&mdash;</span>
+    <span id="link">status: <b id="conn">connecting</b></span>
+  </header>
+  <p id="err">Lost contact with the sweep server; retrying&hellip;</p>
+  <div class="tiles">
+    <div class="tile"><div class="k">Progress</div><div class="v" id="t-done">&ndash;</div>
+      <div class="s" id="t-done-sub"></div><div id="progress"><div></div></div></div>
+    <div class="tile"><div class="k">Throughput</div><div class="v" id="t-thru">&ndash;</div>
+      <div class="s">jobs / s (trailing)</div></div>
+    <div class="tile"><div class="k">ETA</div><div class="v" id="t-eta">&ndash;</div>
+      <div class="s" id="t-eta-sub">no estimate yet</div></div>
+    <div class="tile"><div class="k">Job wall time</div><div class="v" id="t-p50">&ndash;</div>
+      <div class="s" id="t-pxx">p50 &middot; p95 &middot; p99</div></div>
+    <div class="tile"><div class="k">Peak silicon</div><div class="v" id="t-peak">&ndash;</div>
+      <div class="s" id="t-peak-sub">hottest job so far</div></div>
+  </div>
+  <div class="card">
+    <h2>Job states</h2>
+    <div class="states" id="states"></div>
+  </div>
+  <div class="grid2">
+    <div class="card">
+      <h2>Peak temperature distribution (&deg;C, ok jobs)</h2>
+      <div class="hist" id="hist"></div>
+      <div class="hx"><span id="hist-lo"></span><span id="hist-hi"></span></div>
+    </div>
+    <div class="card">
+      <h2>Slowest jobs</h2>
+      <table>
+        <thead><tr><th>job</th><th>state</th><th class="n">wall s</th></tr></thead>
+        <tbody id="slow"></tbody>
+      </table>
+    </div>
+  </div>
+  <div class="card">
+    <h2>By sweep axis</h2>
+    <div id="axes"></div>
+  </div>
+</main>
+<script>
+"use strict";
+const STATES = [
+  ["ok",      "var(--status-good)"],
+  ["failed",  "var(--status-critical)"],
+  ["timeout", "var(--status-serious)"],
+  ["hung",    "var(--status-warning)"],
+];
+const $ = id => document.getElementById(id);
+const fmt = (v, d) => v == null ? "–" :
+  Number(v).toLocaleString("en-US", {maximumFractionDigits: d === undefined ? 1 : d});
+function fmtDur(s) {
+  if (s == null) return "–";
+  if (s < 120) return fmt(s, s < 10 ? 1 : 0) + " s";
+  if (s < 7200) return fmt(s / 60, 0) + " min";
+  return fmt(s / 3600, 1) + " h";
+}
+function setStatus(st) {
+  $("plan").textContent = st.plan || "—";
+  const j = st.jobs;
+  $("t-done").textContent = fmt(j.done, 0) + " / " + fmt(j.pending, 0);
+  $("t-done-sub").textContent = fmt(j.cached, 0) + " cached · " +
+    fmt(j.running, 0) + " running";
+  const pct = j.pending > 0 ? 100 * j.done / j.pending : 100;
+  document.querySelector("#progress div").style.width = pct + "%";
+  $("t-thru").textContent = fmt(st.throughput_jobs_per_s, 2);
+  $("t-eta").textContent = st.eta_s == null ? "–" : fmtDur(st.eta_s);
+  $("t-eta-sub").textContent = st.eta_s == null ?
+    "no estimate yet" : "at trailing throughput";
+  const box = $("states");
+  box.textContent = "";
+  for (const [name, color] of STATES) {
+    const el = document.createElement("span");
+    el.className = "state";
+    const sw = document.createElement("i");
+    sw.style.background = color;
+    const count = document.createElement("b");
+    count.textContent = fmt(j[name], 0);
+    const label = document.createElement("span");
+    label.textContent = name;
+    el.append(sw, count, label);
+    box.append(el);
+  }
+}
+function setAggregates(a) {
+  $("t-p50").textContent = a.wall.count ? fmt(a.wall.p50, 3) + " s" : "–";
+  $("t-pxx").textContent = "p50 · p95 " + fmt(a.wall.p95, 3) +
+    " · p99 " + fmt(a.wall.p99, 3);
+  $("t-peak").textContent = a.peak_c.count ?
+    fmt(a.peak_c.max, 1) + " °C" : "–";
+  $("t-peak-sub").textContent = a.peak_c.count ?
+    "mean " + fmt(a.peak_c.mean, 1) + " °C over " +
+    fmt(a.peak_c.count, 0) + " ok jobs" : "hottest job so far";
+
+  const hist = $("hist");
+  hist.textContent = "";
+  const bins = Object.entries(a.peak_c.bins || {})
+    .map(([k, v]) => [Number(k), v]).sort((x, y) => x[0] - y[0]);
+  if (bins.length) {
+    const w = a.peak_c.bin_width_c;
+    const lo = bins[0][0], hi = bins[bins.length - 1][0];
+    const top = Math.max(...bins.map(b => b[1]));
+    const byBin = new Map(bins);
+    for (let b = lo; b <= hi; b++) {
+      const count = byBin.get(b) || 0;
+      const bar = document.createElement("div");
+      bar.style.height = (count ? Math.max(2, 100 * count / top) : 0) + "%";
+      bar.title = (b * w).toFixed(1) + "–" + ((b + 1) * w).toFixed(1) +
+        " °C: " + count + " jobs";
+      hist.append(bar);
+    }
+    $("hist-lo").textContent = (lo * w).toFixed(0) + " °C";
+    $("hist-hi").textContent = ((hi + 1) * w).toFixed(0) + " °C";
+  }
+
+  const slow = $("slow");
+  slow.textContent = "";
+  for (const job of (a.top_slowest || []).slice(0, 10)) {
+    const tr = document.createElement("tr");
+    const name = document.createElement("td");
+    name.textContent = job.name;
+    const state = document.createElement("td");
+    state.textContent = job.status;
+    const wall = document.createElement("td");
+    wall.className = "n";
+    wall.textContent = fmt(job.wall_s, 3);
+    tr.append(name, state, wall);
+    slow.append(tr);
+  }
+
+  const axes = $("axes");
+  axes.textContent = "";
+  for (const [axis, cells] of Object.entries(a.axes || {})) {
+    const block = document.createElement("div");
+    block.className = "axis-block";
+    const h = document.createElement("h3");
+    h.textContent = axis;
+    const table = document.createElement("table");
+    const head = table.createTHead().insertRow();
+    for (const [txt, cls] of [["value", ""], ["jobs", "n"], ["ok", "n"],
+                              ["peak mean °C", "n"],
+                              ["peak max °C", "n"]]) {
+      const th = document.createElement("th");
+      th.textContent = txt;
+      th.className = cls;
+      head.append(th);
+    }
+    const body = table.createTBody();
+    for (const [value, cell] of Object.entries(cells)) {
+      const tr = body.insertRow();
+      tr.insertCell().textContent = value;
+      for (const [v, d] of [[cell.count, 0], [cell.ok, 0],
+                            [cell.ok ? cell.peak_mean : null, 1],
+                            [cell.ok ? cell.peak_max : null, 1]]) {
+        const td = tr.insertCell();
+        td.className = "n";
+        td.textContent = fmt(v, d);
+      }
+    }
+    block.append(h, table);
+    axes.append(block);
+  }
+  if (!axes.children.length) {
+    const p = document.createElement("p");
+    p.style.color = "var(--text-muted)";
+    p.textContent = "No axis data yet.";
+    axes.append(p);
+  }
+}
+async function tick() {
+  try {
+    const [st, agg] = await Promise.all([
+      fetch("/status").then(r => r.json()),
+      fetch("/aggregates").then(r => r.json()),
+    ]);
+    setStatus(st);
+    setAggregates(agg);
+    $("conn").textContent = "live";
+    $("err").style.display = "none";
+  } catch (e) {
+    $("conn").textContent = "disconnected";
+    $("err").style.display = "block";
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+)HTML";
+    return kPage;
+}
+
+} // namespace irtherm::sweep

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The `/dashboard` page: one self-contained HTML document.
+ *
+ * Served verbatim by the sweep's HTTP server; it polls `/status` and
+ * `/aggregates` every 2 s from the same origin and renders progress,
+ * state counts, latency percentiles, the peak-temperature histogram,
+ * per-axis group-bys, and the slowest jobs. No external assets (no
+ * fonts, no CDN scripts) — the page must work on an air-gapped
+ * build box — and light/dark follow the OS via CSS custom
+ * properties.
+ */
+
+#ifndef IRTHERM_SWEEP_DASHBOARD_HH
+#define IRTHERM_SWEEP_DASHBOARD_HH
+
+namespace irtherm::sweep
+{
+
+/** The complete dashboard document (static string, UTF-8). */
+const char *dashboardHtml();
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_DASHBOARD_HH

@@ -1,12 +1,14 @@
 #include "sweep/report.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "base/errors.hh"
 #include "base/str.hh"
 #include "base/table.hh"
 #include "obs/export.hh"
+#include "sweep/json.hh"
 
 namespace irtherm::sweep
 {
@@ -245,6 +247,128 @@ renderTopJobsMarkdown(const std::vector<JobResult> &results,
               std::to_string(r->resources.retries) + " | " +
               std::to_string(r->resources.fallbackEscalations) +
               " |\n";
+    }
+    return md;
+}
+
+namespace
+{
+
+/** Required numeric member of an aggregates sub-object. */
+double
+aggNumber(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = obj.at(key);
+    if (!v.isNumber())
+        configError("aggregates: '", key, "' is not a number");
+    return v.number;
+}
+
+std::string
+aggCount(const JsonValue &obj, const char *key)
+{
+    return std::to_string(
+        static_cast<std::uint64_t>(aggNumber(obj, key)));
+}
+
+/** "| min | mean | max |" cells for a stat block, "-" when empty. */
+std::string
+statCells(const JsonValue &stat)
+{
+    if (aggNumber(stat, "count") == 0.0)
+        return "- | - | -";
+    return formatFixed(aggNumber(stat, "min"), 2) + " | " +
+           formatFixed(aggNumber(stat, "mean"), 2) + " | " +
+           formatFixed(aggNumber(stat, "max"), 2);
+}
+
+std::string
+pipeSafe(std::string s)
+{
+    std::replace(s.begin(), s.end(), '|', '/');
+    return s;
+}
+
+} // namespace
+
+std::string
+renderAggregatesMarkdown(const std::string &aggregatesJson,
+                         const std::string &title)
+{
+    const JsonValue doc = parseJson(aggregatesJson, "aggregates");
+    const JsonValue &schema = doc.at("schema");
+    if (!schema.isString() ||
+        schema.text != "irtherm.sweep.aggregates.v1")
+        configError("aggregates: unexpected schema");
+
+    const JsonValue &states = doc.at("states");
+    std::string md;
+    md += "# Sweep summary — " + title + "\n\n";
+    md += aggCount(doc, "jobs") + " scenario(s): " +
+          aggCount(states, "ok") + " ok, " +
+          aggCount(states, "failed") + " failed, " +
+          aggCount(states, "timeout") + " timed out, " +
+          aggCount(states, "hung") + " hung.\n\n";
+    md += aggCount(doc, "warm_started") + " warm-started, " +
+          aggCount(doc, "retries") + " retried attempt(s).\n\n";
+
+    const JsonValue &wall = doc.at("wall");
+    md += "## Job wall time\n\n";
+    md += "| p50 (s) | p95 (s) | p99 (s) | mean (s) | max (s) |\n";
+    md += "|---:|---:|---:|---:|---:|\n";
+    if (aggNumber(wall, "count") > 0.0) {
+        md += "| " + formatFixed(aggNumber(wall, "p50"), 3) + " | " +
+              formatFixed(aggNumber(wall, "p95"), 3) + " | " +
+              formatFixed(aggNumber(wall, "p99"), 3) + " | " +
+              formatFixed(aggNumber(wall, "mean"), 3) + " | " +
+              formatFixed(aggNumber(wall, "max"), 3) + " |\n";
+    } else {
+        md += "| - | - | - | - | - |\n";
+    }
+
+    md += "\n## Silicon temperature (ok jobs)\n\n";
+    md += "| metric | min | mean | max |\n";
+    md += "|---|---:|---:|---:|\n";
+    md += "| peak (C) | " + statCells(doc.at("peak_c")) + " |\n";
+    md += "| gradient (K) | " + statCells(doc.at("gradient_k")) +
+          " |\n";
+
+    const JsonValue &axes = doc.at("axes");
+    for (const auto &[axisKey, cells] : axes.members) {
+        md += "\n## Axis `" + pipeSafe(axisKey) + "`\n\n";
+        md += "| value | jobs | ok | peak mean (C) | peak max (C) |"
+              " wall sum (s) |\n";
+        md += "|---|---:|---:|---:|---:|---:|\n";
+        for (const auto &[value, cell] : cells.members) {
+            const bool anyOk = aggNumber(cell, "ok") > 0.0;
+            md += "| " + pipeSafe(value) + " | " +
+                  aggCount(cell, "count") + " | " +
+                  aggCount(cell, "ok") + " | " +
+                  (anyOk ? formatFixed(aggNumber(cell, "peak_mean"), 2)
+                         : std::string("-")) +
+                  " | " +
+                  (anyOk ? formatFixed(aggNumber(cell, "peak_max"), 2)
+                         : std::string("-")) +
+                  " | " + formatFixed(aggNumber(cell, "wall_sum"), 2) +
+                  " |\n";
+        }
+    }
+    if (aggNumber(doc, "axes_dropped") > 0.0) {
+        md += "\n" + aggCount(doc, "axes_dropped") +
+              " axis value(s) beyond the per-axis cap were folded "
+              "into the totals only.\n";
+    }
+
+    const JsonValue &slowest = doc.at("top_slowest");
+    if (!slowest.items.empty()) {
+        md += "\n## Slowest jobs\n\n";
+        md += "| scenario | status | wall (s) |\n";
+        md += "|---|---|---:|\n";
+        for (const JsonValue &job : slowest.items) {
+            md += "| " + pipeSafe(job.at("name").text) + " | " +
+                  job.at("status").text + " | " +
+                  formatFixed(aggNumber(job, "wall_s"), 3) + " |\n";
+        }
     }
     return md;
 }

@@ -1,22 +1,49 @@
 /**
  * @file
- * Completed-job cache with a crash-safe JSONL journal.
+ * Completed-job cache with a crash-safe JSONL journal, columnar
+ * segment sealing, and continuous aggregates.
  *
  * Every finished job (ok, failed, timed out, or hung) is recorded in
  * memory keyed by its scenario hash AND appended to
  * <dir>/journal.jsonl, one JSON object per line, flushed
  * immediately — so a sweep killed mid-flight loses at most the jobs
- * that were still running. On --resume the store reloads the
- * journal and the runner skips every journaled hash, re-simulating
- * exactly the jobs that never reached the journal.
+ * that were still running. The JSONL file is the durability
+ * baseline and debug sink; on top of it the store:
  *
- * Recovery: a process killed mid-flush (or a disk hiccup) can leave
- * truncated or corrupt lines behind. loadJournal() never dies on
- * them — each unparsable line is quarantined to
- * <dir>/journal.quarantine as a JSON record
- * `{"line": N, "reason": "...", "data": "<raw line>"}`, the journal
- * is rewritten atomically (tmp + rename) with only the good lines,
- * and the resume proceeds; the affected jobs simply re-run.
+ *  - buffers journaled rows and seals them in bounded chunks to
+ *    <dir>/segments/NNNNNNNN.seg (columnar binary, CRC-checked; see
+ *    sweep/segment.hh) so resume and reporting never re-parse
+ *    millions of JSON lines;
+ *  - feeds every row to a SweepAggregator (sweep/aggregate.hh) and
+ *    checkpoints the aggregate state to <dir>/aggregates.ckpt after
+ *    each seal, with a coverage watermark {jobs, sealed segments,
+ *    JSONL byte offset}.
+ *
+ * Resume (loadJournal) restores in O(tail) rather than O(sweep):
+ * checkpoint aggregates + sealed-segment rows + a replay of only the
+ * JSONL tail past the checkpoint's byte offset. Crash consistency:
+ *
+ *  - a row reaches journal.jsonl before it can reach a segment or
+ *    the checkpoint, so the JSONL tail always recovers anything a
+ *    torn segment or missing checkpoint lost;
+ *  - torn/corrupt segments are quarantined (renamed to `.torn`) and
+ *    their rows re-read from the tail; segments sealed after the
+ *    last checkpoint are set aside (`.orphan`) the same way so no
+ *    row is ever aggregated twice;
+ *  - a torn or corrupt JSONL line can only live in the tail (the
+ *    checkpoint is written strictly after flushed lines); each one
+ *    is quarantined to <dir>/journal.quarantine as
+ *    `{"line": N, "reason": "...", "data": "<raw line>"}` and the
+ *    job simply re-runs;
+ *  - with no checkpoint at all (old journals, or a checkpoint
+ *    invalidated by a damaged covered segment) the store falls back
+ *    to the full JSONL scan, rebuilding aggregates from scratch and
+ *    rewriting the journal atomically with only the good lines.
+ *
+ * Injected journal faults (journal.corrupt / journal.truncate /
+ * journal.torn_segment) flip the store into "crashed" mode: no
+ * further seals or checkpoints, emulating a writer that died — so
+ * the resilience tests exercise exactly the recovery paths above.
  */
 
 #ifndef IRTHERM_SWEEP_RESULT_STORE_HH
@@ -26,6 +53,7 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -97,6 +125,10 @@ struct JobResult
     std::vector<std::pair<std::string, double>> blockCelsius;
     /** Resource accounting across all attempts. */
     JobResources resources;
+    /** Sweep-axis assignments that produced this scenario (journal
+     *  `axes` object, omitted when empty) — lets aggregates group by
+     *  axis value from the journal alone. */
+    std::vector<std::pair<std::string, std::string>> axisValues;
 
     /** Serialize as one journal JSONL line (no trailing newline). */
     std::string toJsonLine() const;
@@ -104,11 +136,22 @@ struct JobResult
     /**
      * Parse a journal line; throws (ConfigError) on malformed
      * entries. The resilience fields (`error_class`, `attempts`,
-     * `fallback_tier`) and the `resources` object are optional so
-     * journals written before they existed still load.
+     * `fallback_tier`) and the `resources` / `axes` objects are
+     * optional so journals written before they existed still load.
      */
     static JobResult fromJsonLine(const std::string &line,
                                   const std::string &context);
+};
+
+class SweepAggregator;
+
+/** Tuning knobs for ResultStore's analytics layer. */
+struct ResultStoreOptions
+{
+    /** Rows buffered before sealing a columnar segment (and writing
+     *  an aggregate checkpoint). 0 disables segments entirely —
+     *  JSONL-only operation, exactly the pre-analytics behavior. */
+    std::size_t segmentJobs = 2048;
 };
 
 /**
@@ -119,17 +162,24 @@ struct JobResult
 class ResultStore
 {
   public:
-    explicit ResultStore(const std::string &dir);
+    explicit ResultStore(const std::string &dir,
+                         ResultStoreOptions options = {});
+    ~ResultStore();
 
     /**
-     * Reload <dir>/journal.jsonl; returns entries loaded. Corrupt or
-     * truncated lines are quarantined (see file comment) rather than
-     * fatal; quarantined() reports how many this call set aside.
+     * Reload prior results: aggregate checkpoint + sealed segments +
+     * JSONL tail (see file comment). Returns entries loaded.
+     * Corrupt or truncated artifacts are quarantined rather than
+     * fatal; quarantined() / quarantinedSegments() report how many
+     * this call set aside.
      */
     std::size_t loadJournal();
 
-    /** Lines quarantined by the last loadJournal(). */
+    /** JSONL lines quarantined by the last loadJournal(). */
     std::size_t quarantined() const;
+
+    /** Torn/corrupt segments quarantined by the last loadJournal(). */
+    std::size_t quarantinedSegments() const;
 
     bool has(const std::string &hash) const;
 
@@ -140,18 +190,52 @@ class ResultStore
     /** Record a completed job and journal it durably. */
     void add(const JobResult &result);
 
+    /**
+     * Seal any buffered rows into a final (possibly short) segment
+     * and write the aggregate checkpoint. Call when the sweep
+     * finishes; idempotent; a no-op after an injected journal fault
+     * (crashed mode) so recovery tests see the artifacts a dead
+     * writer would have left.
+     */
+    void finalize();
+
     std::size_t size() const;
+
+    /** Segments sealed so far (loaded + written). */
+    std::size_t sealedSegments() const;
+
+    /** Current aggregates as `irtherm.sweep.aggregates.v1` JSON. */
+    std::string aggregatesJson() const;
 
     const std::string &directory() const { return dir_; }
     std::string journalPath() const;
     std::string quarantinePath() const;
+    std::string checkpointPath() const;
 
   private:
+    std::size_t loadJournalFullScan();
+    void sealPending();
+    void writeCheckpoint();
+
     mutable std::mutex mu;
     std::string dir_;
+    ResultStoreOptions options;
     std::map<std::string, JobResult> byHash;
     std::ofstream journal;
     std::size_t quarantinedLines = 0;
+    std::size_t quarantinedSegs = 0;
+
+    std::unique_ptr<SweepAggregator> agg;
+    /** Journaled rows not yet sealed into a segment. */
+    std::vector<JobResult> pending;
+    /** Index the next sealed segment will take. */
+    std::uint64_t nextSegmentIndex = 0;
+    /** Byte offset in journal.jsonl up to which rows are aggregated
+     *  (the next checkpoint's coverage watermark). */
+    std::uint64_t journalBytes = 0;
+    /** An injected journal fault fired: emulate a dead writer (no
+     *  more seals or checkpoints). */
+    bool crashed = false;
 };
 
 } // namespace irtherm::sweep

@@ -27,6 +27,7 @@
 #include "obs/http_server.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "sweep/dashboard.hh"
 #include "sweep/report.hh"
 #include "sweep/status.hh"
 
@@ -404,14 +405,19 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     sum.total = jobs.size();
     reg.gauge("sweep.plan.jobs").set(static_cast<double>(sum.total));
 
-    ResultStore store(opts.outDir);
+    ResultStoreOptions storeOptions;
+    storeOptions.segmentJobs = opts.segmentJobs;
+    ResultStore store(opts.outDir, storeOptions);
     sum.journalPath = store.journalPath();
     if (opts.resume) {
         const std::size_t journaled = store.loadJournal();
         sum.quarantined = store.quarantined();
+        sum.quarantinedSegments = store.quarantinedSegments();
         IRTHERM_EVENT("sweep.resume", {"plan", plan.name()},
                       {"journaled", journaled},
-                      {"quarantined", sum.quarantined});
+                      {"quarantined", sum.quarantined},
+                      {"quarantined_segments",
+                       sum.quarantinedSegments});
     }
 
     // Pending = not journaled, first occurrence of its hash.
@@ -470,8 +476,20 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                                      "text/plain; charset=utf-8",
                                      "ok\n"};
         });
+        // Continuous aggregates: O(1) in sweep size by construction
+        // (the store folds each job in as it lands).
+        server.route("/aggregates", [&store] {
+            return obs::HttpResponse{200, "application/json",
+                                     store.aggregatesJson() + "\n"};
+        });
+        server.route("/dashboard", [] {
+            return obs::HttpResponse{200,
+                                     "text/html; charset=utf-8",
+                                     dashboardHtml()};
+        });
         server.start(opts.servePort, opts.serveBindAddress);
-        inform("sweep: serving /status /metrics /healthz on ",
+        inform("sweep: serving /status /metrics /healthz /aggregates "
+               "/dashboard on ",
                opts.serveBindAddress, ":", server.port());
         if (opts.onServerStart)
             opts.onServerStart(server.port());
@@ -529,6 +547,12 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
             acc.retries = attempt - 1;
             acc.fallbackEscalations = r.fallbackTier;
             r.resources = acc;
+            // Journal the axis assignment with the result so the
+            // aggregates can group by axis value without the plan.
+            for (const SweepAxis &axis : plan.axes()) {
+                if (const std::string *v = spec.find(axis.key))
+                    r.axisValues.emplace_back(axis.key, *v);
+            }
             store.add(r);
             board.jobFinished(r.status);
             executed.fetch_add(1, std::memory_order_relaxed);
@@ -590,6 +614,10 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
     // detaching any that are still stuck.
     abandoned.reap(
         std::max(2.0, 4.0 * opts.jobTimeoutSeconds));
+
+    // Seal the remaining buffered rows and checkpoint the aggregates
+    // so the next resume (and sweep_report) start from O(1) state.
+    store.finalize();
 
     if (opts.writeReports) {
         const std::filesystem::path dir(opts.outDir);

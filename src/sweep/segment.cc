@@ -1,0 +1,745 @@
+#include "sweep/segment.hh"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "base/errors.hh"
+#include "base/fault_injection.hh"
+
+namespace irtherm::sweep
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'I', 'R', 'S', 'G'};
+constexpr char kTrailerMagic[4] = {'G', 'S', 'R', 'I'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kFlagHashU64 = 1u << 0;
+
+// ---------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — the footer checksum.
+// ---------------------------------------------------------------
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n)
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------
+// Little-endian byte buffer with varint / zigzag codecs.
+// ---------------------------------------------------------------
+
+using Bytes = std::vector<std::uint8_t>;
+
+void
+putU16(Bytes &b, std::uint16_t v)
+{
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(Bytes &b, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(Bytes &b, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putF64(Bytes &b, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(b, bits);
+}
+
+void
+putVarint(Bytes &b, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        b.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    b.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Bounds-checked reader over an encoded segment body. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t n,
+               const std::string &context)
+        : p(data), end(data + n), ctx(context)
+    {
+    }
+
+    std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+
+    void
+    need(std::size_t n) const
+    {
+        if (remaining() < n)
+            ioError(ctx, ": truncated segment payload");
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        const std::uint16_t v = static_cast<std::uint16_t>(
+            p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+        p += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+        p += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        p += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            need(1);
+            const std::uint8_t byte = *p++;
+            if (shift >= 64)
+                ioError(ctx, ": varint overflow");
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0)
+                return v;
+            shift += 7;
+        }
+    }
+
+    std::string
+    str(std::size_t n)
+    {
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+
+  private:
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    std::string ctx;
+};
+
+/** One column block: u32 length prefix + payload, appended to @p out. */
+void
+putColumn(Bytes &out, const Bytes &payload)
+{
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+/** Zigzag-delta varint column over per-row integer values. */
+void
+putDeltaColumn(Bytes &out, const std::vector<std::int64_t> &values)
+{
+    Bytes col;
+    std::int64_t prev = 0;
+    for (const std::int64_t v : values) {
+        putVarint(col, zigzag(v - prev));
+        prev = v;
+    }
+    putColumn(out, col);
+}
+
+std::vector<std::int64_t>
+readDeltaColumn(ByteReader &r, std::size_t rows)
+{
+    const std::uint32_t len = r.u32();
+    (void)len; // varint stream is self-terminating per row
+    std::vector<std::int64_t> values(rows);
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+        prev += unzigzag(r.varint());
+        values[i] = prev;
+    }
+    return values;
+}
+
+void
+putStringColumn(Bytes &out, const std::vector<const std::string *> &values)
+{
+    Bytes col;
+    for (const std::string *s : values) {
+        putVarint(col, s->size());
+        col.insert(col.end(), s->begin(), s->end());
+    }
+    putColumn(out, col);
+}
+
+std::vector<std::string>
+readStringColumn(ByteReader &r, std::size_t rows)
+{
+    (void)r.u32();
+    std::vector<std::string> values(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const std::uint64_t n = r.varint();
+        values[i] = r.str(static_cast<std::size_t>(n));
+    }
+    return values;
+}
+
+void
+putDoubleColumn(Bytes &out, const std::vector<JobResult> &rows,
+                double (*field)(const JobResult &))
+{
+    Bytes col;
+    col.reserve(rows.size() * 8);
+    for (const JobResult &r : rows)
+        putF64(col, field(r));
+    putColumn(out, col);
+}
+
+std::vector<double>
+readDoubleColumn(ByteReader &r, std::size_t rows)
+{
+    (void)r.u32();
+    std::vector<double> values(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        values[i] = r.f64();
+    return values;
+}
+
+/** True when @p hash is the canonical 16-digit lowercase hex form. */
+bool
+isCanonicalHash(const std::string &hash)
+{
+    if (hash.size() != 16)
+        return false;
+    for (const char c : hash) {
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+parseHash(const std::string &hash)
+{
+    std::uint64_t v = 0;
+    for (const char c : hash)
+        v = (v << 4) | static_cast<std::uint64_t>(
+                           c <= '9' ? c - '0' : c - 'a' + 10);
+    return v;
+}
+
+std::string
+renderHash(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+/** Per-segment string dictionary: block names, axis keys/values. */
+class Dictionary
+{
+  public:
+    std::uint64_t
+    id(const std::string &s)
+    {
+        const auto [it, inserted] =
+            ids.emplace(s, static_cast<std::uint64_t>(entries.size()));
+        if (inserted)
+            entries.push_back(&it->first);
+        return it->second;
+    }
+
+    void
+    serialize(Bytes &out) const
+    {
+        Bytes col;
+        putVarint(col, entries.size());
+        for (const std::string *s : entries) {
+            putVarint(col, s->size());
+            col.insert(col.end(), s->begin(), s->end());
+        }
+        putColumn(out, col);
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> ids;
+    std::vector<const std::string *> entries;
+};
+
+} // namespace
+
+std::string
+segmentDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "segments").string();
+}
+
+std::string
+segmentPath(const std::string &dir, std::uint64_t index)
+{
+    char name[24];
+    std::snprintf(name, sizeof(name), "%08" PRIu64 ".seg", index);
+    return (std::filesystem::path(segmentDir(dir)) / name).string();
+}
+
+SegmentScan
+scanSegments(const std::string &dir)
+{
+    SegmentScan scan;
+    const std::filesystem::path root(segmentDir(dir));
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec))
+        return scan;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(root, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            scan.leftovers.push_back(entry.path().string());
+            continue;
+        }
+        if (name.size() != 12 ||
+            name.compare(name.size() - 4, 4, ".seg") != 0)
+            continue;
+        char *end = nullptr;
+        const unsigned long long index =
+            std::strtoull(name.c_str(), &end, 10);
+        if (end != name.c_str() + 8)
+            continue;
+        scan.sealed.emplace_back(index, entry.path().string());
+    }
+    std::sort(scan.sealed.begin(), scan.sealed.end());
+    return scan;
+}
+
+SegmentWriteInfo
+writeSegmentFile(const std::string &path,
+                 const std::vector<JobResult> &rows)
+{
+    Bytes out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+
+    std::uint16_t flags = kFlagHashU64;
+    for (const JobResult &r : rows) {
+        if (!isCanonicalHash(r.hash)) {
+            flags = 0;
+            break;
+        }
+    }
+    putU16(out, kVersion);
+    putU16(out, flags);
+    putU32(out, static_cast<std::uint32_t>(rows.size()));
+
+    // Hash column.
+    if (flags & kFlagHashU64) {
+        Bytes col;
+        col.reserve(rows.size() * 8);
+        for (const JobResult &r : rows)
+            putU64(col, parseHash(r.hash));
+        putColumn(out, col);
+    } else {
+        std::vector<const std::string *> hashes;
+        hashes.reserve(rows.size());
+        for (const JobResult &r : rows)
+            hashes.push_back(&r.hash);
+        putStringColumn(out, hashes);
+    }
+
+    // Small-integer columns: zigzag delta + varint.
+    auto intColumn = [&](std::int64_t (*field)(const JobResult &)) {
+        std::vector<std::int64_t> values;
+        values.reserve(rows.size());
+        for (const JobResult &r : rows)
+            values.push_back(field(r));
+        putDeltaColumn(out, values);
+    };
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.status);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.errorClass);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.attempts);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.fallbackTier);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.cgIterations);
+    });
+    intColumn([](const JobResult &r) {
+        return r.resources.peakRssDeltaKb;
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.resources.solverIterations);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.resources.retries);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.resources.fallbackEscalations);
+    });
+
+    // warm_start: bit-packed.
+    {
+        Bytes col((rows.size() + 7) / 8, 0);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].warmStarted)
+                col[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+        putColumn(out, col);
+    }
+
+    // Double columns: raw IEEE bits (bit-exact round trip).
+    putDoubleColumn(out, rows,
+                    [](const JobResult &r) { return r.wallSeconds; });
+    putDoubleColumn(out, rows,
+                    [](const JobResult &r) { return r.peakCelsius; });
+    putDoubleColumn(out, rows,
+                    [](const JobResult &r) { return r.minCelsius; });
+    putDoubleColumn(out, rows, [](const JobResult &r) {
+        return r.gradientKelvin;
+    });
+    putDoubleColumn(out, rows, [](const JobResult &r) {
+        return r.heatPrimaryWatts;
+    });
+    putDoubleColumn(out, rows, [](const JobResult &r) {
+        return r.heatSecondaryWatts;
+    });
+    putDoubleColumn(out, rows, [](const JobResult &r) {
+        return r.resources.cpuSeconds;
+    });
+
+    // String columns.
+    auto stringColumn = [&](const std::string &(*field)(const JobResult &)) {
+        std::vector<const std::string *> values;
+        values.reserve(rows.size());
+        for (const JobResult &r : rows)
+            values.push_back(&field(r));
+        putStringColumn(out, values);
+    };
+    stringColumn([](const JobResult &r) -> const std::string & {
+        return r.name;
+    });
+    stringColumn([](const JobResult &r) -> const std::string & {
+        return r.error;
+    });
+    stringColumn([](const JobResult &r) -> const std::string & {
+        return r.hottestUnit;
+    });
+
+    // Dictionary-encoded pair lists: block temperatures and axis
+    // assignments. The dictionary is built first (ids are assigned in
+    // first-use order), then serialized before the per-row lists.
+    Dictionary dict;
+    Bytes blocksCol;
+    for (const JobResult &r : rows) {
+        putVarint(blocksCol, r.blockCelsius.size());
+        for (const auto &[block, celsius] : r.blockCelsius) {
+            putVarint(blocksCol, dict.id(block));
+            putF64(blocksCol, celsius);
+        }
+    }
+    Bytes axesCol;
+    for (const JobResult &r : rows) {
+        putVarint(axesCol, r.axisValues.size());
+        for (const auto &[key, value] : r.axisValues) {
+            putVarint(axesCol, dict.id(key));
+            putVarint(axesCol, dict.id(value));
+        }
+    }
+    dict.serialize(out);
+    putColumn(out, blocksCol);
+    putColumn(out, axesCol);
+
+    putU32(out, crc32(out.data(), out.size()));
+    out.insert(out.end(), kTrailerMagic, kTrailerMagic + 4);
+
+    SegmentWriteInfo info;
+    info.bytes = out.size();
+    // Fault probe: a kill mid-seal leaves a prefix of the segment on
+    // disk. The rename still happens — emulating data that was lost
+    // from the page cache after the metadata became durable — so the
+    // resume path has to detect the tear via the CRC footer.
+    std::size_t writeBytes = out.size();
+    if (FaultInjector::global().shouldFire("journal.torn_segment")) {
+        writeBytes = out.size() / 2;
+        info.torn = true;
+    }
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), ec);
+        if (ec)
+            ioError("segment: cannot create directory for '", path,
+                    "': ", ec.message());
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            ioError("segment: cannot write '", tmp, "'");
+        f.write(reinterpret_cast<const char *>(out.data()),
+                static_cast<std::streamsize>(writeBytes));
+        f.flush();
+        if (!f)
+            ioError("segment: short write to '", tmp, "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        ioError("segment: cannot seal '", path, "': ", ec.message());
+    return info;
+}
+
+std::vector<JobResult>
+readSegmentFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        ioError("segment: cannot open '", path, "'");
+    Bytes data((std::istreambuf_iterator<char>(f)),
+               std::istreambuf_iterator<char>());
+    f.close();
+
+    if (data.size() < 4 + 2 + 2 + 4 + 4 + 4)
+        ioError("segment '", path, "': truncated");
+    if (std::memcmp(data.data(), kMagic, 4) != 0)
+        ioError("segment '", path, "': bad magic");
+    if (std::memcmp(data.data() + data.size() - 4, kTrailerMagic, 4) !=
+        0)
+        ioError("segment '", path, "': bad trailer magic");
+
+    const std::size_t crcOffset = data.size() - 8;
+    std::uint32_t storedCrc = 0;
+    for (int i = 0; i < 4; ++i)
+        storedCrc |= static_cast<std::uint32_t>(data[crcOffset + i])
+                     << (8 * i);
+    if (crc32(data.data(), crcOffset) != storedCrc)
+        ioError("segment '", path, "': CRC mismatch");
+
+    ByteReader r(data.data() + 4, crcOffset - 4, "segment '" + path + "'");
+    const std::uint16_t version = r.u16();
+    if (version != kVersion)
+        ioError("segment '", path, "': unsupported version ", version);
+    const std::uint16_t flags = r.u16();
+    const std::size_t rows = r.u32();
+    // A hostile/corrupt row count would make the resize below
+    // allocate unboundedly; the payload can't be smaller than one
+    // bit per row (the warm_start column).
+    if (rows > r.remaining() * 8)
+        ioError("segment '", path, "': implausible row count ", rows);
+
+    std::vector<JobResult> out(rows);
+
+    if (flags & kFlagHashU64) {
+        (void)r.u32();
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].hash = renderHash(r.u64());
+    } else {
+        std::vector<std::string> hashes = readStringColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].hash = std::move(hashes[i]);
+    }
+
+    auto intColumn = [&](void (*assign)(JobResult &, std::int64_t)) {
+        const std::vector<std::int64_t> values = readDeltaColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            assign(out[i], values[i]);
+    };
+    intColumn([](JobResult &j, std::int64_t v) {
+        if (v < 0 || v > static_cast<std::int64_t>(JobStatus::Hung))
+            ioError("segment: bad status discriminator ", v);
+        j.status = static_cast<JobStatus>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        if (v < 0 || v > static_cast<std::int64_t>(ErrorClass::Internal))
+            ioError("segment: bad error class discriminator ", v);
+        j.errorClass = static_cast<ErrorClass>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.attempts = static_cast<std::size_t>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.fallbackTier = static_cast<int>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.cgIterations = static_cast<std::size_t>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.resources.peakRssDeltaKb = v;
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.resources.solverIterations = static_cast<std::size_t>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.resources.retries = static_cast<std::size_t>(v);
+    });
+    intColumn([](JobResult &j, std::int64_t v) {
+        j.resources.fallbackEscalations = static_cast<int>(v);
+    });
+
+    {
+        const std::uint32_t len = r.u32();
+        if (len != (rows + 7) / 8)
+            ioError("segment '", path, "': bad warm_start column");
+        for (std::size_t i = 0; i < rows; ++i) {
+            if (i % 8 == 0)
+                r.need(1);
+        }
+        const std::string bits = r.str((rows + 7) / 8);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].warmStarted =
+                (static_cast<std::uint8_t>(bits[i / 8]) >> (i % 8)) & 1;
+    }
+
+    auto doubleColumn = [&](void (*assign)(JobResult &, double)) {
+        const std::vector<double> values = readDoubleColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            assign(out[i], values[i]);
+    };
+    doubleColumn([](JobResult &j, double v) { j.wallSeconds = v; });
+    doubleColumn([](JobResult &j, double v) { j.peakCelsius = v; });
+    doubleColumn([](JobResult &j, double v) { j.minCelsius = v; });
+    doubleColumn([](JobResult &j, double v) { j.gradientKelvin = v; });
+    doubleColumn([](JobResult &j, double v) { j.heatPrimaryWatts = v; });
+    doubleColumn([](JobResult &j, double v) {
+        j.heatSecondaryWatts = v;
+    });
+    doubleColumn([](JobResult &j, double v) {
+        j.resources.cpuSeconds = v;
+    });
+
+    {
+        std::vector<std::string> names = readStringColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].name = std::move(names[i]);
+    }
+    {
+        std::vector<std::string> errors = readStringColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].error = std::move(errors[i]);
+    }
+    {
+        std::vector<std::string> hottest = readStringColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].hottestUnit = std::move(hottest[i]);
+    }
+
+    // Dictionary, then the dictionary-encoded pair lists.
+    std::vector<std::string> dict;
+    {
+        (void)r.u32();
+        const std::uint64_t entries = r.varint();
+        if (entries > r.remaining())
+            ioError("segment '", path, "': implausible dictionary");
+        dict.resize(static_cast<std::size_t>(entries));
+        for (std::string &s : dict)
+            s = r.str(static_cast<std::size_t>(r.varint()));
+    }
+    auto dictAt = [&](std::uint64_t id) -> const std::string & {
+        if (id >= dict.size())
+            ioError("segment '", path, "': dictionary id out of range");
+        return dict[static_cast<std::size_t>(id)];
+    };
+    {
+        (void)r.u32();
+        for (std::size_t i = 0; i < rows; ++i) {
+            const std::uint64_t n = r.varint();
+            out[i].blockCelsius.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t k = 0; k < n; ++k) {
+                const std::string &block = dictAt(r.varint());
+                out[i].blockCelsius.emplace_back(block, r.f64());
+            }
+        }
+    }
+    {
+        (void)r.u32();
+        for (std::size_t i = 0; i < rows; ++i) {
+            const std::uint64_t n = r.varint();
+            out[i].axisValues.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t k = 0; k < n; ++k) {
+                const std::string &key = dictAt(r.varint());
+                const std::string &value = dictAt(r.varint());
+                out[i].axisValues.emplace_back(key, value);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace irtherm::sweep

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Compact binary columnar journal segments.
+ *
+ * At 10^6-10^7 jobs the per-job JSONL journal is hopeless to re-scan:
+ * every `--resume`, `/status` bootstrap, and `sweep_report` would
+ * parse millions of JSON lines. Segments fix the re-read cost the way
+ * TimescaleDB's chunk compression does: completed jobs are buffered
+ * in memory and sealed in bounded chunks to `<dir>/segments/
+ * NNNNNNNN.seg`, a columnar binary file that loads with zero JSON
+ * parsing. The JSONL journal stays behind as the always-appended
+ * debug sink and crash-recovery fallback.
+ *
+ * File layout (all integers little-endian):
+ *
+ *     "IRSG"  magic (4 bytes)
+ *     u16     format version (1)
+ *     u16     flags (bit 0: hash column stored as raw u64)
+ *     u32     row count
+ *     column blocks, each:  u32 byte length, payload
+ *     u32     CRC-32 over everything above
+ *     "GSRI"  trailing magic (4 bytes)
+ *
+ * Column encodings:
+ *  - scenario hashes: raw u64 (parsed from the canonical 16-hex
+ *    form; falls back to a plain string column if any row's hash is
+ *    not canonical — flags bit 0);
+ *  - small integers (status, error class, attempts, fallback tier,
+ *    iteration counts, resource counters): zigzag delta + varint, so
+ *    runs of similar values cost ~1 byte per row;
+ *  - booleans (warm_start): bit-packed;
+ *  - doubles (temperatures, wall/cpu seconds, heat flows): raw IEEE
+ *    754 bits — the round trip back to JSONL must be bit-exact, so
+ *    no lossy packing;
+ *  - strings (name, error, hottest unit): varint length + bytes;
+ *  - per-block temperatures and axis assignments: a per-segment
+ *    string dictionary (block names and axis keys/values repeat in
+ *    nearly every row) with per-row (dict id, value) pair lists.
+ *
+ * Crash safety: segments are written to `<path>.tmp` and renamed into
+ * place, and the CRC footer is verified on every read. A torn or
+ * corrupt segment is detected by the reader (IoError) and quarantined
+ * by the resume path (renamed to `<path>.torn`); its rows are
+ * recovered from the JSONL fallback.
+ */
+
+#ifndef IRTHERM_SWEEP_SEGMENT_HH
+#define IRTHERM_SWEEP_SEGMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/result_store.hh"
+
+namespace irtherm::sweep
+{
+
+/** `<dir>/segments`, the sealed-segment directory. */
+std::string segmentDir(const std::string &dir);
+
+/** `<dir>/segments/NNNNNNNN.seg` for segment @p index. */
+std::string segmentPath(const std::string &dir, std::uint64_t index);
+
+/** What a scan of `<dir>/segments` found. */
+struct SegmentScan
+{
+    /** Sealed segments as (index, path), ascending by index. */
+    std::vector<std::pair<std::uint64_t, std::string>> sealed;
+    /** Abandoned `.tmp` files from a writer killed mid-seal. */
+    std::vector<std::string> leftovers;
+};
+
+/** Enumerate sealed segments (and seal leftovers) under @p dir. */
+SegmentScan scanSegments(const std::string &dir);
+
+/** Outcome of one segment seal. */
+struct SegmentWriteInfo
+{
+    std::uint64_t bytes = 0; ///< sealed file size
+    /** The `journal.torn_segment` fault fired: only a prefix of the
+     *  segment reached disk (simulating a kill mid-seal). */
+    bool torn = false;
+};
+
+/**
+ * Seal @p rows to @p path: serialize columnar, write `<path>.tmp`,
+ * rename into place. Throws IoError on filesystem failures. Probes
+ * the `journal.torn_segment` fault point: when armed, a prefix of
+ * the encoded bytes is written (the rename still happens, emulating
+ * a kill after the data was only partially flushed) and `torn` is
+ * set so the store can stop trusting its checkpoint state.
+ */
+SegmentWriteInfo writeSegmentFile(const std::string &path,
+                                  const std::vector<JobResult> &rows);
+
+/**
+ * Load one sealed segment. Throws IoError on a missing file, bad
+ * magic, CRC mismatch, or any structural overrun — i.e. on exactly
+ * the torn/corrupt segments resume must quarantine.
+ */
+std::vector<JobResult> readSegmentFile(const std::string &path);
+
+} // namespace irtherm::sweep
+
+#endif // IRTHERM_SWEEP_SEGMENT_HH

@@ -1,5 +1,6 @@
 #include "sweep/status.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -111,12 +112,16 @@ SweepStatusBoard::statusJson() const
        << ",\"running\":" << running << ",\"remaining\":" << remaining
        << "}";
     os << ",\"throughput_jobs_per_s\":" << num(throughput);
-    if (throughput > 0.0) {
-        os << ",\"eta_s\":"
-           << num(static_cast<double>(remaining) / throughput);
-    } else {
+    // Zero (or denormal-tiny) trailing throughput must never produce
+    // an inf/nan ETA — "inf" is not even valid JSON. No estimate ->
+    // an honest null.
+    const double eta = throughput > 0.0
+                           ? static_cast<double>(remaining) / throughput
+                           : -1.0;
+    if (throughput > 0.0 && std::isfinite(eta))
+        os << ",\"eta_s\":" << num(eta);
+    else
         os << ",\"eta_s\":null";
-    }
 
     // Per-thread live span paths from the global recorder. Idle
     // threads report an empty path; the watcher sees every worker.

@@ -423,6 +423,163 @@ TEST(HttpServer, RouteAfterStartThrows)
     server.stop();
 }
 
+namespace
+{
+
+/** Send raw bytes, then read the reply until the server closes. */
+std::string
+httpRaw(int port, const std::string &bytes)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, 0);
+        if (n <= 0)
+            break; // server may stop reading once over the cap
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        reply.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return reply;
+}
+
+} // namespace
+
+TEST(HttpServer, ParallelClientsAllGetServed)
+{
+    obs::HttpServer server;
+    server.route("/healthz", [] {
+        return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                                 "ok\n"};
+    });
+    server.start(0);
+    const int port = server.port();
+
+    constexpr int kThreads = 8;
+    constexpr int kRequests = 5;
+    std::vector<int> good(kThreads, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([port, t, &good] {
+            for (int i = 0; i < kRequests; ++i) {
+                const std::string reply = httpGet(port, "/healthz");
+                if (reply.find("HTTP/1.1 200") != std::string::npos &&
+                    reply.find("\r\n\r\nok\n") != std::string::npos)
+                    ++good[t];
+            }
+        });
+    }
+    for (std::thread &c : clients)
+        c.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(good[t], kRequests) << "client " << t;
+    EXPECT_GE(server.requestCount(),
+              static_cast<std::size_t>(kThreads * kRequests));
+    server.stop();
+}
+
+TEST(HttpServer, MalformedRequestLineGets400)
+{
+    obs::HttpServer server;
+    server.route("/healthz", [] {
+        return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                                 "ok\n"};
+    });
+    server.start(0);
+    const std::string reply =
+        httpRaw(server.port(), "BOGUS\r\n\r\n");
+    EXPECT_NE(reply.find("HTTP/1.1 400"), std::string::npos);
+    // The listener survives abuse: a normal request still works.
+    const std::string after = httpGet(server.port(), "/healthz");
+    EXPECT_NE(after.find("HTTP/1.1 200"), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpServer, OversizedRequestGets431)
+{
+    obs::HttpServer server;
+    server.route("/healthz", [] {
+        return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                                 "ok\n"};
+    });
+    server.start(0);
+    // A request line that never terminates and blows past the 16 KiB
+    // cap must be rejected explicitly, not buffered forever.
+    std::string huge = "GET /";
+    huge.append(20000, 'a');
+    const std::string reply = httpRaw(server.port(), huge);
+    EXPECT_NE(reply.find("HTTP/1.1 431"), std::string::npos);
+    const std::string after = httpGet(server.port(), "/healthz");
+    EXPECT_NE(after.find("HTTP/1.1 200"), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpServer, SlowReaderDoesNotWedgeTheListener)
+{
+    obs::HttpServer server;
+    server.route("/big", [] {
+        return obs::HttpResponse{200,
+                                 "application/octet-stream",
+                                 std::string(8u << 20, 'x')};
+    });
+    server.route("/healthz", [] {
+        return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                                 "ok\n"};
+    });
+    server.start(0);
+    const int port = server.port();
+
+    // A client that requests 8 MiB and never reads: the kernel send
+    // buffer fills, the server blocks in send, and the per-connection
+    // SO_SNDTIMEO must free the (single) listener thread.
+    const int slow = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(slow, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(slow, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string req = "GET /big HTTP/1.1\r\nHost: x\r\n"
+                            "Connection: close\r\n\r\n";
+    ASSERT_EQ(::send(slow, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    // Deliberately never recv() on `slow`.
+
+    const std::string after = httpGet(port, "/healthz");
+    EXPECT_NE(after.find("HTTP/1.1 200"), std::string::npos)
+        << "slow reader wedged the listener";
+    ::close(slow);
+    server.stop();
+}
+
+TEST(SweepStatusBoard, EtaIsNullWithZeroThroughput)
+{
+    sweep::SweepStatusBoard board;
+    board.begin("unit-plan", 10, 8, 2, 1);
+    board.jobStarted();
+    // No job has finished: the throughput window is empty, so the
+    // ETA must be JSON null — never 0, Infinity, or NaN.
+    const sweep::JsonValue doc =
+        sweep::parseJson(board.statusJson(), "status");
+    EXPECT_TRUE(doc.at("eta_s").isNull());
+}
+
 TEST(SweepStatusBoard, StatusJsonTracksCountsAndSchema)
 {
     sweep::SweepStatusBoard board;

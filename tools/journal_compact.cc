@@ -1,0 +1,165 @@
+/**
+ * @file
+ * journal_compact — JSONL→segment converter and journal synthesizer.
+ *
+ * Two jobs, combinable in one invocation:
+ *
+ *  - `--synthesize N [--seed S]` appends N deterministic
+ *    synthetic-but-plausible job rows to <dir>/journal.jsonl,
+ *    creating the directory as needed. CI uses this to fabricate a
+ *    50k-job sweep in milliseconds.
+ *
+ *  - compaction (the default action): seal <dir>/journal.jsonl into
+ *    columnar segments of --segment-jobs rows each plus an aggregate
+ *    checkpoint — the offline equivalent of what a live sweep does
+ *    incrementally. Re-running is safe: rows already covered by the
+ *    checkpoint are not resealed. Pre-existing segment-format
+ *    journals (from an older build) convert the same way: the rows
+ *    load, then reseal.
+ *
+ * Do not aim the compactor at a sweep that is still running — it
+ * rewrites the directory's analytics state. `--synthesize` alone
+ * (with `--no-compact`) only appends.
+ *
+ * usage: journal_compact <sweep-out-dir> [--segment-jobs <n>]
+ *                        [--synthesize <n>] [--seed <n>]
+ *                        [--no-compact]
+ *
+ * exit codes: 0 done, 1 error, 2 bad command line.
+ */
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/errors.hh"
+#include "sweep/compact.hh"
+
+using namespace irtherm;
+
+namespace
+{
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: journal_compact <sweep-out-dir> [--segment-jobs <n>]"
+        " [--synthesize <n>] [--seed <n>] [--no-compact]\n"
+        "compacts a sweep's JSONL journal into columnar segments "
+        "plus an aggregate checkpoint\n"
+        "\n"
+        "  --segment-jobs <n>  rows per sealed segment "
+        "(default 2048)\n"
+        "  --synthesize <n>    first append n deterministic "
+        "synthetic job rows to the journal\n"
+        "  --seed <n>          seed for --synthesize "
+        "(default 1)\n"
+        "  --no-compact        stop after --synthesize; leave the "
+        "journal JSONL-only\n");
+}
+
+/** Strict positive-integer argument parse. */
+std::uint64_t
+parseCount(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    const double n = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || n < 1.0 ||
+        n != std::floor(n))
+        configError(flag, " wants a positive integer, got '", value,
+                    "'");
+    return static_cast<std::uint64_t>(n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string dir;
+        std::size_t segmentJobs = 2048;
+        std::size_t synthesize = 0;
+        std::uint64_t seed = 1;
+        bool compact = true;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    configError("missing value after ", arg);
+                return argv[++i];
+            };
+            if (arg == "--segment-jobs") {
+                segmentJobs = static_cast<std::size_t>(
+                    parseCount(value(), "--segment-jobs"));
+            } else if (arg == "--synthesize") {
+                synthesize = static_cast<std::size_t>(
+                    parseCount(value(), "--synthesize"));
+            } else if (arg == "--seed") {
+                seed = parseCount(value(), "--seed");
+            } else if (arg == "--no-compact") {
+                compact = false;
+            } else if (arg == "-h" || arg == "--help") {
+                usage();
+                return kExitOk;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(
+                    stderr,
+                    "journal_compact: unknown argument '%s'\n",
+                    arg.c_str());
+                usage();
+                return kExitUsage;
+            } else if (dir.empty()) {
+                dir = arg;
+            } else {
+                std::fprintf(
+                    stderr,
+                    "journal_compact: unexpected argument '%s'\n",
+                    arg.c_str());
+                usage();
+                return kExitUsage;
+            }
+        }
+        if (dir.empty() || (synthesize == 0 && !compact)) {
+            usage();
+            return kExitUsage;
+        }
+
+        if (synthesize > 0) {
+            sweep::synthesizeJournal(dir, synthesize, seed);
+            std::printf("journal_compact: appended %zu synthetic "
+                        "row(s) (seed %" PRIu64 ") to %s\n",
+                        synthesize, seed, dir.c_str());
+        }
+        if (compact) {
+            const sweep::CompactStats stats =
+                sweep::compactJournal(dir, segmentJobs);
+            std::printf(
+                "journal_compact: %zu row(s) in %zu segment(s); "
+                "journal %" PRIu64 " bytes, segments %" PRIu64
+                " bytes (%.1f%%)",
+                stats.rows, stats.segments, stats.journalBytes,
+                stats.segmentBytes,
+                stats.journalBytes > 0
+                    ? 100.0 * static_cast<double>(stats.segmentBytes) /
+                          static_cast<double>(stats.journalBytes)
+                    : 0.0);
+            if (stats.quarantined > 0)
+                std::printf("; %zu line(s) quarantined",
+                            stats.quarantined);
+            std::printf("\n");
+        }
+        return kExitOk;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "journal_compact: %s\n", e.what());
+        return kExitError;
+    }
+}

@@ -2,12 +2,22 @@
  * @file
  * sweep_report — render a sweep journal as a Markdown summary.
  *
- * Reads the JSONL journal a sweep run left behind (or a full sweep
- * output directory, in which case <dir>/journal.jsonl is used) and
- * writes a Markdown table with one row per scenario: status, hottest
- * unit, peak temperature, across-die gradient, CG iterations,
- * warm-start flag, and wall time. Paste-able into a PR or lab
+ * Reads the artifacts a sweep run left behind and writes a Markdown
+ * report. Small journals get one table row per scenario (status,
+ * hottest unit, peak temperature, across-die gradient, CG
+ * iterations, warm-start flag, wall time); large journals switch to
+ * the aggregates summary (state counts, wall-time quantiles,
+ * temperature spread, per-axis group-bys, slowest jobs) whose size
+ * does not grow with the job count. Paste-able into a PR or lab
  * notebook.
+ *
+ * Fast read path: when the sweep directory holds an aggregate
+ * checkpoint (aggregates.ckpt) and sealed columnar segments
+ * (segments/*.seg), the report is assembled from those plus the
+ * JSONL tail past the checkpoint watermark — the bulk of the journal
+ * is never JSON-parsed again. `--full` forces the old full-file
+ * JSONL scan (useful to cross-check the fast path); `--strict`
+ * implies it.
  *
  * Unparsable journal lines (truncated flush, disk corruption) do not
  * abort the report: each one is diagnosed on stderr with its path,
@@ -19,7 +29,7 @@
  * wall time, then name, so the order is stable across reruns).
  *
  * usage: sweep_report <journal.jsonl | sweep-out-dir> [-o <file>]
- *                     [--title <text>] [--top <n>] [--strict]
+ *                     [--title <text>] [--top <n>] [--full] [--strict]
  */
 
 #include <cmath>
@@ -34,6 +44,7 @@
 
 #include "base/errors.hh"
 #include "base/logging.hh"
+#include "sweep/compact.hh"
 #include "sweep/report.hh"
 #include "sweep/result_store.hh"
 
@@ -50,20 +61,34 @@ constexpr int kExitMissing = 3;     ///< journal file does not exist
 constexpr int kExitEmpty = 4;       ///< journal has no entries
 constexpr int kExitSkipped = 5;     ///< report written, lines skipped
 
+/**
+ * Above this many scenarios the per-row table stops being a report
+ * and becomes a data dump; switch to the aggregates summary.
+ */
+constexpr std::size_t kRowTableLimit = 500;
+
 void
 usage()
 {
     std::fprintf(
         stderr,
         "usage: sweep_report <journal.jsonl | sweep-out-dir> "
-        "[-o <file>] [--title <text>] [--top <n>] [--strict]\n"
-        "renders a sweep journal as a Markdown summary table\n"
+        "[-o <file>] [--title <text>] [--top <n>] [--full] "
+        "[--strict]\n"
+        "renders a sweep journal as a Markdown summary\n"
         "\n"
         "  -o <file>      write Markdown here instead of stdout\n"
         "  --title <text> heading for the summary table\n"
         "  --top <n>      append the n slowest jobs by CPU time "
         "(from the journal's resources accounting)\n"
-        "  --strict       treat any unparsable journal line as fatal\n"
+        "  --full         force a full JSONL scan (skip the "
+        "checkpoint + segment fast path)\n"
+        "  --strict       treat any unparsable journal line as "
+        "fatal (implies --full)\n"
+        "\n"
+        "journals with more than %zu scenarios report via the "
+        "streaming aggregates\n(state counts, quantiles, per-axis "
+        "group-bys) instead of one row per job\n"
         "\n"
         "exit codes:\n"
         "  0  report written, every line parsed\n"
@@ -71,19 +96,13 @@ usage()
         "  2  bad command line\n"
         "  3  journal file does not exist\n"
         "  4  journal exists but holds no entries\n"
-        "  5  report written, but unparsable lines were skipped\n");
+        "  5  report written, but unparsable lines were skipped\n",
+        kRowTableLimit);
 }
 
-/** One unparsable journal line: where and why. */
-struct LineDiagnostic
-{
-    std::size_t lineno;
-    std::string reason;
-};
-
+/** Full strict scan of one JSONL file; FatalError on any bad line. */
 std::vector<sweep::JobResult>
-loadJournal(const std::string &path, bool strict,
-            std::vector<LineDiagnostic> &diagnostics)
+loadJournalStrict(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
@@ -95,16 +114,8 @@ loadJournal(const std::string &path, bool strict,
         ++lineno;
         if (line.empty())
             continue;
-        const std::string context =
-            path + " line " + std::to_string(lineno);
-        try {
-            results.push_back(
-                sweep::JobResult::fromJsonLine(line, context));
-        } catch (const FatalError &e) {
-            if (strict)
-                throw;
-            diagnostics.push_back({lineno, e.what()});
-        }
+        results.push_back(sweep::JobResult::fromJsonLine(
+            line, path + " line " + std::to_string(lineno)));
     }
     return results;
 }
@@ -119,6 +130,7 @@ main(int argc, char **argv)
         std::string outPath;
         std::string title;
         std::size_t topN = 0;
+        bool full = false;
         bool strict = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -140,8 +152,11 @@ main(int argc, char **argv)
                     configError("--top wants a positive integer, "
                                 "got '", v, "'");
                 topN = static_cast<std::size_t>(n);
+            } else if (arg == "--full") {
+                full = true;
             } else if (arg == "--strict") {
                 strict = true;
+                full = true;
             } else if (arg == "-h" || arg == "--help") {
                 usage();
                 return kExitOk;
@@ -166,39 +181,104 @@ main(int argc, char **argv)
             usage();
             return kExitUsage;
         }
+
+        // Resolve to a sweep directory: readJournal() knows where a
+        // directory keeps its journal, segments, and checkpoint. A
+        // bare journal path maps onto its parent directory.
+        std::string sweepDir = inputPath;
+        std::string journalPath = inputPath;
         if (std::filesystem::is_directory(inputPath)) {
-            inputPath = (std::filesystem::path(inputPath) /
-                         "journal.jsonl")
-                            .string();
+            journalPath = (std::filesystem::path(inputPath) /
+                           "journal.jsonl")
+                              .string();
+        } else {
+            sweepDir = std::filesystem::path(inputPath)
+                           .parent_path()
+                           .string();
+            if (sweepDir.empty())
+                sweepDir = ".";
+            if (std::filesystem::path(inputPath).filename() !=
+                "journal.jsonl") {
+                // A renamed/exported JSONL file has no sibling
+                // artifacts; only the full scan makes sense.
+                full = true;
+            }
         }
-        if (!std::filesystem::exists(inputPath)) {
+        if (!std::filesystem::exists(journalPath)) {
             std::fprintf(stderr,
                          "sweep_report: no journal at '%s'\n",
-                         inputPath.c_str());
+                         journalPath.c_str());
             return kExitMissing;
         }
         if (title.empty())
             title = inputPath;
 
-        std::vector<LineDiagnostic> diagnostics;
-        const std::vector<sweep::JobResult> results =
-            loadJournal(inputPath, strict, diagnostics);
-        for (const LineDiagnostic &d : diagnostics) {
-            std::fprintf(stderr,
-                         "sweep_report: %s:%zu: skipped: %s\n",
-                         inputPath.c_str(), d.lineno,
-                         d.reason.c_str());
+        std::vector<sweep::JobResult> rows;
+        std::string aggregatesJson;
+        std::size_t skipped = 0;
+        bool fastPath = false;
+        if (strict) {
+            rows = loadJournalStrict(journalPath);
+        } else if (std::filesystem::path(journalPath).filename() !=
+                   "journal.jsonl") {
+            // Renamed file: scan it directly, skipping bad lines.
+            std::size_t lineno = 0;
+            std::ifstream in(journalPath);
+            if (!in)
+                ioError("cannot open journal '", journalPath, "'");
+            std::string line;
+            while (std::getline(in, line)) {
+                ++lineno;
+                if (line.empty())
+                    continue;
+                try {
+                    rows.push_back(sweep::JobResult::fromJsonLine(
+                        line, journalPath + " line " +
+                                  std::to_string(lineno)));
+                } catch (const FatalError &e) {
+                    std::fprintf(stderr,
+                                 "sweep_report: %s:%zu: skipped: %s\n",
+                                 journalPath.c_str(), lineno,
+                                 e.what());
+                    ++skipped;
+                }
+            }
+        } else {
+            sweep::JournalData data =
+                sweep::readJournal(sweepDir, full);
+            rows = std::move(data.rows);
+            aggregatesJson = std::move(data.aggregatesJson);
+            skipped = data.skippedLines;
+            fastPath = data.fromCheckpoint;
+            if (fastPath) {
+                std::fprintf(stderr,
+                             "sweep_report: fast path: checkpoint + "
+                             "%zu segment(s) + %zu tail row(s)\n",
+                             data.segmentsRead, data.jsonlRows);
+            }
+            if (skipped > 0) {
+                std::fprintf(
+                    stderr,
+                    "sweep_report: %zu unparsable line(s) skipped\n",
+                    skipped);
+            }
         }
-        if (results.empty() && diagnostics.empty()) {
+        if (rows.empty() && skipped == 0) {
             std::fprintf(stderr,
                          "sweep_report: journal '%s' is empty\n",
-                         inputPath.c_str());
+                         journalPath.c_str());
             return kExitEmpty;
         }
 
-        std::string md = sweep::renderMarkdownSummary(results, title);
+        std::string md;
+        if (!aggregatesJson.empty() && rows.size() > kRowTableLimit) {
+            md = sweep::renderAggregatesMarkdown(aggregatesJson,
+                                                 title);
+        } else {
+            md = sweep::renderMarkdownSummary(rows, title);
+        }
         if (topN > 0)
-            md += "\n" + sweep::renderTopJobsMarkdown(results, topN);
+            md += "\n" + sweep::renderTopJobsMarkdown(rows, topN);
 
         if (outPath.empty()) {
             std::cout << md;
@@ -208,12 +288,12 @@ main(int argc, char **argv)
                 ioError("cannot write '", outPath, "'");
             out << md;
             std::printf("wrote %s (%zu scenario rows)\n",
-                        outPath.c_str(), results.size());
+                        outPath.c_str(), rows.size());
         }
-        if (!diagnostics.empty()) {
+        if (skipped > 0) {
             std::fprintf(stderr,
                          "sweep_report: %zu line(s) skipped\n",
-                         diagnostics.size());
+                         skipped);
             return kExitSkipped;
         }
         return kExitOk;
