@@ -20,6 +20,7 @@
 #include "core/stack_model.hh"
 #include "floorplan/presets.hh"
 #include "numeric/grid_stencil.hh"
+#include "numeric/impulse_cache.hh"
 #include "numeric/iterative.hh"
 
 using namespace irtherm;
@@ -136,17 +137,18 @@ BM_BackwardEulerStepGrid(benchmark::State &state)
 BENCHMARK(BM_BackwardEulerStepGrid)->Arg(16)->Arg(32);
 
 /**
- * Steady CG on the grid system through the pre-PR configuration
- * (legacy_solvers.hh: assembled CSR, Jacobi, redundant norm2 pass,
- * serial kernels) vs the current defaults (matrix-free stencil,
- * SSOR, thread-pooled kernels). range(0) is the lateral grid size;
- * range(1) selects 0 = baseline, 1 = optimized.
+ * Steady CG on the grid system across the solver trajectory:
+ * range(1) = 0 is the pre-PR configuration (legacy_solvers.hh:
+ * assembled CSR, Jacobi, redundant norm2 pass, serial kernels),
+ * 1 is the stencil + SSOR path, 2 is the stencil + geometric
+ * multigrid V-cycle preconditioner. range(0) is the lateral grid
+ * size.
  */
 void
 BM_SteadyCgGrid(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const bool optimized = state.range(1) != 0;
+    const int config = static_cast<int>(state.range(1));
     const GridStencilOperator op = makeGridOperator(n);
     const CsrMatrix csr = op.toCsr();
     const std::vector<double> b(op.rows(), 1.0);
@@ -154,23 +156,69 @@ BM_SteadyCgGrid(benchmark::State &state)
     IterativeOptions opts;
     opts.tolerance = 1e-11;
     opts.maxIterations = 200000;
+    if (config == 2)
+        opts.preconditioner = PreconditionerKind::Multigrid;
 
-    ThreadPool::setParallelEnabled(optimized);
+    ThreadPool::setParallelEnabled(config != 0);
     std::size_t iterations = 0;
     for (auto _ : state) {
         const IterativeResult res =
-            optimized ? conjugateGradient(op, b, {}, opts)
-                      : legacy::conjugateGradient(csr, b, {}, opts);
+            config != 0 ? conjugateGradient(op, b, {}, opts)
+                        : legacy::conjugateGradient(csr, b, {}, opts);
         iterations = res.iterations;
         benchmark::DoNotOptimize(res.x.data());
     }
     ThreadPool::setParallelEnabled(true);
-    state.SetLabel((optimized ? "optimized " : "baseline ") +
+    static const char *kConfigNames[] = {"legacy ", "ssor ", "mg "};
+    state.SetLabel(kConfigNames[config] +
                    std::to_string(iterations) + " iters");
 }
 BENCHMARK(BM_SteadyCgGrid)
-    ->Args({16, 0})->Args({16, 1})
-    ->Args({32, 0})->Args({32, 1});
+    ->Args({16, 0})->Args({16, 1})->Args({16, 2})
+    ->Args({32, 0})->Args({32, 1})->Args({32, 2});
+
+/**
+ * Amortized per-job steady-solve cost over a single-stack sweep:
+ * range(0) jobs against one EV6 grid model, each iteration of the
+ * benchmark runs the whole sweep through the impulse-superposition
+ * path (build once, verified GEMV per job) with the cache cleared up
+ * front. Compare items/s against BM_SteadySolveGrid/32 for the
+ * per-job iterative cost.
+ */
+void
+BM_SuperposedSweep(benchmark::State &state)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    const StackModel model(fp, pkg, gridOpts(32));
+    const auto jobs = static_cast<int>(state.range(0));
+    const std::size_t blocks = fp.blockCount();
+
+    std::vector<double> powers(blocks);
+    for (auto _ : state) {
+        ImpulseResponseCache::global().clear();
+        StackModel::SteadySolveOptions sopts;
+        sopts.superposition = true;
+        sopts.stackKey = 0x5eed5eed;
+        sopts.preconditioner = PreconditionerKind::Multigrid;
+        for (int j = 0; j < jobs; ++j) {
+            for (std::size_t bk = 0; bk < blocks; ++bk)
+                powers[bk] =
+                    0.5 + 0.01 * static_cast<double>(
+                                     (static_cast<std::size_t>(j) * 7 +
+                                      bk) %
+                                     13);
+            benchmark::DoNotOptimize(
+                model.steadyNodeTemperatures(powers, sopts));
+        }
+    }
+    ImpulseResponseCache::global().clear();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * jobs);
+    state.SetLabel(std::to_string(blocks) + " blocks");
+}
+BENCHMARK(BM_SuperposedSweep)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Single-thread transient throughput: the pre-PR Crank-Nicolson step

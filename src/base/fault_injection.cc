@@ -18,8 +18,9 @@ const std::string emptyKey;
 
 /** Points the codebase actually probes; unknown points are a typo. */
 const char *const kKnownPoints[] = {
-    "cg.nan",          "cg.diverge",       "job.stall",
-    "journal.corrupt", "journal.truncate", "journal.torn_segment",
+    "cg.nan",          "cg.diverge",       "mg.diverge",
+    "impulse.corrupt", "job.stall",        "journal.corrupt",
+    "journal.truncate", "journal.torn_segment",
 };
 
 bool

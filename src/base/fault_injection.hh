@@ -17,6 +17,13 @@
  * Points probed by the codebase:
  *     cg.nan            poison the CG residual with a NaN
  *     cg.diverge        force the iterative solve to report divergence
+ *     mg.diverge        poison one multigrid V-cycle output with NaN
+ *                       (robust_solve must demote mg-cg to ssor-cg)
+ *     impulse.corrupt   poison one column of a freshly built
+ *                       impulse-response matrix with large finite
+ *                       garbage (only the independent residual check
+ *                       can catch it; the job must demote to the
+ *                       iterative chain and still complete)
  *     job.stall         sleep inside a sweep job (watchdog bait)
  *     journal.corrupt   scramble bytes of one journal line
  *     journal.truncate  write only a prefix of one journal line

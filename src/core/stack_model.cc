@@ -7,6 +7,7 @@
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "materials/convection.hh"
+#include "numeric/impulse_cache.hh"
 #include "numeric/iterative.hh"
 #include "numeric/robust_solve.hh"
 #include "obs/metrics.hh"
@@ -687,6 +688,106 @@ StackModel::steadyNodeTemperatures(
     return steadyNodeTemperatures(block_powers, SteadySolveOptions{});
 }
 
+bool
+StackModel::trySuperposedSteady(const std::vector<double> &block_powers,
+                                const std::vector<double> &node_powers,
+                                const SteadySolveOptions &solve_opts,
+                                SteadySolveInfo *info,
+                                std::vector<double> &out) const
+{
+    const std::size_t blocks = floorplan().blockCount();
+    ImpulseResponseCache &cache = ImpulseResponseCache::global();
+    bool wasHit = false;
+    std::shared_ptr<const ImpulseResponseMatrix> matrix;
+    try {
+        matrix = cache.acquire(
+            solve_opts.stackKey,
+            [&]() {
+                // One verified steady solve per block: unit power
+                // into block b yields response column b. Built once
+                // per stack hash, amortized over the whole sweep.
+                obs::ScopedSpan span("core.impulse_build");
+                span.attr("blocks", blocks).attr("nodes", cap_.size());
+                auto m = std::make_shared<ImpulseResponseMatrix>();
+                m->nodes = cap_.size();
+                m->blocks = blocks;
+                m->values.resize(m->nodes * blocks);
+                RobustSolveOptions ropts;
+                ropts.iterative.tolerance = solve_opts.tolerance;
+                ropts.iterative.maxIterations =
+                    solve_opts.maxIterations;
+                ropts.iterative.preconditioner =
+                    solve_opts.preconditioner;
+                ropts.symmetric = true;
+                ropts.scope = FaultInjector::currentContext();
+                std::vector<double> unit(blocks, 0.0);
+                for (std::size_t b = 0; b < blocks; ++b) {
+                    unit[b] = 1.0;
+                    const std::vector<double> pb =
+                        nodePowerVector(unit);
+                    unit[b] = 0.0;
+                    const RobustSolveResult rob =
+                        robustSolve(g_, pb, {}, ropts);
+                    std::copy(rob.solve.x.begin(), rob.solve.x.end(),
+                              m->values.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      b * m->nodes));
+                }
+                return m;
+            },
+            &wasHit);
+    } catch (const std::exception &e) {
+        // An impulse solve failed even through the fallback chain;
+        // let the per-job iterative path make its own attempt.
+        warn("impulse-response build failed: ", e.what());
+        return false;
+    }
+    if (!matrix)
+        return false;
+
+    obs::ScopedSpan span("core.steady_solve");
+    span.attr("nodes", cap_.size())
+        .attr("tier", "superposition")
+        .attr("cache_hit", wasHit ? "yes" : "no");
+    std::vector<double> rise;
+    matrix->superpose(block_powers, rise);
+
+    // Trust discipline: the GEMV answer is accepted only when it
+    // passes the same independent residual check the iterative tiers
+    // face. RobustSolveOptions{}.residualSlack keeps the bound
+    // identical to the chain's.
+    const CsrOperator gop(g_);
+    const ImpulseVerification v = verifySuperposition(
+        gop, node_powers, rise, solve_opts.tolerance,
+        RobustSolveOptions{}.residualSlack);
+    if (!v.ok) {
+        warn("superposed steady solve failed verification "
+                "(residual ", v.residualNorm, " > bound ", v.bound,
+                "); demoting stack ", solve_opts.stackKey,
+                " to the iterative chain");
+        cache.invalidate(solve_opts.stackKey);
+        span.attr("verified", "no");
+        return false;
+    }
+    span.attr("verified", "yes");
+    auto &reg = obs::MetricsRegistry::global();
+    reg.counter("core.steady.solves").add();
+    reg.counter("core.steady.superposed").add();
+    if (info != nullptr) {
+        info->iterations = 0;
+        info->residualNorm = v.residualNorm;
+        info->initialResidualNorm = v.residualNorm;
+        info->warmStarted = false;
+        info->fallbackTier = 0;
+        info->method = "superposition";
+        info->impulseCacheHit = wasHit;
+    }
+    out = std::move(rise);
+    for (double &t : out)
+        t += pkg_.ambient;
+    return true;
+}
+
 std::vector<double>
 StackModel::steadyNodeTemperatures(
     const std::vector<double> &block_powers,
@@ -697,9 +798,20 @@ StackModel::steadyNodeTemperatures(
     opts.tolerance = solve_opts.tolerance;
     opts.maxIterations = solve_opts.maxIterations;
     // The stack network mixes regular grid cells with irregular strip
-    // and package nodes, so it stays CSR (no stencil operator); SSOR
-    // preconditioning still applies through the CSR path.
-    opts.preconditioner = PreconditionerKind::Ssor;
+    // and package nodes, so it stays CSR (no stencil operator); the
+    // Multigrid kind degrades to SSOR through the CSR path.
+    opts.preconditioner = solve_opts.preconditioner;
+
+    if (solve_opts.superposition && solve_opts.stackKey != 0 &&
+        !advection && solve_opts.warmStart == nullptr) {
+        std::vector<double> answer;
+        if (trySuperposedSteady(block_powers, p, solve_opts, info,
+                                answer))
+            return answer;
+        // Verification miss or failed build: fall through to the
+        // iterative chain below.
+    }
+
     std::vector<double> x0;
     bool warm = false;
     if (solve_opts.warmStart != nullptr &&

@@ -33,6 +33,7 @@
 #ifndef IRTHERM_CORE_STACK_MODEL_HH
 #define IRTHERM_CORE_STACK_MODEL_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "core/package.hh"
 #include "floorplan/floorplan.hh"
 #include "floorplan/grid_mapping.hh"
+#include "numeric/linear_operator.hh"
 #include "numeric/sparse.hh"
 
 namespace irtherm
@@ -135,6 +137,33 @@ class StackModel
          * non-converged solve throws NumericError.
          */
         bool fallback = true;
+        /**
+         * Preconditioner for the primary CG tier. The stack network
+         * is CSR (irregular strip/package nodes), so Multigrid
+         * degrades gracefully to SSOR here; the knob exists so sweep
+         * scenarios can tune the whole tier chain uniformly.
+         */
+        PreconditionerKind preconditioner = PreconditionerKind::Ssor;
+        /**
+         * Answer via impulse-response superposition: one unit-power
+         * steady solve per block is cached under @ref stackKey, and
+         * every solve of the same conductance network becomes a
+         * dense matrix-vector product (Kemper et al.). Each
+         * superposed answer is re-verified against the actual
+         * conductance matrix with the iterative chain's residual
+         * bound; a failed check invalidates the cache entry and
+         * demotes the solve to the iterative chain. Requires a
+         * nonzero stackKey; ignored for warm-started solves (the
+         * guess implies the caller wants the iterative path) and
+         * non-symmetric (advective) networks.
+         */
+        bool superposition = false;
+        /**
+         * Content hash identifying this conductance network across
+         * jobs (e.g. ScenarioSpec::stackHash()). Zero disables the
+         * superposition cache.
+         */
+        std::uint64_t stackKey = 0;
     };
 
     /** Telemetry from one steady solve. */
@@ -146,8 +175,12 @@ class StackModel
         bool warmStarted = false;
         /** Fallback escalations taken (0 = primary method passed). */
         int fallbackTier = 0;
-        /** Solver that produced the answer (e.g. "ssor-cg"). */
+        /** Solver that produced the answer (e.g. "ssor-cg",
+         *  "superposition"). */
         std::string method;
+        /** Answer came from a cached impulse-response matrix (a
+         *  verified GEMV instead of an iterative solve). */
+        bool impulseCacheHit = false;
     };
 
     /** Steady-state node temperatures (kelvin, absolute). */
@@ -212,6 +245,19 @@ class StackModel
     void buildPartition();
     void buildLayers();
     void assemble();
+
+    /**
+     * Superposition fast path (see SteadySolveOptions): answer from
+     * the cached impulse-response matrix of this stack when the
+     * independent residual check passes. False means the caller must
+     * run the iterative chain (build failed or verification missed;
+     * the stale cache entry is already invalidated).
+     */
+    bool trySuperposedSteady(const std::vector<double> &block_powers,
+                             const std::vector<double> &node_powers,
+                             const SteadySolveOptions &solve_opts,
+                             SteadySolveInfo *info,
+                             std::vector<double> &out) const;
 
     /** Average oil h over a rect for the configured flow. */
     double oilCoefficient(const Block &rect, double ext_x0, double ext_y0,

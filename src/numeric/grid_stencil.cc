@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "numeric/multigrid.hh"
 
 namespace irtherm
 {
@@ -174,6 +175,8 @@ GridStencilOperator::makePreconditioner(PreconditionerKind kind,
 {
     if (kind == PreconditionerKind::Jacobi)
         return std::make_unique<JacobiPreconditioner>(diag);
+    if (kind == PreconditionerKind::Multigrid)
+        return std::make_unique<MultigridPreconditioner>(*this);
     // IC(0) needs entry-level factor storage that a matrix-free
     // operator does not keep; SSOR is the strong option here.
     return std::make_unique<StencilSsorPreconditioner>(*this,

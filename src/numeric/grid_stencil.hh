@@ -83,7 +83,8 @@ class GridStencilOperator final : public LinearOperator
                          double alpha) const override;
     std::vector<double> diagonal() const override;
 
-    /** Ssor -> matrix-free sweeps; Ic0 degrades to Ssor. */
+    /** Ssor -> matrix-free sweeps; Ic0 degrades to Ssor; Multigrid
+     *  builds a geometric V-cycle (multigrid.hh). */
     std::unique_ptr<Preconditioner>
     makePreconditioner(PreconditionerKind kind,
                        double ssorOmega) const override;
@@ -107,6 +108,7 @@ class GridStencilOperator final : public LinearOperator
 
   private:
     friend class StencilSsorPreconditioner;
+    friend class MultigridPreconditioner;
 
     // Flat indices into the per-axis link arrays for the face
     // between a cell and its +axis neighbour.

@@ -233,6 +233,11 @@ CsrOperator::makePreconditioner(PreconditionerKind kind,
             return ic;
         kind = PreconditionerKind::Ssor; // graceful degradation
     }
+    if (kind == PreconditionerKind::Multigrid) {
+        // Geometric coarsening needs grid structure a CSR matrix
+        // does not expose; SSOR is the strongest fallback here.
+        kind = PreconditionerKind::Ssor;
+    }
     if (kind == PreconditionerKind::Ssor)
         return std::make_unique<SsorPreconditioner>(m, ssorOmega);
     return std::make_unique<JacobiPreconditioner>(m.diagonal());

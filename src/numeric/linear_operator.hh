@@ -41,9 +41,11 @@ namespace irtherm
 /** Preconditioner selection for the SPD solvers. */
 enum class PreconditionerKind
 {
-    Jacobi, ///< diagonal scaling (the pre-parallel-core default)
-    Ssor,   ///< symmetric SOR sweeps
-    Ic0,    ///< incomplete Cholesky, zero fill-in
+    Jacobi,    ///< diagonal scaling (the pre-parallel-core default)
+    Ssor,      ///< symmetric SOR sweeps
+    Ic0,       ///< incomplete Cholesky, zero fill-in
+    Multigrid, ///< geometric V-cycle (grid stencils only; degrades
+               ///< to Ssor on irregular CSR networks)
 };
 
 /** Applies z = M^-1 r for a fixed M. */

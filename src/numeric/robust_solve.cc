@@ -36,6 +36,8 @@ cgMethodName(PreconditionerKind kind)
         return "ssor-cg";
       case PreconditionerKind::Ic0:
         return "ic0-cg";
+      case PreconditionerKind::Multigrid:
+        return "mg-cg";
     }
     return "cg";
 }
@@ -50,6 +52,10 @@ bicgMethodName(PreconditionerKind kind)
         return "ssor-bicgstab";
       case PreconditionerKind::Ic0:
         return "ic0-bicgstab";
+      case PreconditionerKind::Multigrid:
+        // BiCGSTAB runs on stored CSR where Multigrid degrades to
+        // SSOR (see CsrOperator::makePreconditioner).
+        return "ssor-bicgstab";
     }
     return "bicgstab";
 }
@@ -193,12 +199,22 @@ robustSolve(const LinearOperator &a, const CsrMatrix *csr,
     const IterativeOptions &primary = opts.iterative;
     IterativeOptions jacobi = primary;
     jacobi.preconditioner = PreconditionerKind::Jacobi;
+    IterativeOptions ssor = primary;
+    ssor.preconditioner = PreconditionerKind::Ssor;
 
     std::vector<Tier> tiers;
     if (opts.symmetric) {
         tiers.push_back({cgMethodName(primary.preconditioner), [&] {
             return conjugateGradient(a, b, x0, primary, nullptr, ws);
         }});
+        if (primary.preconditioner == PreconditionerKind::Multigrid) {
+            // A broken V-cycle (mg.diverge, non-SPD hierarchy) should
+            // demote to the strongest conventional preconditioner
+            // before dropping all the way to Jacobi.
+            tiers.push_back({"ssor-cg", [&] {
+                return conjugateGradient(a, b, x0, ssor, nullptr, ws);
+            }});
+        }
         if (primary.preconditioner != PreconditionerKind::Jacobi) {
             tiers.push_back({"jacobi-cg", [&] {
                 return conjugateGradient(a, b, x0, jacobi, nullptr, ws);

@@ -170,6 +170,9 @@ FdSolver::steadyJunctionTemperatures(
     IterativeOptions io;
     io.tolerance = 1e-11;
     io.maxIterations = 200000;
+    // Pure grid stencil: the geometric V-cycle makes the iteration
+    // count independent of nx x ny (SSOR degrades with resolution).
+    io.preconditioner = PreconditionerKind::Multigrid;
     auto &reg = obs::MetricsRegistry::global();
     obs::ScopedTimer span(reg.timer("refsim.fd.steady_solve_time"));
     IterativeResult res = conjugateGradient(g, p, {}, io);

@@ -84,6 +84,8 @@ SweepAggregator::update(const JobResult &r)
     ++byStatus[static_cast<std::size_t>(r.status)];
     if (r.warmStarted)
         ++warmStarted;
+    if (r.impulseCacheHit)
+        ++impulseCacheHits;
     attempts += r.attempts;
     retries += r.resources.retries;
 
@@ -161,6 +163,8 @@ SweepAggregator::toJson() const
                JobStatus::Hung)]) +
            "}";
     out += ",\"warm_started\":" + std::to_string(warmStarted);
+    out += ",\"impulse_cache_hits\":" +
+           std::to_string(impulseCacheHits);
     out += ",\"attempts\":" + std::to_string(attempts);
     out += ",\"retries\":" + std::to_string(retries);
 
@@ -286,6 +290,11 @@ SweepAggregator::restore(const JsonValue &doc,
     byStatus[static_cast<std::size_t>(JobStatus::Hung)] =
         requireCount(states, "hung", context);
     warmStarted = requireCount(doc, "warm_started", context);
+    // Same schema version, later field: checkpoints written before
+    // the impulse cache existed restore with zero hits.
+    if (doc.find("impulse_cache_hits") != nullptr)
+        impulseCacheHits =
+            requireCount(doc, "impulse_cache_hits", context);
     attempts = requireCount(doc, "attempts", context);
     retries = requireCount(doc, "retries", context);
 

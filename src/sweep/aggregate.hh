@@ -138,6 +138,8 @@ class SweepAggregator
     std::uint64_t total = 0;
     std::array<std::uint64_t, 4> byStatus{}; ///< indexed by JobStatus
     std::uint64_t warmStarted = 0;
+    /** Jobs answered from the verified impulse-response cache. */
+    std::uint64_t impulseCacheHits = 0;
     std::uint64_t attempts = 0;
     std::uint64_t retries = 0;
 

@@ -133,6 +133,8 @@ tr:last-child td { border-bottom: none; }
       <div class="s" id="t-pxx">p50 &middot; p95 &middot; p99</div></div>
     <div class="tile"><div class="k">Peak silicon</div><div class="v" id="t-peak">&ndash;</div>
       <div class="s" id="t-peak-sub">hottest job so far</div></div>
+    <div class="tile"><div class="k">Solver reuse</div><div class="v" id="t-reuse">&ndash;</div>
+      <div class="s" id="t-reuse-sub">impulse-cache &middot; warm starts</div></div>
   </div>
   <div class="card">
     <h2>Job states</h2>
@@ -210,6 +212,10 @@ function setAggregates(a) {
   $("t-peak-sub").textContent = a.peak_c.count ?
     "mean " + fmt(a.peak_c.mean, 1) + " °C over " +
     fmt(a.peak_c.count, 0) + " ok jobs" : "hottest job so far";
+  const hits = a.impulse_cache_hits || 0;
+  $("t-reuse").textContent = fmt(hits, 0);
+  $("t-reuse-sub").textContent = "impulse-cache hits · " +
+    fmt(a.warm_started, 0) + " warm starts";
 
   const hist = $("hist");
   hist.textContent = "";

@@ -23,6 +23,7 @@ summaryCells(const JobResult &r)
     if (r.status != JobStatus::Ok) {
         return {jobStatusName(r.status), "-", "-", "-", "-",
                 r.warmStarted ? "1" : "0",
+                r.impulseCacheHit ? "1" : "0",
                 std::to_string(r.attempts),
                 std::to_string(r.fallbackTier),
                 errorClassName(r.errorClass),
@@ -37,6 +38,7 @@ summaryCells(const JobResult &r)
             formatFixed(r.gradientKelvin, 2),
             std::to_string(r.cgIterations),
             r.warmStarted ? "1" : "0",
+            r.impulseCacheHit ? "1" : "0",
             std::to_string(r.attempts),
             std::to_string(r.fallbackTier),
             errorClassName(r.errorClass),
@@ -58,7 +60,8 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
         header.push_back(axis.key);
     for (const char *col :
          {"status", "hottest", "peak_c", "gradient_k",
-          "cg_iterations", "warm_start", "attempts", "fallback_tier",
+          "cg_iterations", "warm_start", "impulse_hit", "attempts",
+          "fallback_tier",
           "error_class", "wall_s", "cpu_s", "rss_delta_kb", "error"})
         header.emplace_back(col);
 
@@ -76,8 +79,9 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
                 row.push_back(std::move(cell));
         } else {
             // Interrupted before this job ran (stopAfter / kill).
-            row.insert(row.end(), {"pending", "-", "-", "-", "-", "-",
-                                   "-", "-", "-", "-", "-", "-", ""});
+            row.insert(row.end(),
+                       {"pending", "-", "-", "-", "-", "-", "-", "-",
+                        "-", "-", "-", "-", "-", ""});
         }
         table.addRow(std::move(row));
     }
@@ -101,6 +105,8 @@ writeSweepJson(std::ostream &os, const SweepPlan &plan,
     os << "  \"cached\": " << summary.cached << ",\n";
     os << "  \"duplicates\": " << summary.duplicates << ",\n";
     os << "  \"warm_started\": " << summary.warmStarted << ",\n";
+    os << "  \"impulse_cache_hits\": " << summary.impulseCacheHits
+       << ",\n";
     os << "  \"resilience\": {\"retried\": " << summary.retried
        << ", \"fallbacks\": " << summary.fallbacks
        << ", \"quarantined\": " << summary.quarantined << "},\n";
@@ -178,8 +184,8 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
               " used a solver fallback.\n\n";
     }
     md += "| scenario | status | hottest unit | peak (C) | dT (K) |"
-          " CG iters | warm | wall (s) | cpu (s) |\n";
-    md += "|---|---|---|---:|---:|---:|---|---:|---:|\n";
+          " CG iters | warm | impulse | wall (s) | cpu (s) |\n";
+    md += "|---|---|---|---:|---:|---:|---|---|---:|---:|\n";
     for (const JobResult &r : results) {
         // Pipes inside names would break the table layout.
         std::string name = r.name;
@@ -191,6 +197,7 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
                   formatFixed(r.gradientKelvin, 2) + " | " +
                   std::to_string(r.cgIterations) + " | " +
                   (r.warmStarted ? "yes" : "no") + " | " +
+                  (r.impulseCacheHit ? "yes" : "no") + " | " +
                   formatFixed(r.wallSeconds, 3) + " | " +
                   formatFixed(r.resources.cpuSeconds, 3) + " |\n";
         } else {
@@ -199,7 +206,7 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
             std::replace(err.begin(), err.end(), '\n', ' ');
             if (err.size() > 80)
                 err = err.substr(0, 77) + "...";
-            md += err + " | - | - | - | - | " +
+            md += err + " | - | - | - | - | - | " +
                   formatFixed(r.wallSeconds, 3) + " | " +
                   formatFixed(r.resources.cpuSeconds, 3) + " |\n";
         }
@@ -309,8 +316,12 @@ renderAggregatesMarkdown(const std::string &aggregatesJson,
           aggCount(states, "failed") + " failed, " +
           aggCount(states, "timeout") + " timed out, " +
           aggCount(states, "hung") + " hung.\n\n";
-    md += aggCount(doc, "warm_started") + " warm-started, " +
-          aggCount(doc, "retries") + " retried attempt(s).\n\n";
+    md += aggCount(doc, "warm_started") + " warm-started, ";
+    // Older aggregates (pre superposition cache) lack the field.
+    if (doc.find("impulse_cache_hits") != nullptr)
+        md += aggCount(doc, "impulse_cache_hits") +
+              " impulse-cache hit(s), ";
+    md += aggCount(doc, "retries") + " retried attempt(s).\n\n";
 
     const JsonValue &wall = doc.at("wall");
     md += "## Job wall time\n\n";

@@ -101,6 +101,8 @@ JobResult::toJsonLine() const
     out += ",\"cg_iterations\":" + std::to_string(cgIterations);
     out += ",\"warm_start\":";
     out += warmStarted ? "true" : "false";
+    out += ",\"impulse_hit\":";
+    out += impulseCacheHit ? "true" : "false";
     out += ",\"resources\":{\"cpu_s\":" +
            jsonNumber(resources.cpuSeconds) +
            ",\"rss_delta_kb\":" +
@@ -189,6 +191,12 @@ JobResult::fromJsonLine(const std::string &line,
     if (!warm.isBool())
         configError(context, ": 'warm_start' must be a boolean");
     r.warmStarted = warm.boolean;
+    // Absent in journals written before the superposition cache.
+    if (const JsonValue *v = doc.find("impulse_hit")) {
+        if (!v->isBool())
+            configError(context, ": 'impulse_hit' must be a boolean");
+        r.impulseCacheHit = v->boolean;
+    }
     // The resources object arrived with the telemetry layer; older
     // journals simply leave the defaults (all zero).
     if (const JsonValue *res = doc.find("resources")) {

@@ -121,6 +121,9 @@ struct JobResult
     double heatSecondaryWatts = 0.0; ///< through the package path
     std::size_t cgIterations = 0; ///< steady-solve iterations
     bool warmStarted = false;     ///< seeded from a cached neighbor
+    /** Answered from the verified impulse-response cache (a GEMV
+     *  instead of an iterative solve). */
+    bool impulseCacheHit = false;
     /** Per-block steady silicon temperatures (celsius). */
     std::vector<std::pair<std::string, double>> blockCelsius;
     /** Resource accounting across all attempts. */

@@ -118,11 +118,13 @@ summarize(JobResult &r, const StackModel &model,
     r.heatSecondaryWatts = model.heatThroughSecondary(nodes);
 }
 
-/** Run one scenario end to end; never throws (failure isolation). */
+/** Run one scenario end to end; never throws (failure isolation).
+ *  @p allowSuperposition: the plan holds enough jobs of this stack
+ *  for the impulse-response matrix to amortize. */
 JobResult
 runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
           WarmStartCache &warm, std::size_t attempt,
-          const std::string &workerLabel)
+          const std::string &workerLabel, bool allowSuperposition)
 {
     JobResult r;
     r.hash = spec.hashHex();
@@ -166,19 +168,34 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
         std::vector<double> nodes;
         if (!rs.transient) {
             const std::uint64_t stack = spec.stackHash();
-            const std::vector<double> guess = warm.lookup(stack);
             StackModel::SteadySolveOptions sopts;
             sopts.maxIterations = rs.maxIterations;
             sopts.tolerance = rs.tolerance;
             sopts.fallback = rs.solverFallback;
-            if (!guess.empty())
-                sopts.warmStart = &guess;
+            sopts.preconditioner = rs.preconditioner;
+            const bool superpose =
+                allowSuperposition && rs.superposition;
+            std::vector<double> guess;
+            if (superpose) {
+                // The superposition path ignores warm starts (a
+                // guess means the caller wants the iterative path),
+                // so don't even look one up.
+                sopts.superposition = true;
+                sopts.stackKey = stack;
+            } else {
+                guess = warm.lookup(stack);
+                if (!guess.empty())
+                    sopts.warmStart = &guess;
+            }
             StackModel::SteadySolveInfo info;
             nodes = model.steadyNodeTemperatures(rs.blockPowers,
                                                  sopts, &info);
             r.cgIterations = info.iterations;
             r.warmStarted = info.warmStarted;
             r.fallbackTier = info.fallbackTier;
+            r.impulseCacheHit = info.impulseCacheHit;
+            // Keep the warm cache fresh even on superposed jobs: a
+            // demoted neighbor still gets a good starting guess.
             std::vector<double> rise = nodes;
             for (double &t : rise)
                 t -= rs.config.package.ambient;
@@ -319,18 +336,19 @@ JobResult
 runGuarded(const ScenarioSpec &spec, const SweepOptions &opts,
            const std::shared_ptr<WarmStartCache> &warm,
            AbandonedJobs &abandoned, std::size_t attempt,
-           const std::string &workerLabel)
+           const std::string &workerLabel, bool allowSuperposition)
 {
     if (opts.jobTimeoutSeconds <= 0.0)
-        return runOneJob(spec, opts, *warm, attempt, workerLabel);
+        return runOneJob(spec, opts, *warm, attempt, workerLabel,
+                         allowSuperposition);
 
     auto cell = std::make_shared<JobCell>();
     auto specCopy = std::make_shared<ScenarioSpec>(spec);
     auto optsCopy = std::make_shared<SweepOptions>(opts);
     std::thread runner([cell, specCopy, optsCopy, warm, attempt,
-                        workerLabel] {
+                        workerLabel, allowSuperposition] {
         JobResult jr = runOneJob(*specCopy, *optsCopy, *warm, attempt,
-                                 workerLabel);
+                                 workerLabel, allowSuperposition);
         std::lock_guard<std::mutex> lock(cell->mu);
         cell->result = std::move(jr);
         cell->done = true;
@@ -437,6 +455,26 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         }
         pending.push_back(&spec);
     }
+
+    // Steady jobs per stack hash: a stack crossing the superposition
+    // threshold amortizes its impulse-response build (one solve per
+    // block) across all of its jobs.
+    std::map<std::uint64_t, std::size_t> stackJobs;
+    if (opts.superpositionMinJobs != 0) {
+        for (const ScenarioSpec *spec : pending) {
+            const std::string *mode = spec->find("mode");
+            if (mode == nullptr || *mode == "steady")
+                ++stackJobs[spec->stackHash()];
+        }
+    }
+    const auto superpositionEligible = [&](const ScenarioSpec &spec) {
+        if (opts.superpositionMinJobs == 0)
+            return false;
+        const auto it = stackJobs.find(spec.stackHash());
+        return it != stackJobs.end() &&
+               it->second >= opts.superpositionMinJobs;
+    };
+
     IRTHERM_EVENT("sweep.start", {"plan", plan.name()},
                   {"jobs", sum.total}, {"pending", pending.size()},
                   {"cached", sum.cached});
@@ -517,7 +555,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                 obs::ScopedTimer jobTimer(reg.timer("sweep.job_time"));
                 for (;; ++attempt) {
                     r = runGuarded(spec, opts, warm, abandoned,
-                                   attempt, label);
+                                   attempt, label,
+                                   superpositionEligible(spec));
                     acc.cpuSeconds += r.resources.cpuSeconds;
                     acc.peakRssDeltaKb += r.resources.peakRssDeltaKb;
                     acc.solverIterations +=
@@ -591,6 +630,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                 ++sum.warmStarted;
                 reg.counter("sweep.warm_start.hits").add();
             }
+            if (r.impulseCacheHit)
+                ++sum.impulseCacheHits;
             if (r.attempts > 1)
                 ++sum.retried;
             if (r.fallbackTier > 0)

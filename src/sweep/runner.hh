@@ -77,6 +77,15 @@ struct SweepOptions
     /** Skip scenarios already present in the journal. */
     bool resume = false;
     /**
+     * Steady jobs sharing one stack hash switch to the
+     * impulse-response superposition path once the plan holds at
+     * least this many of them (building the response matrix costs
+     * one solve per block, so it must amortize). 0 disables
+     * superposition for the whole sweep; scenarios can also opt out
+     * individually with `solver.superposition false`.
+     */
+    std::size_t superpositionMinJobs = 8;
+    /**
      * Completed jobs per sealed columnar journal segment (and per
      * aggregate checkpoint); 0 disables segments and checkpoints
      * entirely (JSONL-only journaling). See sweep/segment.hh.
@@ -121,6 +130,8 @@ struct SweepSummary
     std::size_t cached = 0;     ///< skipped: journaled by a prior run
     std::size_t duplicates = 0; ///< skipped: same hash earlier in plan
     std::size_t warmStarted = 0;///< executed with a CG warm start
+    /** Jobs answered from the verified impulse-response cache. */
+    std::size_t impulseCacheHits = 0;
     std::size_t retried = 0;    ///< jobs that needed > 1 attempt
     std::size_t fallbacks = 0;  ///< jobs whose solve used a fallback
     std::size_t quarantined = 0;///< journal lines set aside on resume

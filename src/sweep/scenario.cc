@@ -195,6 +195,20 @@ ScenarioSpec::resolve() const
             r.tolerance = parseDouble(value, ctx);
         } else if (key == "solver.fallback") {
             r.solverFallback = parseBool(value, ctx);
+        } else if (key == "solver.preconditioner") {
+            if (value == "jacobi")
+                r.preconditioner = PreconditionerKind::Jacobi;
+            else if (value == "ssor")
+                r.preconditioner = PreconditionerKind::Ssor;
+            else if (value == "ic0")
+                r.preconditioner = PreconditionerKind::Ic0;
+            else if (value == "mg")
+                r.preconditioner = PreconditionerKind::Multigrid;
+            else
+                configError(ctx, ": preconditioner must be 'jacobi', "
+                            "'ssor', 'ic0', or 'mg'");
+        } else if (key == "solver.superposition") {
+            r.superposition = parseBool(value, ctx);
         } else if (key == "outputs.map") {
             r.writeMap = parseBool(value, ctx);
         } else if (startsWith(key, kConfigPrefix)) {

@@ -34,6 +34,13 @@
  *                          solves through the verified fallback
  *                          chain; off = fail fast on first
  *                          non-convergence
+ *   solver.preconditioner  "jacobi" | "ssor" (default) | "ic0" |
+ *                          "mg": primary-tier CG preconditioner
+ *   solver.superposition   bool (default true): answer repeated
+ *                          steady solves of one stack from the
+ *                          cached impulse-response matrix (every
+ *                          answer is residual-verified; misses
+ *                          demote to the iterative chain)
  *   outputs.map            bool: write <hash>.map.{csv,ppm} (grid mode)
  *   config.<key>           any core/config_io key (cooling,
  *                          oil_velocity, model_mode, grid_nx, ...)
@@ -51,6 +58,7 @@
 #include "core/config_io.hh"
 #include "core/simulator.hh"
 #include "floorplan/floorplan.hh"
+#include "numeric/linear_operator.hh"
 #include "power/power_trace.hh"
 
 namespace irtherm::sweep
@@ -79,6 +87,10 @@ struct ResolvedScenario
     double tolerance = 1e-11;
     /** Escalate failed solves through the fallback chain. */
     bool solverFallback = true;
+    /** Primary-tier CG preconditioner for the steady solve. */
+    PreconditionerKind preconditioner = PreconditionerKind::Ssor;
+    /** Allow the impulse-response superposition fast path. */
+    bool superposition = true;
     bool writeMap = false;
 };
 

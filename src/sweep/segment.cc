@@ -21,7 +21,10 @@ namespace
 
 constexpr char kMagic[4] = {'I', 'R', 'S', 'G'};
 constexpr char kTrailerMagic[4] = {'G', 'S', 'R', 'I'};
-constexpr std::uint16_t kVersion = 1;
+// v2 added the impulse_hit bit column after warm_start; v1 segments
+// (written before the superposition cache) still read, with every
+// row's impulse_hit false.
+constexpr std::uint16_t kVersion = 2;
 constexpr std::uint16_t kFlagHashU64 = 1u << 0;
 
 // ---------------------------------------------------------------
@@ -455,11 +458,19 @@ writeSegmentFile(const std::string &path,
         return static_cast<std::int64_t>(r.resources.fallbackEscalations);
     });
 
-    // warm_start: bit-packed.
+    // warm_start / impulse_hit: bit-packed.
     {
         Bytes col((rows.size() + 7) / 8, 0);
         for (std::size_t i = 0; i < rows.size(); ++i) {
             if (rows[i].warmStarted)
+                col[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+        putColumn(out, col);
+    }
+    {
+        Bytes col((rows.size() + 7) / 8, 0);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].impulseCacheHit)
                 col[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
         }
         putColumn(out, col);
@@ -594,7 +605,7 @@ readSegmentFile(const std::string &path)
 
     ByteReader r(data.data() + 4, crcOffset - 4, "segment '" + path + "'");
     const std::uint16_t version = r.u16();
-    if (version != kVersion)
+    if (version != 1 && version != kVersion)
         ioError("segment '", path, "': unsupported version ", version);
     const std::uint16_t flags = r.u16();
     const std::size_t rows = r.u32();
@@ -664,6 +675,16 @@ readSegmentFile(const std::string &path)
         const std::string bits = r.str((rows + 7) / 8);
         for (std::size_t i = 0; i < rows; ++i)
             out[i].warmStarted =
+                (static_cast<std::uint8_t>(bits[i / 8]) >> (i % 8)) & 1;
+    }
+
+    if (version >= 2) {
+        const std::uint32_t len = r.u32();
+        if (len != (rows + 7) / 8)
+            ioError("segment '", path, "': bad impulse_hit column");
+        const std::string bits = r.str((rows + 7) / 8);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].impulseCacheHit =
                 (static_cast<std::uint8_t>(bits[i / 8]) >> (i % 8)) & 1;
     }
 

@@ -14,7 +14,8 @@
  * File layout (all integers little-endian):
  *
  *     "IRSG"  magic (4 bytes)
- *     u16     format version (1)
+ *     u16     format version (2; v1 lacked the impulse_hit column
+ *             and still reads, with impulse_hit = false per row)
  *     u16     flags (bit 0: hash column stored as raw u64)
  *     u32     row count
  *     column blocks, each:  u32 byte length, payload
@@ -28,7 +29,7 @@
  *  - small integers (status, error class, attempts, fallback tier,
  *    iteration counts, resource counters): zigzag delta + varint, so
  *    runs of similar values cost ~1 byte per row;
- *  - booleans (warm_start): bit-packed;
+ *  - booleans (warm_start, impulse_hit): bit-packed;
  *  - doubles (temperatures, wall/cpu seconds, heat flows): raw IEEE
  *    754 bits — the round trip back to JSONL must be bit-exact, so
  *    no lossy packing;

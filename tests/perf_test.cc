@@ -8,7 +8,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +19,7 @@
 #include "base/rng.hh"
 #include "base/thread_pool.hh"
 #include "numeric/grid_stencil.hh"
+#include "numeric/impulse_cache.hh"
 #include "numeric/iterative.hh"
 #include "numeric/linear_operator.hh"
 #include "numeric/ode.hh"
@@ -377,6 +381,82 @@ TEST(Determinism, SteadyCgBitIdenticalSerialVsParallel)
     ASSERT_EQ(par.iterations, ser.iterations);
     for (std::size_t i = 0; i < b.size(); ++i)
         ASSERT_EQ(par.x[i], ser.x[i]) << "node " << i;
+}
+
+TEST(Determinism, MultigridCgBitIdenticalSerialVsParallel)
+{
+    ParallelGuard guard;
+    // Same pre-first-use override as the plain-CG determinism test:
+    // force a real pool and a grid large enough that the smoother,
+    // transfer, and residual loops take their thread-pooled branches.
+    ThreadPool::setGlobalThreads(4);
+    Rng rng(47);
+    const GridStencilOperator op = randomStencil(32, 32, 6, rng);
+    std::vector<double> b(op.rows());
+    for (double &v : b)
+        v = rng.uniform(0.0, 2.0);
+
+    IterativeOptions opts;
+    opts.tolerance = 1e-11;
+    opts.preconditioner = PreconditionerKind::Multigrid;
+
+    ThreadPool::setParallelEnabled(true);
+    const IterativeResult par = conjugateGradient(op, b, {}, opts);
+    ThreadPool::setParallelEnabled(false);
+    const IterativeResult ser = conjugateGradient(op, b, {}, opts);
+
+    ASSERT_TRUE(par.converged);
+    ASSERT_TRUE(ser.converged);
+    ASSERT_EQ(par.iterations, ser.iterations);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        ASSERT_EQ(par.x[i], ser.x[i]) << "node " << i;
+}
+
+TEST(ImpulseCache, ConcurrentAcquireBuildsOnce)
+{
+    // Many threads racing on one key must serialize on the per-key
+    // build latch: exactly one builder runs, everyone gets the same
+    // matrix, and only non-builders report a hit. Run under TSan in
+    // CI (ctest -L perf) this also vets the mutex/cv protocol.
+    ImpulseResponseCache cache(std::size_t(64) << 20);
+    std::atomic<int> builds{0};
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const ImpulseResponseMatrix>> got(
+        kThreads);
+    std::vector<bool> hit(kThreads, false);
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            bool wasHit = false;
+            got[t] = cache.acquire(
+                0xc0ffee,
+                [&]() -> std::shared_ptr<ImpulseResponseMatrix> {
+                    builds.fetch_add(1);
+                    auto m = std::make_shared<ImpulseResponseMatrix>();
+                    m->nodes = 16;
+                    m->blocks = 3;
+                    m->values.assign(m->nodes * m->blocks, 1.5);
+                    return m;
+                },
+                &wasHit);
+            hit[t] = wasHit;
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    int hits = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_NE(got[t], nullptr) << "thread " << t;
+        EXPECT_EQ(got[t], got[0]) << "thread " << t;
+        if (hit[t])
+            ++hits;
+    }
+    EXPECT_EQ(hits, kThreads - 1);
+    EXPECT_EQ(cache.entryCount(), 1u);
 }
 
 TEST(Solvers, BiCgStabReportsActualIterations)

@@ -10,18 +10,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "base/errors.hh"
 #include "base/logging.hh"
+#include "base/rng.hh"
 #include "base/units.hh"
 #include "core/config_io.hh"
 #include "core/package.hh"
 #include "core/simulator.hh"
 #include "core/stack_model.hh"
 #include "floorplan/presets.hh"
+#include "numeric/grid_stencil.hh"
+#include "numeric/impulse_cache.hh"
+#include "numeric/iterative.hh"
 #include "sweep/scenario.hh"
 
 namespace irtherm
@@ -390,6 +397,217 @@ TEST(ValidationProperty, ScenarioRejectionLeavesTheSpecIntact)
     clean.set("floorplan", "preset:ev6");
     clean.set("power.uniform", "0.5");
     EXPECT_EQ(clean.hash(), hashBefore);
+}
+
+// ---------------------------------------------------------------------
+// Multigrid-preconditioned CG vs the reference Jacobi-CG chain, over
+// randomized grid dims and boundary conditions.
+// ---------------------------------------------------------------------
+
+/**
+ * Random conductance stencil with irtherm's anisotropy patterns:
+ * strong vertical links, weak (sometimes absent — film layers)
+ * lateral links, ground stamps concentrated on the top plane plus a
+ * sprinkling elsewhere. Always SPD: the top-plane grounds anchor
+ * every column.
+ */
+GridStencilOperator
+randomAnisotropicStencil(std::size_t nx, std::size_t ny,
+                         std::size_t nz, Rng &rng)
+{
+    GridStencilOperator op(nx, ny, nz);
+    // Some layers drop lateral links entirely (film layers).
+    std::vector<bool> lateral(nz);
+    for (std::size_t iz = 0; iz < nz; ++iz)
+        lateral[iz] = rng.uniform() > 0.25;
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+                if (lateral[iz]) {
+                    if (ix + 1 < nx)
+                        op.stampLinkX(ix, iy, iz,
+                                      rng.uniform(0.05, 1.5));
+                    if (iy + 1 < ny)
+                        op.stampLinkY(ix, iy, iz,
+                                      rng.uniform(0.05, 1.5));
+                }
+                if (iz + 1 < nz)
+                    op.stampLinkZ(ix, iy, iz, rng.uniform(1.0, 8.0));
+                if (iz == nz - 1)
+                    op.stampGround(ix, iy, iz,
+                                   rng.uniform(0.05, 0.8));
+                else if (rng.uniform() < 0.1)
+                    op.stampGround(ix, iy, iz,
+                                   rng.uniform(0.005, 0.05));
+            }
+        }
+    }
+    return op;
+}
+
+TEST(MultigridProperty, MgCgMatchesReferenceCgAcrossRandomGrids)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Rng rng(seed);
+        const std::size_t nx = 3 + rng.index(18);
+        const std::size_t ny = 3 + rng.index(18);
+        const std::size_t nz = 1 + rng.index(7);
+        const GridStencilOperator op =
+            randomAnisotropicStencil(nx, ny, nz, rng);
+        std::vector<double> b(op.rows());
+        for (double &v : b)
+            v = rng.gaussian(0.0, 1.0);
+
+        IterativeOptions mg;
+        mg.preconditioner = PreconditionerKind::Multigrid;
+        mg.tolerance = 1e-12;
+        mg.maxIterations = 2000;
+        const IterativeResult viaMg = conjugateGradient(op, b, {}, mg);
+
+        IterativeOptions jac;
+        jac.preconditioner = PreconditionerKind::Jacobi;
+        jac.tolerance = 1e-12;
+        jac.maxIterations = 200000;
+        const IterativeResult ref = conjugateGradient(op, b, {}, jac);
+
+        ASSERT_TRUE(viaMg.converged)
+            << nx << "x" << ny << "x" << nz << " seed " << seed;
+        ASSERT_TRUE(ref.converged);
+        double diff2 = 0.0, ref2 = 0.0;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            const double d = viaMg.x[i] - ref.x[i];
+            diff2 += d * d;
+            ref2 += ref.x[i] * ref.x[i];
+        }
+        EXPECT_LE(std::sqrt(diff2), 1e-6 * std::sqrt(ref2))
+            << nx << "x" << ny << "x" << nz << " seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impulse-response superposition vs the direct iterative solve.
+// ---------------------------------------------------------------------
+
+/** Clear the process-wide impulse cache around each test. */
+class ImpulseCacheGuard
+{
+  public:
+    ImpulseCacheGuard() { ImpulseResponseCache::global().clear(); }
+    ~ImpulseCacheGuard() { ImpulseResponseCache::global().clear(); }
+};
+
+TEST(SuperpositionProperty, MatchesDirectSolveForRandomPowers)
+{
+    const ImpulseCacheGuard cacheGuard;
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(1.0));
+
+    Rng rng(31);
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<double> powers(fp.blockCount());
+        for (double &w : powers)
+            w = rng.uniform(0.0, 4.0);
+
+        const std::vector<double> direct =
+            model.steadyNodeTemperatures(powers);
+
+        StackModel::SteadySolveOptions sopts;
+        sopts.superposition = true;
+        sopts.stackKey = 0xfeedbeef;
+        StackModel::SteadySolveInfo info;
+        const std::vector<double> fast =
+            model.steadyNodeTemperatures(powers, sopts, &info);
+
+        EXPECT_EQ(info.method, "superposition");
+        // First trial builds the response matrix, the rest hit.
+        EXPECT_EQ(info.impulseCacheHit, trial > 0);
+        ASSERT_EQ(fast.size(), direct.size());
+        for (std::size_t i = 0; i < direct.size(); ++i)
+            EXPECT_NEAR(fast[i], direct[i],
+                        1e-6 * std::abs(direct[i] - 300.0) + 1e-9)
+                << "node " << i << " trial " << trial;
+    }
+}
+
+TEST(SuperpositionProperty, LeakageFixedPointMatchesDirect)
+{
+    const ImpulseCacheGuard cacheGuard;
+    const Floorplan fp = floorplans::alphaEv6();
+    const StackModel model(fp, PackageConfig::makeAirSink(1.0));
+
+    // Temperature-dependent leakage iterated to a fixed point, once
+    // with direct solves and once through the superposition path;
+    // both must land on the same equilibrium.
+    const double beta = 0.015, refTemp = 345.0;
+    const std::size_t iterations = 5;
+    auto fixedPoint = [&](bool superpose) {
+        std::vector<double> dynamic(fp.blockCount(), 1.5);
+        std::vector<double> temps(fp.blockCount(), 345.0);
+        for (std::size_t it = 0; it < iterations; ++it) {
+            std::vector<double> total = dynamic;
+            for (std::size_t b = 0; b < total.size(); ++b)
+                total[b] += 0.2 * (1.0 + beta * (temps[b] - refTemp));
+            StackModel::SteadySolveOptions sopts;
+            sopts.superposition = superpose;
+            sopts.stackKey = superpose ? 0xabad1dea : 0;
+            const std::vector<double> nodes =
+                model.steadyNodeTemperatures(total, sopts);
+            temps = model.blockTemperatures(nodes);
+        }
+        return temps;
+    };
+
+    const std::vector<double> direct = fixedPoint(false);
+    const std::vector<double> fast = fixedPoint(true);
+    ASSERT_EQ(direct.size(), fast.size());
+    for (std::size_t b = 0; b < direct.size(); ++b)
+        EXPECT_NEAR(fast[b], direct[b], 1e-6)
+            << fp.block(b).name;
+}
+
+// ---------------------------------------------------------------------
+// Impulse cache eviction under the byte bound.
+// ---------------------------------------------------------------------
+
+TEST(ImpulseCacheProperty, EvictionHonorsByteBound)
+{
+    const std::size_t nodes = 1000, blocks = 4;
+    auto build = [&] {
+        auto m = std::make_shared<ImpulseResponseMatrix>();
+        m->nodes = nodes;
+        m->blocks = blocks;
+        m->values.assign(nodes * blocks, 1.0);
+        return m;
+    };
+    const std::size_t each = build()->bytes();
+
+    // Room for three matrices but not four.
+    ImpulseResponseCache cache(3 * each + each / 2);
+    for (std::uint64_t key = 1; key <= 6; ++key) {
+        const auto m = cache.acquire(key, build);
+        ASSERT_NE(m, nullptr);
+        EXPECT_LE(cache.bytesInUse(), 3 * each + each / 2);
+        EXPECT_LE(cache.entryCount(), 3u);
+    }
+    // LRU: the three most recent keys survive, older ones rebuilt.
+    bool hit = false;
+    cache.acquire(6, build, &hit);
+    EXPECT_TRUE(hit);
+    cache.acquire(1, build, &hit);
+    EXPECT_FALSE(hit);
+
+    // A matrix larger than the whole capacity is returned but never
+    // retained.
+    ImpulseResponseCache tiny(each / 2);
+    const auto big = tiny.acquire(9, build);
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(tiny.entryCount(), 0u);
+    EXPECT_EQ(tiny.bytesInUse(), 0u);
+
+    // Shrinking the bound evicts immediately.
+    cache.setCapacityBytes(each + each / 2);
+    EXPECT_LE(cache.entryCount(), 1u);
+    EXPECT_LE(cache.bytesInUse(), each + each / 2);
 }
 
 } // namespace

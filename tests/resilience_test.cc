@@ -19,6 +19,9 @@
 
 #include "base/errors.hh"
 #include "base/fault_injection.hh"
+#include "numeric/grid_stencil.hh"
+#include "numeric/impulse_cache.hh"
+#include "numeric/linear_operator.hh"
 #include "numeric/robust_solve.hh"
 #include "numeric/sparse.hh"
 #include "sweep/plan.hh"
@@ -346,6 +349,38 @@ TEST(RobustSolve, DisarmedResultIsBitIdenticalToPlainCg)
         EXPECT_EQ(robust.solve.x[i], plain.x[i]) << i;
 }
 
+TEST(RobustSolve, InjectedMgDivergenceDemotesToSsorCg)
+{
+    // A poisoned V-cycle makes the mg-cg tier produce NaNs; the
+    // chain must fall back to the strongest conventional
+    // preconditioner rather than all the way down to Jacobi.
+    const ArmGuard faults("mg.diverge:count=1");
+    GridStencilOperator op(12, 12, 4);
+    for (std::size_t iz = 0; iz < 4; ++iz)
+        for (std::size_t iy = 0; iy < 12; ++iy)
+            for (std::size_t ix = 0; ix < 12; ++ix) {
+                if (ix + 1 < 12)
+                    op.stampLinkX(ix, iy, iz, 1.0);
+                if (iy + 1 < 12)
+                    op.stampLinkY(ix, iy, iz, 1.0);
+                if (iz + 1 < 4)
+                    op.stampLinkZ(ix, iy, iz, 4.0);
+                if (iz == 3)
+                    op.stampGround(ix, iy, iz, 0.3);
+            }
+    std::vector<double> b(op.rows());
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = 0.5 + 0.001 * static_cast<double>(i);
+
+    RobustSolveOptions opts;
+    opts.iterative.preconditioner = PreconditionerKind::Multigrid;
+    const RobustSolveResult r = robustSolve(op, nullptr, b, {}, opts);
+    EXPECT_TRUE(r.solve.converged);
+    EXPECT_EQ(r.fallbackTier, 1);
+    EXPECT_EQ(r.method, "ssor-cg");
+    EXPECT_GE(FaultInjector::global().fired(), 1u);
+}
+
 // ---------------------------------------------------------------
 // Sweep-level resilience
 // ---------------------------------------------------------------
@@ -396,6 +431,10 @@ TEST(SweepResilience, FaultCampaignHitsOnlyItsTargets)
     opts.jobTimeoutSeconds = 0.2;
     opts.maxRetries = 2;
     opts.retryBackoffSeconds = 0.01;
+    // This campaign targets the iterative chain's probes; the
+    // superposition fast path would answer most jobs without ever
+    // running CG (it has its own fault test below).
+    opts.superpositionMinJobs = 0;
     const sweep::SweepSummary sum = sweep::runSweep(plan, opts);
 
     EXPECT_EQ(sum.total, 12u);
@@ -441,6 +480,66 @@ TEST(SweepResilience, FaultCampaignHitsOnlyItsTargets)
         EXPECT_EQ(r->attempts, 1u) << r->name;
         EXPECT_EQ(r->fallbackTier, 0) << r->name;
     }
+}
+
+/** The impulse cache is process-global; isolate it per test. */
+class ImpulseCacheGuard
+{
+  public:
+    ImpulseCacheGuard() { ImpulseResponseCache::global().clear(); }
+    ~ImpulseCacheGuard() { ImpulseResponseCache::global().clear(); }
+};
+
+TEST(SweepResilience, CorruptImpulseMatrixDemotesAndCompletes)
+{
+    // Ten steady jobs over one stack: superposition-eligible. The
+    // first build is poisoned (large finite garbage, so only the
+    // independent residual check can see it); the first job must
+    // demote to the iterative chain, invalidate the entry, and still
+    // complete. The rebuild is clean and later jobs hit the cache.
+    const ImpulseCacheGuard cache;
+    const ArmGuard faults("impulse.corrupt:count=1");
+    const char *planText =
+        R"({"name": "superpose",
+            "base": {"floorplan": "preset:ev6"},
+            "scenarios": [
+              {"name": "sp-1", "power.uniform": 0.51},
+              {"name": "sp-2", "power.uniform": 0.52},
+              {"name": "sp-3", "power.uniform": 0.53},
+              {"name": "sp-4", "power.uniform": 0.54},
+              {"name": "sp-5", "power.uniform": 0.55},
+              {"name": "sp-6", "power.uniform": 0.56},
+              {"name": "sp-7", "power.uniform": 0.57},
+              {"name": "sp-8", "power.uniform": 0.58},
+              {"name": "sp-9", "power.uniform": 0.59},
+              {"name": "sp-10", "power.uniform": 0.60}]})";
+    const sweep::SweepPlan plan =
+        sweep::SweepPlan::parse(planText, "superpose");
+    sweep::SweepOptions opts;
+    opts.outDir = freshOutDir("impulse_corrupt");
+    opts.workers = 1; // deterministic build order: sp-1 builds
+    const sweep::SweepSummary sum = sweep::runSweep(plan, opts);
+
+    EXPECT_EQ(sum.total, 10u);
+    EXPECT_EQ(sum.ok, 10u);
+    EXPECT_EQ(sum.failed, 0u);
+    EXPECT_GE(sum.impulseCacheHits, 1u);
+    EXPECT_GE(FaultInjector::global().fired(), 1u);
+
+    const std::vector<sweep::JobResult> results =
+        readJournal(opts.outDir);
+    ASSERT_EQ(results.size(), 10u);
+    // sp-1 saw the corrupt matrix: verification demoted it to the
+    // iterative chain, so it completed without a cache hit.
+    const sweep::JobResult *first = findByName(results, "sp-1");
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->status, sweep::JobStatus::Ok);
+    EXPECT_FALSE(first->impulseCacheHit);
+    // The tail of the sweep rode the rebuilt (clean) matrix.
+    const sweep::JobResult *last = findByName(results, "sp-10");
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->status, sweep::JobStatus::Ok);
+    EXPECT_TRUE(last->impulseCacheHit);
 }
 
 TEST(SweepResilience, DisarmedRunsAreBitIdentical)

@@ -10,12 +10,18 @@
  * are reported but do not fail the comparison — the set is expected
  * to drift as the suite grows.
  *
- * Timing on shared CI runners is noisy, so the job wiring this gate
- * is advisory: the exit code flags a likely regression for a human,
- * it does not block the merge.
+ * Timing on shared CI runners is noisy, so the gate runs at two
+ * strengths: the steady-solve benches (`--only steady_`) are compared
+ * with a generous tolerance band and BLOCK the merge — losing the
+ * multigrid or superposition speedup is a 4-40x regression that no
+ * realistic runner noise can mask — while the full-suite comparison
+ * stays advisory (continue-on-error in CI).
  *
  * usage: bench_compare <baseline.json> <candidate.json>
- *                      [--tolerance <fraction>]
+ *                      [--tolerance <fraction>] [--only <substr>]...
+ *
+ * `--only` restricts the comparison to benches whose name contains
+ * any given substring (repeatable); other rows are ignored entirely.
  *
  * exit codes:
  *   0  no bench regressed beyond the tolerance
@@ -23,6 +29,7 @@
  *   2  bad command line or unreadable/ill-formed input
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -46,11 +53,13 @@ usage()
     std::fprintf(
         stderr,
         "usage: bench_compare <baseline.json> <candidate.json> "
-        "[--tolerance <fraction>]\n"
+        "[--tolerance <fraction>] [--only <substr>]...\n"
         "compares two irtherm.bench.v1 files by optimized_s\n"
         "\n"
         "  --tolerance <f>  allowed slowdown fraction before a bench "
         "counts as regressed (default 0.10 = 10%%)\n"
+        "  --only <substr>  compare only benches whose name contains "
+        "<substr>; repeatable\n"
         "\n"
         "exit codes:\n"
         "  0  within tolerance\n"
@@ -110,9 +119,14 @@ main(int argc, char **argv)
         std::string baselinePath;
         std::string candidatePath;
         double tolerance = 0.10;
+        std::vector<std::string> only;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
-            if (arg == "--tolerance") {
+            if (arg == "--only") {
+                if (i + 1 >= argc)
+                    configError("missing value after --only");
+                only.emplace_back(argv[++i]);
+            } else if (arg == "--tolerance") {
                 if (i + 1 >= argc)
                     configError("missing value after --tolerance");
                 const std::string v = argv[++i];
@@ -149,10 +163,28 @@ main(int argc, char **argv)
             return 2;
         }
 
-        const std::vector<BenchTiming> baseline =
+        std::vector<BenchTiming> baseline =
             loadBenchFile(baselinePath);
-        const std::vector<BenchTiming> candidate =
+        std::vector<BenchTiming> candidate =
             loadBenchFile(candidatePath);
+        if (!only.empty()) {
+            const auto selected = [&](const BenchTiming &b) {
+                for (const std::string &s : only) {
+                    if (b.name.find(s) != std::string::npos)
+                        return true;
+                }
+                return false;
+            };
+            const auto drop = [&](std::vector<BenchTiming> &v) {
+                v.erase(std::remove_if(v.begin(), v.end(),
+                                       [&](const BenchTiming &b) {
+                                           return !selected(b);
+                                       }),
+                        v.end());
+            };
+            drop(baseline);
+            drop(candidate);
+        }
 
         TextTable table(
             {"bench", "baseline_s", "candidate_s", "delta", "verdict"});

@@ -1,11 +1,11 @@
 /**
  * @file
- * Bench-trajectory harness: times the pre-PR solver configuration
- * (assembled CSR, Jacobi-preconditioned CG, serial kernels,
- * per-step preconditioner setup) against the current defaults
- * (matrix-free stencil, SSOR, thread-pooled kernels, cached
- * preconditioner + workspace) on the benchmark grid topologies, and
- * writes the results as BENCH_perf.json (schema irtherm.bench.v1).
+ * Bench-trajectory harness: times each optimization against the
+ * configuration it replaced — SSOR-CG vs multigrid-CG for steady
+ * solves, the pre-PR per-step-alloc CSR integrator vs the cached
+ * stencil integrator for transients, per-job iterative solves vs the
+ * impulse-superposition path for single-stack sweeps — and writes
+ * the results as BENCH_perf.json (schema irtherm.bench.v1).
  *
  * This is deliberately a standalone tool rather than a parser over
  * google-benchmark output: it measures exactly the baseline/optimized
@@ -25,8 +25,12 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "core/package.hh"
+#include "core/stack_model.hh"
+#include "floorplan/presets.hh"
 #include "legacy_solvers.hh"
 #include "numeric/grid_stencil.hh"
+#include "numeric/impulse_cache.hh"
 #include "numeric/iterative.hh"
 #include "numeric/ode.hh"
 
@@ -96,12 +100,17 @@ struct BenchRow
     }
 };
 
-/** Steady CG to 1e-11 on an n x n grid system. */
+/**
+ * Steady CG to 1e-11 on an n x n grid system: the previous default
+ * (SSOR-preconditioned stencil CG) against the geometric-multigrid
+ * V-cycle preconditioner. Both sides share the thread-pool setting,
+ * so the delta is purely the preconditioner's iteration count and
+ * per-iteration cost.
+ */
 BenchRow
 benchSteadyCg(std::size_t n, int repeat)
 {
     const GridStencilOperator op = makeGridOperator(n);
-    const CsrMatrix csr = op.toCsr();
     const std::vector<double> b(op.rows(), 1.0);
 
     IterativeOptions opts;
@@ -113,24 +122,26 @@ benchSteadyCg(std::size_t n, int repeat)
     row.unit = "seconds per solve";
 
     std::size_t baseIters = 0, optIters = 0;
-    ThreadPool::setParallelEnabled(false);
+    ThreadPool::setParallelEnabled(true);
     row.baselineSeconds = bestOf(repeat, [&] {
-        const IterativeResult r =
-            legacy::conjugateGradient(csr, b, {}, opts);
+        IterativeOptions ssor = opts;
+        ssor.preconditioner = PreconditionerKind::Ssor;
+        const IterativeResult r = conjugateGradient(op, b, {}, ssor);
         if (!r.converged)
             fatal("baseline steady CG failed to converge");
         baseIters = r.iterations;
     });
-    ThreadPool::setParallelEnabled(true);
     row.optimizedSeconds = bestOf(repeat, [&] {
-        const IterativeResult r = conjugateGradient(op, b, {}, opts);
+        IterativeOptions mg = opts;
+        mg.preconditioner = PreconditionerKind::Multigrid;
+        const IterativeResult r = conjugateGradient(op, b, {}, mg);
         if (!r.converged)
             fatal("optimized steady CG failed to converge");
         optIters = r.iterations;
     });
-    row.baselineNote = "pre-PR csr+jacobi serial, " +
+    row.baselineNote = "stencil+ssor pooled, " +
                        std::to_string(baseIters) + " iters";
-    row.optimizedNote = "stencil+ssor pooled, " +
+    row.optimizedNote = "stencil+mg-vcycle pooled, " +
                         std::to_string(optIters) + " iters";
     return row;
 }
@@ -172,7 +183,13 @@ benchTransientCn(std::size_t n, int steps, int repeat)
     return row;
 }
 
-/** Pooled vs serial stencil matvec (pure parallel-scaling row). */
+/**
+ * Pooled vs serial stencil matvec (pure parallel-scaling row). The
+ * thread count is part of the bench name so that files produced on
+ * hosts with different pool widths are never compared against each
+ * other — the old un-suffixed row once froze a "1 threads vs serial"
+ * non-measurement into the committed baseline.
+ */
 BenchRow
 benchMatvec(std::size_t n, int calls, int repeat)
 {
@@ -181,7 +198,8 @@ benchMatvec(std::size_t n, int calls, int repeat)
 
     BenchRow row;
     row.name = "spmv_grid" + std::to_string(n) + "_x" +
-               std::to_string(calls);
+               std::to_string(calls) + "_t" +
+               std::to_string(ThreadPool::plannedGlobalThreads());
     row.unit = "seconds per " + std::to_string(calls) + " matvecs";
 
     ThreadPool::setParallelEnabled(false);
@@ -201,6 +219,64 @@ benchMatvec(std::size_t n, int calls, int repeat)
     return row;
 }
 
+/**
+ * Amortized per-job cost of a 1000-job single-stack steady sweep:
+ * one iterative solve per job (the default chain) vs the impulse
+ * superposition path, where the first job builds the block response
+ * matrix and every later job is a verified dense GEMV. The baseline
+ * side times a 16-job sample (its per-job cost is constant); the
+ * optimized side runs all @p jobs including the build, with the
+ * process-wide cache cleared per repeat so the build is always paid.
+ */
+BenchRow
+benchSuperposedSweep(int jobs, int repeat)
+{
+    const Floorplan fp = floorplans::alphaEv6();
+    const PackageConfig pkg = PackageConfig::makeOilSilicon(10.0);
+    ModelOptions mo;
+    mo.mode = ModelMode::Grid;
+    mo.gridNx = 32;
+    mo.gridNy = 32;
+    const StackModel model(fp, pkg, mo);
+
+    const std::size_t blocks = fp.blockCount();
+    auto powersFor = [&](int job) {
+        std::vector<double> p(blocks);
+        for (std::size_t b = 0; b < blocks; ++b)
+            p[b] = 0.5 + 0.01 * static_cast<double>(
+                             (static_cast<std::size_t>(job) * 7 + b) %
+                             13);
+        return p;
+    };
+
+    BenchRow row;
+    row.name = "steady_superpose_ev6grid32_x" + std::to_string(jobs);
+    row.unit = "seconds per job (amortized over " +
+               std::to_string(jobs) + ")";
+
+    ThreadPool::setParallelEnabled(true);
+    const int sample = 16;
+    row.baselineSeconds = bestOf(repeat, [&] {
+        StackModel::SteadySolveOptions sopts;
+        for (int j = 0; j < sample; ++j)
+            model.steadyNodeTemperatures(powersFor(j), sopts);
+    }) / sample;
+    row.optimizedSeconds = bestOf(repeat, [&] {
+        ImpulseResponseCache::global().clear();
+        StackModel::SteadySolveOptions sopts;
+        sopts.superposition = true;
+        sopts.stackKey = 0x5eed5eed;
+        sopts.preconditioner = PreconditionerKind::Multigrid;
+        for (int j = 0; j < jobs; ++j)
+            model.steadyNodeTemperatures(powersFor(j), sopts);
+    }) / jobs;
+    ImpulseResponseCache::global().clear();
+    row.baselineNote = "per-job ssor-cg (16-job sample)";
+    row.optimizedNote = "impulse build + verified GEMV per job, " +
+                        std::to_string(blocks) + " blocks";
+    return row;
+}
+
 std::string
 jsonNum(double v)
 {
@@ -216,8 +292,8 @@ writeJson(std::ostream &os, const std::vector<BenchRow> &rows)
        << "  \"threads\": " << ThreadPool::plannedGlobalThreads()
        << ",\n  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency()
-       << ",\n  \"baseline\": \"pre-PR serial Jacobi-CG solver path"
-          " (bench/legacy_solvers.hh)\",\n  \"benches\": [\n";
+       << ",\n  \"baseline\": \"per-row; see each bench's baseline"
+          " note\",\n  \"benches\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &r = rows[i];
         os << "    {\"name\": \"" << r.name << "\", \"unit\": \""
@@ -260,7 +336,16 @@ main(int argc, char **argv)
     rows.push_back(benchSteadyCg(16, repeat));
     rows.push_back(benchSteadyCg(32, repeat));
     rows.push_back(benchTransientCn(16, 50, repeat));
-    rows.push_back(benchMatvec(64, 200, repeat));
+    rows.push_back(benchSuperposedSweep(1000, repeat));
+    // On a single-hardware-thread host the pooled side of the matvec
+    // row measures nothing but pool overhead; skip it rather than
+    // freeze a vacuous "1 threads vs serial" pair into the file.
+    if (std::thread::hardware_concurrency() > 1)
+        rows.push_back(benchMatvec(64, 200, repeat));
+    else
+        std::fprintf(stderr,
+                     "bench_to_json: skipping spmv parallel-vs-serial "
+                     "row (hardware_concurrency == 1)\n");
 
     std::ofstream out(outPath);
     if (!out)
