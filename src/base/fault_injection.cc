@@ -21,6 +21,7 @@ const char *const kKnownPoints[] = {
     "cg.nan",          "cg.diverge",       "mg.diverge",
     "impulse.corrupt", "job.stall",        "journal.corrupt",
     "journal.truncate", "journal.torn_segment",
+    "lease.lost",      "worker.die",       "complete.dup",
 };
 
 bool

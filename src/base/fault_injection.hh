@@ -32,6 +32,17 @@
  *                       writer stops sealing/checkpointing after it
  *                       (resume must quarantine the segment and
  *                       recover its rows from the JSONL tail)
+ *     lease.lost        fabric coordinator forgets a live lease (as
+ *                       if it expired); the holder's next renew gets
+ *                       410 and the jobs are re-leased — completes
+ *                       for them must still land exactly once
+ *     worker.die        fabric worker dies after leasing a batch but
+ *                       before completing it (stops renewing and
+ *                       reporting); the lease must expire and the
+ *                       jobs re-lease with zero duplicate work
+ *     complete.dup      fabric worker re-sends a successful
+ *                       /complete batch; the coordinator must drop
+ *                       every row as a duplicate
  *
  * Rule options:
  *     match=<substr>  only fire when the probe's scope key (e.g. the

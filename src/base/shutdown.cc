@@ -1,0 +1,53 @@
+#include "base/shutdown.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace irtherm
+{
+
+namespace
+{
+
+std::atomic<bool> requested{false};
+
+extern "C" void
+onShutdownSignal(int)
+{
+    requested.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a coordinator blocked in accept()/recv() should
+    // see EINTR and fall through to its shutdown check promptly.
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return requested.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown()
+{
+    requested.store(true, std::memory_order_relaxed);
+}
+
+void
+resetShutdown()
+{
+    requested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace irtherm

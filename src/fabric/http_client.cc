@@ -1,0 +1,135 @@
+#include "fabric/http_client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "base/errors.hh"
+
+namespace irtherm::fabric
+{
+
+namespace
+{
+
+/** RAII socket close. */
+struct Fd
+{
+    int fd = -1;
+    ~Fd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+std::string
+HttpReply::header(const std::string &name) const
+{
+    const auto it = headers.find(lower(name));
+    return it == headers.end() ? "" : it->second;
+}
+
+HttpReply
+httpRequest(const std::string &host, int port,
+            const std::string &method, const std::string &path,
+            const std::string &requestBody, double timeoutSeconds)
+{
+    Fd sock;
+    sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (sock.fd < 0)
+        ioError("http: socket(): ", std::strerror(errno));
+
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeoutSeconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeoutSeconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(sock.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(sock.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        ioError("http: bad host address '", host, "'");
+    if (::connect(sock.fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        ioError("http: connect(", host, ":", port,
+                "): ", std::strerror(errno));
+
+    std::string req = method + " " + path + " HTTP/1.1\r\nHost: " +
+                      host + "\r\nContent-Length: " +
+                      std::to_string(requestBody.size()) +
+                      "\r\nConnection: close\r\n\r\n" + requestBody;
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+        const ssize_t n = ::send(sock.fd, req.data() + sent,
+                                 req.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            ioError("http: send(", host, ":", port,
+                    "): ", std::strerror(errno));
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(sock.fd, buf, sizeof(buf), 0);
+        if (n < 0)
+            ioError("http: recv(", host, ":", port,
+                    "): ", std::strerror(errno));
+        if (n == 0)
+            break; // server closed: response complete
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+
+    const std::size_t headerEnd = raw.find("\r\n\r\n");
+    if (headerEnd == std::string::npos)
+        ioError("http: malformed response from ", host, ":", port);
+
+    HttpReply reply;
+    const std::size_t lineEnd = raw.find("\r\n");
+    const std::string statusLine = raw.substr(0, lineEnd);
+    // "HTTP/1.1 200 OK" — the code sits after the first space.
+    const std::size_t sp = statusLine.find(' ');
+    if (sp == std::string::npos)
+        ioError("http: bad status line '", statusLine, "'");
+    reply.status = std::atoi(statusLine.c_str() + sp + 1);
+
+    std::size_t pos = lineEnd + 2;
+    while (pos < headerEnd) {
+        std::size_t end = raw.find("\r\n", pos);
+        if (end == std::string::npos || end > headerEnd)
+            end = headerEnd;
+        const std::string line = raw.substr(pos, end - pos);
+        pos = end + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string value = line.substr(colon + 1);
+        const std::size_t first = value.find_first_not_of(" \t");
+        value = first == std::string::npos ? "" : value.substr(first);
+        reply.headers[lower(line.substr(0, colon))] = value;
+    }
+    reply.body = raw.substr(headerEnd + 4);
+    return reply;
+}
+
+} // namespace irtherm::fabric

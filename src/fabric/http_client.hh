@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client for the fabric lease protocol.
+ *
+ * The mirror image of obs/http_server: raw POSIX sockets, one
+ * request per connection (Connection: close), zero dependencies. Just
+ * enough protocol for a worker talking to its coordinator on a
+ * trusted network — status line, headers (for Retry-After and
+ * Content-Length), body.
+ *
+ * Transport failures (connect refused, timeout, torn connection)
+ * throw IoError; HTTP-level errors (4xx/5xx) are returned to the
+ * caller as a normal HttpReply — a 429 or 410 is protocol, not
+ * failure.
+ */
+
+#ifndef IRTHERM_FABRIC_HTTP_CLIENT_HH
+#define IRTHERM_FABRIC_HTTP_CLIENT_HH
+
+#include <map>
+#include <string>
+
+namespace irtherm::fabric
+{
+
+/** One parsed HTTP response. */
+struct HttpReply
+{
+    int status = 0;
+    std::string body;
+    /** Response headers, keys lowercased. */
+    std::map<std::string, std::string> headers;
+
+    /** Header value by lowercase name, or "" when absent. */
+    std::string header(const std::string &name) const;
+};
+
+/**
+ * Send one request and read the full response. @p body is sent with
+ * a Content-Length (also for GET, where it is empty and harmless).
+ * Throws IoError on transport failures; @p timeoutSeconds bounds
+ * both connect and each socket read/write.
+ */
+HttpReply httpRequest(const std::string &host, int port,
+                      const std::string &method,
+                      const std::string &path,
+                      const std::string &requestBody = "",
+                      double timeoutSeconds = 10.0);
+
+} // namespace irtherm::fabric
+
+#endif // IRTHERM_FABRIC_HTTP_CLIENT_HH

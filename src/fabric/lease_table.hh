@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Job-lease bookkeeping for the sweep-fabric coordinator.
+ *
+ * The coordinator owns an indexed list of pending jobs; workers pull
+ * batches of them under a *lease* — a token with a TTL. The table
+ * tracks which jobs are queued, leased, or complete, and enforces the
+ * fabric's two core invariants:
+ *
+ *  - **no lost work**: a lease whose holder stops renewing (dead
+ *    worker, partitioned worker, injected `lease.lost`) expires, and
+ *    its uncompleted jobs return to the queue to be re-leased;
+ *  - **no duplicate completed work**: a job completes exactly once.
+ *    The first report wins; any later report for the same job — the
+ *    original holder racing its own re-leased replacement, a
+ *    retransmitted `/complete`, the injected `complete.dup` — is
+ *    classified Duplicate and must not be journaled.
+ *
+ * Completes are deliberately accepted *without* a live lease: a
+ * worker that finished a job after its lease expired still did the
+ * work, and dropping the report would force a re-simulation. The
+ * expiry machinery mirrors the job watchdog's shape (soft deadline
+ * renewed cooperatively, reaping on the next interaction) one level
+ * up the stack: leases are to workers what the watchdog is to jobs.
+ *
+ * Expiry is swept lazily inside each public operation rather than by
+ * a timer thread — the table only needs to be correct when someone
+ * looks at it.
+ *
+ * Thread-safe; every public method takes the internal lock.
+ */
+
+#ifndef IRTHERM_FABRIC_LEASE_TABLE_HH
+#define IRTHERM_FABRIC_LEASE_TABLE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace irtherm::fabric
+{
+
+/** Classification of one completed-job report. */
+enum class CompleteOutcome
+{
+    Accepted,  ///< first report for this job; journal it
+    Duplicate, ///< job already complete; drop the report
+    Unknown,   ///< job index out of range (bad client)
+};
+
+/** What one successful lease call granted. */
+struct LeaseGrant
+{
+    /** Lease token; empty when no jobs were available. */
+    std::string token;
+    /** Granted job indices, in queue order. */
+    std::vector<std::size_t> jobs;
+    double ttlSeconds = 0.0;
+};
+
+class LeaseTable
+{
+  public:
+    /** Track @p jobCount jobs (indices 0..jobCount-1), all initially
+     *  queued; leases expire @p ttlSeconds after grant/renew. */
+    LeaseTable(std::size_t jobCount, double ttlSeconds);
+
+    /**
+     * Grant up to @p maxJobs queued jobs to @p worker. Returns an
+     * empty grant (empty token) when nothing is queued — which means
+     * either the sweep is done or every remaining job is out under a
+     * live lease; the caller distinguishes via allComplete().
+     */
+    LeaseGrant lease(const std::string &worker, std::size_t maxJobs);
+
+    /** Extend a live lease by one TTL. False when the token is
+     *  unknown or already expired (the holder must re-lease). */
+    bool renew(const std::string &token);
+
+    /**
+     * Record job @p job as complete, reported under @p token. First
+     * report wins regardless of the token's state (see file
+     * comment); the token, when live, has the job struck from it so
+     * an emptied lease is retired immediately.
+     */
+    CompleteOutcome complete(const std::string &token, std::size_t job);
+
+    /**
+     * Forcibly expire one lease (the `lease.lost` fault: the
+     * coordinator "forgot" it). Uncompleted jobs re-queue. False when
+     * the token is not live.
+     */
+    bool expireToken(const std::string &token);
+
+    /** Every job complete. */
+    bool allComplete() const;
+
+    /** Jobs not yet complete (queued or out on a lease). */
+    std::size_t remaining() const;
+
+    std::size_t completedJobs() const;
+    /** Distinct worker names that ever leased. */
+    std::size_t workersSeen() const;
+    std::size_t leasesGranted() const;
+    /** Leases that expired (TTL lapse or expireToken). */
+    std::size_t leasesExpired() const;
+    /** Reports classified Duplicate. */
+    std::size_t duplicateCompletes() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct ActiveLease
+    {
+        std::string worker;
+        std::vector<std::size_t> jobs; ///< granted and not yet complete
+        Clock::time_point deadline;
+    };
+
+    /** Re-queue the jobs of every lease past its deadline. Lock held. */
+    void sweepExpired();
+    void expireLocked(const std::string &token);
+
+    mutable std::mutex mu;
+    double ttl;
+    std::deque<std::size_t> queue; ///< jobs awaiting a lease
+    std::vector<bool> complete_;
+    std::map<std::string, ActiveLease> active;
+    std::set<std::string> workers;
+    std::uint64_t nextToken = 1;
+    std::size_t completedCount = 0;
+    std::size_t granted = 0;
+    std::size_t expired = 0;
+    std::size_t duplicates = 0;
+};
+
+} // namespace irtherm::fabric
+
+#endif // IRTHERM_FABRIC_LEASE_TABLE_HH

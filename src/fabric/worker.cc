@@ -1,0 +1,287 @@
+#include "fabric/worker.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "base/errors.hh"
+#include "base/fault_injection.hh"
+#include "base/logging.hh"
+#include "base/shutdown.hh"
+#include "fabric/http_client.hh"
+#include "obs/event_trace.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/trace_clock.hh"
+#include "sweep/json.hh"
+#include "sweep/result_store.hh"
+#include "sweep/scenario.hh"
+
+namespace irtherm::fabric
+{
+
+namespace
+{
+
+using sweep::JobResult;
+using sweep::JobStatus;
+using sweep::JsonValue;
+using sweep::ScenarioSpec;
+
+void
+sleepSeconds(double s)
+{
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::max(0.0, s)));
+}
+
+/** One leased batch as decoded off the wire. */
+struct Grant
+{
+    std::string token;
+    double ttlSeconds = 0.0;
+    bool done = false;
+    std::vector<ScenarioSpec> jobs;
+};
+
+Grant
+parseGrant(const std::string &body)
+{
+    const JsonValue doc = sweep::parseJson(body, "lease reply");
+    Grant g;
+    if (const JsonValue *v = doc.find("token"); v && v->isString())
+        g.token = v->text;
+    if (const JsonValue *v = doc.find("ttl_s"); v && v->isNumber())
+        g.ttlSeconds = v->number;
+    if (const JsonValue *v = doc.find("done"))
+        g.done = v->isBool() && v->boolean;
+    const JsonValue *jobs = doc.find("jobs");
+    if (jobs == nullptr || !jobs->isArray())
+        configError("lease reply: 'jobs' must be an array");
+    for (const JsonValue &entry : jobs->items) {
+        const JsonValue *settings = entry.find("settings");
+        if (settings == nullptr || !settings->isObject())
+            configError("lease reply: job without settings object");
+        ScenarioSpec spec;
+        for (const auto &[key, value] : settings->members)
+            spec.set(key,
+                     sweep::scalarToString(value, "lease reply"));
+        g.jobs.push_back(std::move(spec));
+    }
+    return g;
+}
+
+} // namespace
+
+WorkerSummary
+runWorker(const WorkerOptions &opts)
+{
+    WorkerSummary sum;
+    const std::string name =
+        opts.name.empty() ? "worker-" + std::to_string(::getpid())
+                          : opts.name;
+    obs::SpanRecorder::setThreadLabel(name);
+    obs::ScopedSpan span("fabric.worker");
+    span.attr("name", name);
+    auto &reg = obs::MetricsRegistry::global();
+
+    sweep::JobExecutor executor(opts.exec);
+
+    const auto post = [&](const std::string &path,
+                          const std::string &body) {
+        return httpRequest(opts.host, opts.port, "POST", path, body);
+    };
+
+    inform("fabric: worker '", name, "' connecting to ", opts.host,
+           ":", opts.port);
+
+    bool connected = false;
+    const double connectStart = obs::monotonicSeconds();
+    bool done = false;
+    while (!done && !shutdownRequested()) {
+        HttpReply reply;
+        try {
+            reply = post("/lease",
+                         "{\"worker\":\"" + obs::jsonEscape(name) +
+                             "\",\"max_jobs\":" +
+                             std::to_string(opts.maxLeaseJobs) + "}");
+        } catch (const FatalError &e) {
+            if (connected) {
+                // The coordinator finished (or crashed) between our
+                // polls; either way there is nothing left to lease.
+                inform("fabric: worker '", name,
+                       "' lost the coordinator (", e.what(),
+                       "); exiting");
+                break;
+            }
+            if (obs::monotonicSeconds() - connectStart >
+                opts.connectRetrySeconds)
+                throw;
+            sleepSeconds(opts.pollSeconds);
+            continue;
+        }
+        if (reply.status == 429) {
+            ++sum.rejected;
+            reg.counter("fabric.worker.rejected").add();
+            const std::string after = reply.header("Retry-After");
+            sleepSeconds(after.empty() ? 1.0
+                                       : std::atof(after.c_str()));
+            continue;
+        }
+        if (reply.status != 200)
+            ioError("fabric: POST /lease returned ", reply.status);
+        connected = true;
+
+        const Grant grant = parseGrant(reply.body);
+        if (grant.jobs.empty()) {
+            if (grant.done)
+                break;
+            sleepSeconds(opts.pollSeconds);
+            continue;
+        }
+        ++sum.leases;
+        IRTHERM_EVENT("fabric.worker.lease", {"worker", name},
+                      {"token", grant.token},
+                      {"jobs", grant.jobs.size()});
+
+        if (FaultInjector::global().shouldFire("worker.die", name)) {
+            // Injected crash: stop renewing with jobs in hand. The
+            // lease TTL lapses and the coordinator re-leases them.
+            warn("fabric: injected worker.die for '", name, "'");
+            sum.died = true;
+            break;
+        }
+
+        // Execute the batch, renewing at half-TTL so a long job does
+        // not silently forfeit the lease.
+        std::vector<JobResult> results;
+        std::size_t renewalsThisLease = 0;
+        double leaseStamp = obs::monotonicSeconds();
+        bool leaseLost = false;
+        for (const ScenarioSpec &spec : grant.jobs) {
+            if (shutdownRequested())
+                break;
+            if (grant.ttlSeconds > 0.0 &&
+                obs::monotonicSeconds() - leaseStamp >
+                    grant.ttlSeconds / 2.0) {
+                HttpReply r;
+                try {
+                    r = post("/renew", "{\"token\":\"" +
+                                           obs::jsonEscape(
+                                               grant.token) +
+                                           "\"}");
+                } catch (const FatalError &) {
+                    leaseLost = true;
+                    break;
+                }
+                if (r.status != 200) {
+                    // 410: the coordinator forgot us. Post what we
+                    // already finished (first-wins makes the overlap
+                    // harmless) and drop the rest of the batch.
+                    leaseLost = true;
+                    break;
+                }
+                ++renewalsThisLease;
+                ++sum.renewals;
+                leaseStamp = obs::monotonicSeconds();
+            }
+            JobResult r = executor.run(spec, false, name);
+            r.worker = name;
+            r.leaseRenewals = renewalsThisLease;
+            ++sum.executed;
+            switch (r.status) {
+              case JobStatus::Ok:
+                ++sum.ok;
+                break;
+              case JobStatus::Failed:
+                ++sum.failed;
+                break;
+              case JobStatus::Timeout:
+                ++sum.timedOut;
+                break;
+              case JobStatus::Hung:
+                ++sum.hung;
+                break;
+            }
+            results.push_back(std::move(r));
+        }
+        if (leaseLost)
+            IRTHERM_EVENT("fabric.worker.lease_lost",
+                          {"worker", name}, {"token", grant.token},
+                          {"finished", results.size()});
+
+        if (results.empty())
+            continue;
+        std::string body = "{\"token\":\"" +
+                           obs::jsonEscape(grant.token) +
+                           "\",\"worker\":\"" +
+                           obs::jsonEscape(name) + "\",\"results\":[";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (i)
+                body += ',';
+            body += results[i].toJsonLine();
+        }
+        body += "]}";
+
+        for (int attempt = 0;; ++attempt) {
+            HttpReply r;
+            try {
+                r = post("/complete", body);
+            } catch (const FatalError &e) {
+                warn("fabric: worker '", name,
+                     "' could not report batch (", e.what(), ")");
+                done = true;
+                break;
+            }
+            if (r.status == 429) {
+                ++sum.rejected;
+                const std::string after = r.header("Retry-After");
+                sleepSeconds(after.empty()
+                                 ? 1.0
+                                 : std::atof(after.c_str()));
+                continue;
+            }
+            if (r.status != 200)
+                ioError("fabric: POST /complete returned ",
+                        r.status);
+            const JsonValue doc =
+                sweep::parseJson(r.body, "complete reply");
+            if (const JsonValue *v = doc.find("duplicates");
+                v && v->isNumber())
+                sum.duplicates += static_cast<std::size_t>(v->number);
+            if (const JsonValue *v = doc.find("done");
+                v && v->isBool() && v->boolean)
+                done = true;
+            // Injected duplicate delivery: re-POST the identical
+            // batch once; the coordinator must classify every result
+            // as a duplicate and journal nothing new.
+            if (attempt == 0 &&
+                FaultInjector::global().shouldFire("complete.dup",
+                                                   grant.token)) {
+                warn("fabric: injected complete.dup for ",
+                     grant.token);
+                continue;
+            }
+            break;
+        }
+    }
+
+    IRTHERM_EVENT("fabric.worker.done", {"worker", name},
+                  {"executed", sum.executed}, {"ok", sum.ok},
+                  {"leases", sum.leases},
+                  {"renewals", sum.renewals},
+                  {"duplicates", sum.duplicates},
+                  {"rejected", sum.rejected}, {"died", sum.died});
+    span.attr("executed", sum.executed).attr("leases", sum.leases);
+    inform("fabric: worker '", name, "' finished: ", sum.executed,
+           " executed (", sum.ok, " ok), ", sum.leases, " leases, ",
+           sum.renewals, " renewals");
+    return sum;
+}
+
+} // namespace irtherm::fabric

@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 #include "base/errors.hh"
@@ -16,6 +18,8 @@ namespace irtherm::obs
 
 namespace
 {
+
+constexpr std::size_t kHeaderCap = 16384;
 
 const char *
 statusText(int status)
@@ -29,8 +33,20 @@ statusText(int status)
         return "Not Found";
       case 405:
         return "Method Not Allowed";
+      case 409:
+        return "Conflict";
+      case 410:
+        return "Gone";
+      case 411:
+        return "Length Required";
+      case 413:
+        return "Payload Too Large";
+      case 429:
+        return "Too Many Requests";
       case 431:
         return "Request Header Fields Too Large";
+      case 500:
+        return "Internal Server Error";
       default:
         return "Error";
     }
@@ -56,9 +72,56 @@ sendResponse(int fd, const HttpResponse &resp)
                       statusText(resp.status) +
                       "\r\nContent-Type: " + resp.contentType +
                       "\r\nContent-Length: " +
-                      std::to_string(resp.body.size()) +
-                      "\r\nConnection: close\r\n\r\n" + resp.body;
+                      std::to_string(resp.body.size());
+    for (const auto &[name, value] : resp.headers)
+        out += "\r\n" + name + ": " + value;
+    out += "\r\nConnection: close\r\n\r\n" + resp.body;
     sendAll(fd, out);
+}
+
+HttpResponse
+plain(int status, const std::string &body)
+{
+    return {status, "text/plain; charset=utf-8", body, {}};
+}
+
+/**
+ * Case-insensitive header lookup over the raw header block; returns
+ * the trimmed value of the first match, or "" when absent.
+ */
+std::string
+findHeader(const std::string &headers, const std::string &name)
+{
+    std::size_t pos = 0;
+    while (pos < headers.size()) {
+        std::size_t end = headers.find("\r\n", pos);
+        if (end == std::string::npos)
+            end = headers.size();
+        const std::string line = headers.substr(pos, end - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos && colon == name.size()) {
+            bool match = true;
+            for (std::size_t i = 0; i < name.size(); ++i) {
+                if (std::tolower(static_cast<unsigned char>(line[i])) !=
+                    std::tolower(static_cast<unsigned char>(name[i]))) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                std::string value = line.substr(colon + 1);
+                const std::size_t first =
+                    value.find_first_not_of(" \t");
+                if (first == std::string::npos)
+                    return "";
+                const std::size_t last =
+                    value.find_last_not_of(" \t");
+                return value.substr(first, last - first + 1);
+            }
+        }
+        pos = end + 2;
+    }
+    return "";
 }
 
 } // namespace
@@ -68,9 +131,48 @@ HttpServer::~HttpServer() { stop(); }
 void
 HttpServer::route(const std::string &path, Handler handler)
 {
+    route("GET", path,
+          [handler = std::move(handler)](const HttpRequest &) {
+              return handler();
+          });
+}
+
+void
+HttpServer::route(const std::string &method, const std::string &path,
+                  BodyHandler handler)
+{
     if (running())
         ioError("HttpServer: route() after start()");
-    routes[path] = std::move(handler);
+    routes[path][method] = std::move(handler);
+}
+
+void
+HttpServer::limitRequestRate(double ratePerSecond, double burst)
+{
+    std::lock_guard<std::mutex> lock(gateMu);
+    gateRate = std::max(0.0, ratePerSecond);
+    gateBurst = std::max(1.0, burst);
+    gateTokens = gateBurst;
+    gateStamp = std::chrono::steady_clock::now();
+}
+
+bool
+HttpServer::admitOne(double &retryAfterSeconds)
+{
+    std::lock_guard<std::mutex> lock(gateMu);
+    if (gateRate <= 0.0)
+        return true;
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - gateStamp).count();
+    gateStamp = now;
+    gateTokens = std::min(gateBurst, gateTokens + elapsed * gateRate);
+    if (gateTokens >= 1.0) {
+        gateTokens -= 1.0;
+        return true;
+    }
+    retryAfterSeconds = (1.0 - gateTokens) / gateRate;
+    return false;
 }
 
 void
@@ -134,9 +236,11 @@ HttpServer::stop()
     // Unblock accept(): shutdown() first so the loop's accept fails,
     // then close. Linux accept() on a closed-by-another-thread fd is
     // not guaranteed to return, shutdown() is.
-    ::shutdown(listenFd, SHUT_RDWR);
-    ::close(listenFd);
-    listenFd = -1;
+    const int fd = listenFd.exchange(-1);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
     if (listener.joinable())
         listener.join();
     boundPort = 0;
@@ -169,43 +273,35 @@ HttpServer::listenLoop()
 void
 HttpServer::serveConnection(int fd)
 {
-    // Read until the end of the request headers. GET requests carry
-    // no body, so this is the full request.
+    // Read until the end of the request headers; whatever follows in
+    // the same packets is the start of the body.
     std::string req;
     char buf[2048];
     while (req.find("\r\n\r\n") == std::string::npos &&
-           req.size() < 16384) {
+           req.size() < kHeaderCap) {
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n <= 0)
             return;
         req.append(buf, static_cast<std::size_t>(n));
     }
-    if (req.find("\r\n\r\n") == std::string::npos &&
-        req.size() >= 16384) {
+    const std::size_t headerEnd = req.find("\r\n\r\n");
+    if (headerEnd == std::string::npos) {
         // The cap tripped before the headers ended: an oversized (or
-        // never-terminated) request. Refuse explicitly rather than
-        // trying to parse a request line out of a 16 KB blob.
-        sendResponse(fd, {431, "text/plain; charset=utf-8",
-                          "request too large\n"});
+        // never-terminated) header block. Refuse explicitly rather
+        // than trying to parse a request line out of a 16 KB blob.
+        sendResponse(fd, plain(431, "request header too large\n"));
         ++served;
         return;
     }
 
     const std::size_t lineEnd = req.find("\r\n");
-    if (lineEnd == std::string::npos) {
-        sendResponse(fd, {400, "text/plain; charset=utf-8",
-                          "bad request\n"});
-        ++served;
-        return;
-    }
     const std::string line = req.substr(0, lineEnd);
     const std::size_t sp1 = line.find(' ');
     const std::size_t sp2 =
         sp1 == std::string::npos ? std::string::npos
                                  : line.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        sendResponse(fd, {400, "text/plain; charset=utf-8",
-                          "bad request\n"});
+        sendResponse(fd, plain(400, "bad request\n"));
         ++served;
         return;
     }
@@ -215,16 +311,101 @@ HttpServer::serveConnection(int fd)
     if (query != std::string::npos)
         path.resize(query);
 
+    // Admission control sits before body reads and route dispatch: a
+    // flood is answered from the request line alone.
+    double retryAfter = 0.0;
+    if (!admitOne(retryAfter)) {
+        HttpResponse resp = plain(429, "over capacity, retry later\n");
+        resp.headers.emplace_back(
+            "Retry-After",
+            std::to_string(static_cast<long>(std::ceil(
+                std::max(1.0, retryAfter)))));
+        sendResponse(fd, resp);
+        ++shed;
+        ++served;
+        return;
+    }
+
+    // Resolve the route before demanding body framing: a POST to a
+    // GET-only path is 405 whether or not it declared a length.
+    const auto pathIt = routes.find(path);
+    if (pathIt == routes.end()) {
+        HttpResponse resp = plain(404, "not found\n");
+        if (method == "HEAD")
+            resp.body.clear();
+        sendResponse(fd, resp);
+        ++served;
+        return;
+    }
+    const std::string lookup = method == "HEAD" ? "GET" : method;
+    const auto methodIt = pathIt->second.find(lookup);
+    if (methodIt == pathIt->second.end()) {
+        // Registered path, wrong verb: say what WOULD work.
+        std::string allow;
+        for (const auto &[m, h] : pathIt->second) {
+            if (!allow.empty())
+                allow += ", ";
+            allow += m;
+            if (m == "GET")
+                allow += ", HEAD";
+        }
+        HttpResponse resp = plain(405, "method not allowed\n");
+        resp.headers.emplace_back("Allow", allow);
+        sendResponse(fd, resp);
+        ++served;
+        return;
+    }
+
+    const std::string headerBlock = req.substr(0, headerEnd);
+    const bool wantsBody = method != "GET" && method != "HEAD";
+    std::string body;
+    if (wantsBody) {
+        const std::string lenText =
+            findHeader(headerBlock, "Content-Length");
+        if (lenText.empty()) {
+            sendResponse(fd, plain(411, "length required\n"));
+            ++served;
+            return;
+        }
+        char *end = nullptr;
+        const unsigned long long declared =
+            std::strtoull(lenText.c_str(), &end, 10);
+        if (end == lenText.c_str() || *end != '\0') {
+            sendResponse(fd, plain(400, "bad Content-Length\n"));
+            ++served;
+            return;
+        }
+        if (declared > maxBodyBytes) {
+            // Refuse before reading: the client learns the cap from
+            // the error text instead of timing out mid-upload.
+            sendResponse(
+                fd, plain(413, "request body exceeds " +
+                                   std::to_string(maxBodyBytes) +
+                                   " bytes\n"));
+            ++served;
+            return;
+        }
+        body = req.substr(headerEnd + 4);
+        while (body.size() < declared) {
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n <= 0)
+                return; // client died mid-body; nothing to answer
+            body.append(buf, static_cast<std::size_t>(n));
+        }
+        body.resize(declared);
+    }
+
+    HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.body = std::move(body);
     HttpResponse resp;
-    if (method != "GET" && method != "HEAD") {
-        resp = {405, "text/plain; charset=utf-8",
-                "method not allowed\n"};
-    } else {
-        const auto it = routes.find(path);
-        if (it == routes.end())
-            resp = {404, "text/plain; charset=utf-8", "not found\n"};
-        else
-            resp = it->second();
+    // A throwing handler must not unwind the listener thread; the
+    // client gets a 500 and the server lives on.
+    try {
+        resp = methodIt->second(request);
+    } catch (const std::exception &e) {
+        resp = plain(500, std::string(e.what()) + "\n");
     }
     if (method == "HEAD")
         resp.body.clear();

@@ -1,14 +1,28 @@
 /**
  * @file
- * Minimal embedded HTTP/1.1 server for live telemetry endpoints.
+ * Minimal embedded HTTP/1.1 server for live telemetry endpoints and
+ * the sweep-fabric control plane.
  *
  * Deliberately tiny: raw POSIX sockets, one blocking listener thread,
- * one request per connection (Connection: close), GET only, exact
- * path match. That is all /metrics, /status and /healthz need, and it
- * keeps the dependency count at zero.
+ * one request per connection (Connection: close), exact path match.
+ * GET/HEAD routes cover /metrics, /status and /healthz; POST routes
+ * (with a bounded request body) carry the fabric lease protocol. The
+ * dependency count stays at zero.
+ *
+ * Protocol posture, in order of evaluation per request:
+ *  - admission control (optional token bucket): over-rate requests
+ *    are shed with 429 + Retry-After *before* any parsing beyond the
+ *    request line, so a flood degrades to client-side queuing, not
+ *    server collapse (the FoundationDB Ratekeeper idea, scaled down);
+ *  - a 16 KiB header cap (431 when the headers never end);
+ *  - a configurable body cap: POSTs declaring a larger
+ *    Content-Length are refused with 413 without reading the body,
+ *    and a POST without a Content-Length gets 411;
+ *  - method mismatch on a registered path is 405 with an `Allow`
+ *    header listing what the path actually serves.
  *
  * Security posture: binds 127.0.0.1 by default. The endpoints expose
- * solver progress and resource numbers — harmless on a workstation,
+ * solver progress and accept sweep jobs — harmless on a workstation,
  * but exposing them beyond the local host is an explicit opt-in
  * (pass a different bind address).
  */
@@ -17,12 +31,15 @@
 #define IRTHERM_OBS_HTTP_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace irtherm::obs
 {
@@ -33,6 +50,16 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "text/plain; charset=utf-8";
     std::string body;
+    /** Extra response headers (e.g. {"Retry-After", "2"}). */
+    std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/** One parsed request as a body-taking handler sees it. */
+struct HttpRequest
+{
+    std::string method; ///< "GET", "POST", ...
+    std::string path;   ///< decoded path, query string stripped
+    std::string body;   ///< request body ("" for GET/HEAD)
 };
 
 /**
@@ -46,6 +73,7 @@ class HttpServer
 {
   public:
     using Handler = std::function<HttpResponse()>;
+    using BodyHandler = std::function<HttpResponse(const HttpRequest &)>;
 
     HttpServer() = default;
     ~HttpServer();
@@ -53,9 +81,32 @@ class HttpServer
     HttpServer(const HttpServer &) = delete;
     HttpServer &operator=(const HttpServer &) = delete;
 
-    /** Map an exact request path ("/status") to a handler. Must be
-     *  called before start(). */
+    /** Map an exact request path ("/status") to a GET/HEAD handler.
+     *  Must be called before start(). */
     void route(const std::string &path, Handler handler);
+
+    /**
+     * Map @p method (e.g. "POST") on an exact path to a body-taking
+     * handler. A "GET" registration also answers HEAD (body
+     * stripped). Must be called before start().
+     */
+    void route(const std::string &method, const std::string &path,
+               BodyHandler handler);
+
+    /**
+     * Cap on accepted request bodies; a POST declaring more is
+     * refused with 413. Must be set before start(). Default 256 KiB.
+     */
+    void setMaxBodyBytes(std::size_t bytes) { maxBodyBytes = bytes; }
+
+    /**
+     * Arm admission control: a token bucket holding @p burst tokens,
+     * refilled at @p ratePerSecond. Each request spends one token;
+     * an empty bucket sheds the request with 429 + Retry-After
+     * (seconds until a token is available, rounded up). 0 rate
+     * disarms (the default). Must be set before start().
+     */
+    void limitRequestRate(double ratePerSecond, double burst);
 
     /**
      * Bind, listen, and spawn the listener thread. Throws IoError on
@@ -69,10 +120,16 @@ class HttpServer
     /** The bound port (resolves port-0 requests); 0 if not running. */
     int port() const { return boundPort; }
 
-    /** Requests answered so far (including 404s). */
+    /** Requests answered so far (including 404s and shed 429s). */
     std::uint64_t requestCount() const
     {
         return served.load(std::memory_order_relaxed);
+    }
+
+    /** Requests shed with 429 by admission control so far. */
+    std::uint64_t shedCount() const
+    {
+        return shed.load(std::memory_order_relaxed);
     }
 
     /** Close the listening socket and join the thread. Idempotent. */
@@ -81,13 +138,30 @@ class HttpServer
   private:
     void listenLoop();
     void serveConnection(int fd);
+    /** Take one admission token, or compute the Retry-After delay. */
+    bool admitOne(double &retryAfterSeconds);
 
-    std::map<std::string, Handler> routes;
+    /** method -> handler for one path ("GET" also serves HEAD). */
+    using MethodMap = std::map<std::string, BodyHandler>;
+    std::map<std::string, MethodMap> routes;
     std::thread listener;
     std::atomic<bool> live{false};
     std::atomic<std::uint64_t> served{0};
-    int listenFd = -1;
+    std::atomic<std::uint64_t> shed{0};
+    // Written by stop() while listenLoop() blocks in accept() on it;
+    // atomic so the handoff is race-free under TSan. The fd itself
+    // stays valid until stop() joins the listener.
+    std::atomic<int> listenFd{-1};
     int boundPort = 0;
+    std::size_t maxBodyBytes = 256 * 1024;
+
+    // Token bucket (listener-thread only, but guarded anyway so
+    // limitRequestRate() racing a request stays defined).
+    std::mutex gateMu;
+    double gateRate = 0.0;  ///< tokens per second; 0 = disarmed
+    double gateBurst = 0.0; ///< bucket capacity
+    double gateTokens = 0.0;
+    std::chrono::steady_clock::time_point gateStamp{};
 };
 
 } // namespace irtherm::obs

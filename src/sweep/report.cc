@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 
 #include "base/errors.hh"
 #include "base/str.hh"
@@ -48,6 +49,13 @@ summaryCells(const JobResult &r)
             r.error};
 }
 
+std::string
+pipeSafe(std::string s)
+{
+    std::replace(s.begin(), s.end(), '|', '/');
+    return s;
+}
+
 } // namespace
 
 void
@@ -55,6 +63,17 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
               const std::vector<ScenarioSpec> &jobs,
               const ResultStore &store)
 {
+    // Provenance columns appear only when a result carries them, so
+    // local-run reports keep their pre-fabric shape.
+    bool anyWorker = false;
+    for (const ScenarioSpec &spec : jobs) {
+        const JobResult *r = store.findResult(spec.hashHex());
+        if (r != nullptr && !r->worker.empty()) {
+            anyWorker = true;
+            break;
+        }
+    }
+
     std::vector<std::string> header{"name", "hash"};
     for (const SweepAxis &axis : plan.axes())
         header.push_back(axis.key);
@@ -64,6 +83,10 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
           "fallback_tier",
           "error_class", "wall_s", "cpu_s", "rss_delta_kb", "error"})
         header.emplace_back(col);
+    if (anyWorker) {
+        header.emplace_back("worker");
+        header.emplace_back("lease_renewals");
+    }
 
     TextTable table(std::move(header));
     for (const ScenarioSpec &spec : jobs) {
@@ -77,11 +100,17 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
         if (r != nullptr) {
             for (std::string &cell : summaryCells(*r))
                 row.push_back(std::move(cell));
+            if (anyWorker) {
+                row.push_back(r->worker);
+                row.push_back(std::to_string(r->leaseRenewals));
+            }
         } else {
             // Interrupted before this job ran (stopAfter / kill).
             row.insert(row.end(),
                        {"pending", "-", "-", "-", "-", "-", "-", "-",
                         "-", "-", "-", "-", "-", ""});
+            if (anyWorker)
+                row.insert(row.end(), {"", "0"});
         }
         table.addRow(std::move(row));
     }
@@ -172,6 +201,17 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
             ++fallbacks;
     }
 
+    // Worker provenance columns appear only when some result carries
+    // them — a journal from a pre-fabric (or purely local) run renders
+    // exactly as before.
+    bool anyWorker = false;
+    for (const JobResult &r : results) {
+        if (!r.worker.empty()) {
+            anyWorker = true;
+            break;
+        }
+    }
+
     std::string md;
     md += "# Sweep summary — " + title + "\n\n";
     md += std::to_string(results.size()) + " scenario(s): " +
@@ -184,8 +224,10 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
               " used a solver fallback.\n\n";
     }
     md += "| scenario | status | hottest unit | peak (C) | dT (K) |"
-          " CG iters | warm | impulse | wall (s) | cpu (s) |\n";
-    md += "|---|---|---|---:|---:|---:|---|---|---:|---:|\n";
+          " CG iters | warm | impulse | wall (s) | cpu (s) |";
+    md += anyWorker ? " worker | renewals |\n" : "\n";
+    md += "|---|---|---|---:|---:|---:|---|---|---:|---:|";
+    md += anyWorker ? "---|---:|\n" : "\n";
     for (const JobResult &r : results) {
         // Pipes inside names would break the table layout.
         std::string name = r.name;
@@ -199,7 +241,7 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
                   (r.warmStarted ? "yes" : "no") + " | " +
                   (r.impulseCacheHit ? "yes" : "no") + " | " +
                   formatFixed(r.wallSeconds, 3) + " | " +
-                  formatFixed(r.resources.cpuSeconds, 3) + " |\n";
+                  formatFixed(r.resources.cpuSeconds, 3) + " |";
         } else {
             std::string err = r.error;
             std::replace(err.begin(), err.end(), '|', '/');
@@ -208,7 +250,33 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
                 err = err.substr(0, 77) + "...";
             md += err + " | - | - | - | - | - | " +
                   formatFixed(r.wallSeconds, 3) + " | " +
-                  formatFixed(r.resources.cpuSeconds, 3) + " |\n";
+                  formatFixed(r.resources.cpuSeconds, 3) + " |";
+        }
+        if (anyWorker) {
+            md += " " + pipeSafe(r.worker.empty() ? "-" : r.worker) +
+                  " | " + std::to_string(r.leaseRenewals) + " |";
+        }
+        md += "\n";
+    }
+
+    if (anyWorker) {
+        // Fleet rollup: who did how much, and how often leases had
+        // to be kept alive mid-batch.
+        std::map<std::string, std::pair<std::size_t, std::size_t>>
+            perWorker; // worker -> {jobs, renewals}
+        for (const JobResult &r : results) {
+            auto &cell =
+                perWorker[r.worker.empty() ? "(local)" : r.worker];
+            ++cell.first;
+            cell.second += r.leaseRenewals;
+        }
+        md += "\n## Workers\n\n";
+        md += "| worker | jobs | lease renewals |\n";
+        md += "|---|---:|---:|\n";
+        for (const auto &[worker, cell] : perWorker) {
+            md += "| " + pipeSafe(worker) + " | " +
+                  std::to_string(cell.first) + " | " +
+                  std::to_string(cell.second) + " |\n";
         }
     }
     return md;
@@ -287,13 +355,6 @@ statCells(const JsonValue &stat)
     return formatFixed(aggNumber(stat, "min"), 2) + " | " +
            formatFixed(aggNumber(stat, "mean"), 2) + " | " +
            formatFixed(aggNumber(stat, "max"), 2);
-}
-
-std::string
-pipeSafe(std::string s)
-{
-    std::replace(s.begin(), s.end(), '|', '/');
-    return s;
 }
 
 } // namespace

@@ -124,6 +124,12 @@ JobResult::toJsonLine() const
         }
         out += "}";
     }
+    // Fabric provenance, omitted at its defaults so single-process
+    // journals stay byte-identical to pre-fabric builds.
+    if (!worker.empty())
+        out += ",\"worker\":\"" + obs::jsonEscape(worker) + "\"";
+    if (leaseRenewals != 0)
+        out += ",\"lease_renewals\":" + std::to_string(leaseRenewals);
     out += ",\"blocks\":{";
     bool first = true;
     for (const auto &[block, celsius] : blockCelsius) {
@@ -141,7 +147,12 @@ JobResult
 JobResult::fromJsonLine(const std::string &line,
                         const std::string &context)
 {
-    const JsonValue doc = parseJson(line, context);
+    return fromJson(parseJson(line, context), context);
+}
+
+JobResult
+JobResult::fromJson(const JsonValue &doc, const std::string &context)
+{
     if (!doc.isObject())
         configError(context, ": journal entry must be an object");
 
@@ -220,6 +231,19 @@ JobResult::fromJsonLine(const std::string &line,
             static_cast<std::size_t>(resNum("retries"));
         r.resources.fallbackEscalations =
             static_cast<int>(resNum("fallbacks"));
+    }
+    // Fabric provenance: absent in pre-fabric journals and in
+    // single-process sweeps (the serializer omits the defaults).
+    if (const JsonValue *v = doc.find("worker")) {
+        if (!v->isString())
+            configError(context, ": 'worker' must be a string");
+        r.worker = v->text;
+    }
+    if (const JsonValue *v = doc.find("lease_renewals")) {
+        if (!v->isNumber())
+            configError(context,
+                        ": 'lease_renewals' must be a number");
+        r.leaseRenewals = static_cast<std::size_t>(v->number);
     }
     // Axis assignments arrived with the analytics layer; optional.
     if (const JsonValue *axes = doc.find("axes")) {

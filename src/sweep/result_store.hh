@@ -64,6 +64,8 @@
 namespace irtherm::sweep
 {
 
+class JsonValue;
+
 /** Terminal state of one job. */
 enum class JobStatus
 {
@@ -132,6 +134,13 @@ struct JobResult
      *  `axes` object, omitted when empty) — lets aggregates group by
      *  axis value from the journal alone. */
     std::vector<std::pair<std::string, std::string>> axisValues;
+    /** Fabric provenance: id of the worker that executed the job
+     *  (journal `worker` field, omitted when empty — single-process
+     *  sweeps journal byte-identically to pre-fabric builds). */
+    std::string worker;
+    /** Lease renewals the executing worker performed while holding
+     *  this job (journal `lease_renewals`, omitted when zero). */
+    std::size_t leaseRenewals = 0;
 
     /** Serialize as one journal JSONL line (no trailing newline). */
     std::string toJsonLine() const;
@@ -139,11 +148,18 @@ struct JobResult
     /**
      * Parse a journal line; throws (ConfigError) on malformed
      * entries. The resilience fields (`error_class`, `attempts`,
-     * `fallback_tier`) and the `resources` / `axes` objects are
+     * `fallback_tier`), the `resources` / `axes` objects, and the
+     * fabric provenance fields (`worker`, `lease_renewals`) are
      * optional so journals written before they existed still load.
      */
     static JobResult fromJsonLine(const std::string &line,
                                   const std::string &context);
+
+    /** Same contract over an already-parsed JSON object (the fabric
+     *  /complete endpoint receives results embedded in a larger
+     *  document). */
+    static JobResult fromJson(const JsonValue &doc,
+                              const std::string &context);
 };
 
 class SweepAggregator;

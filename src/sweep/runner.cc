@@ -17,6 +17,7 @@
 #include "base/errors.hh"
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
+#include "base/shutdown.hh"
 #include "base/resource_usage.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
@@ -407,6 +408,79 @@ class SerialKernelGuard
 
 } // namespace
 
+struct JobExecutor::Impl
+{
+    SweepOptions opts;
+    /** Jobs solve single-threaded; the executor's threads (or the
+     *  fabric's processes) provide the parallelism. */
+    SerialKernelGuard serialKernels;
+    std::shared_ptr<WarmStartCache> warm =
+        std::make_shared<WarmStartCache>();
+    AbandonedJobs abandoned;
+
+    explicit Impl(const SweepOptions &o) : opts(o) {}
+};
+
+JobExecutor::JobExecutor(const SweepOptions &opts)
+    : impl(std::make_unique<Impl>(opts))
+{
+}
+
+JobExecutor::~JobExecutor()
+{
+    impl->abandoned.reap(
+        std::max(2.0, 4.0 * impl->opts.jobTimeoutSeconds));
+}
+
+JobResult
+JobExecutor::run(const ScenarioSpec &spec, bool allowSuperposition,
+                 const std::string &workerLabel)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    const SweepOptions &opts = impl->opts;
+    JobResult r;
+    std::size_t attempt = 1;
+    JobResources acc; ///< resource totals across attempts
+    {
+        obs::ScopedTimer jobTimer(reg.timer("sweep.job_time"));
+        for (;; ++attempt) {
+            r = runGuarded(spec, opts, impl->warm, impl->abandoned,
+                           attempt, workerLabel, allowSuperposition);
+            acc.cpuSeconds += r.resources.cpuSeconds;
+            acc.peakRssDeltaKb += r.resources.peakRssDeltaKb;
+            acc.solverIterations += r.resources.solverIterations;
+            if (r.status != JobStatus::Failed ||
+                !errorClassRetryable(r.errorClass) ||
+                attempt > opts.maxRetries)
+                break;
+            const double delay =
+                opts.retryBackoffSeconds *
+                static_cast<double>(1ULL << (attempt - 1));
+            warn("sweep: job '", r.name, "' failed (",
+                 errorClassName(r.errorClass), "), retry ", attempt,
+                 "/", opts.maxRetries, " in ", delay, " s: ", r.error);
+            reg.counter("resilience.retry.attempts").add();
+            IRTHERM_EVENT("resilience.retry", {"name", r.name},
+                          {"attempt", attempt},
+                          {"class", errorClassName(r.errorClass)},
+                          {"delay_s", delay});
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+        }
+    }
+    r.attempts = attempt;
+    acc.retries = attempt - 1;
+    acc.fallbackEscalations = r.fallbackTier;
+    r.resources = acc;
+    return r;
+}
+
+void
+JobExecutor::reapAbandoned(double budgetSeconds)
+{
+    impl->abandoned.reap(budgetSeconds);
+}
+
 SweepSummary
 runSweep(const SweepPlan &plan, const SweepOptions &opts)
 {
@@ -438,7 +512,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                        sum.quarantinedSegments});
     }
 
-    // Pending = not journaled, first occurrence of its hash.
+    // Pending = not journaled, not in the shared cache, first
+    // occurrence of its hash.
     std::vector<const ScenarioSpec *> pending;
     std::set<std::string> queued;
     for (const ScenarioSpec &spec : jobs) {
@@ -451,6 +526,23 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
         if (!queued.insert(hash).second) {
             ++sum.duplicates;
             reg.counter("sweep.jobs.duplicate").add();
+            continue;
+        }
+        JobResult cachedResult;
+        if (opts.sharedCacheLookup &&
+            opts.sharedCacheLookup(hash, cachedResult)) {
+            // Content-addressed hit: the stored result came from a
+            // prior run of this exact scenario, so journal it here
+            // verbatim — except the axis assignments, which belong
+            // to the plan being run, not the plan that produced it.
+            cachedResult.axisValues.clear();
+            for (const SweepAxis &axis : plan.axes()) {
+                if (const std::string *v = spec.find(axis.key))
+                    cachedResult.axisValues.emplace_back(axis.key, *v);
+            }
+            store.add(cachedResult);
+            ++sum.sharedCacheHits;
+            reg.counter("sweep.shared_cache.hits").add();
             continue;
         }
         pending.push_back(&spec);
@@ -477,11 +569,10 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
 
     IRTHERM_EVENT("sweep.start", {"plan", plan.name()},
                   {"jobs", sum.total}, {"pending", pending.size()},
-                  {"cached", sum.cached});
+                  {"cached", sum.cached},
+                  {"shared_cache_hits", sum.sharedCacheHits});
 
-    SerialKernelGuard serialKernels;
-    const auto warm = std::make_shared<WarmStartCache>();
-    AbandonedJobs abandoned;
+    JobExecutor executor(opts);
     std::atomic<std::size_t> nextJob{0};
     std::atomic<std::size_t> executed{0};
     std::mutex sumMu;
@@ -538,6 +629,12 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
             "worker" + std::to_string(workerIndex);
         obs::SpanRecorder::setThreadLabel(label);
         while (true) {
+            // SIGINT/SIGTERM drains: stop claiming, let in-flight
+            // jobs land, and fall through to the normal finalize path
+            // (journal flushed, open segment sealed, final aggregate
+            // checkpoint written).
+            if (shutdownRequested())
+                break;
             if (opts.stopAfter != 0 &&
                 executed.load(std::memory_order_relaxed) >=
                     opts.stopAfter)
@@ -547,45 +644,9 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
             if (i >= pending.size())
                 break;
             const ScenarioSpec &spec = *pending[i];
-            JobResult r;
-            std::size_t attempt = 1;
-            JobResources acc; ///< resource totals across attempts
             board.jobStarted();
-            {
-                obs::ScopedTimer jobTimer(reg.timer("sweep.job_time"));
-                for (;; ++attempt) {
-                    r = runGuarded(spec, opts, warm, abandoned,
-                                   attempt, label,
-                                   superpositionEligible(spec));
-                    acc.cpuSeconds += r.resources.cpuSeconds;
-                    acc.peakRssDeltaKb += r.resources.peakRssDeltaKb;
-                    acc.solverIterations +=
-                        r.resources.solverIterations;
-                    if (r.status != JobStatus::Failed ||
-                        !errorClassRetryable(r.errorClass) ||
-                        attempt > opts.maxRetries)
-                        break;
-                    const double delay =
-                        opts.retryBackoffSeconds *
-                        static_cast<double>(1ULL << (attempt - 1));
-                    warn("sweep: job '", r.name, "' failed (",
-                         errorClassName(r.errorClass), "), retry ",
-                         attempt, "/", opts.maxRetries, " in ", delay,
-                         " s: ", r.error);
-                    reg.counter("resilience.retry.attempts").add();
-                    IRTHERM_EVENT("resilience.retry", {"name", r.name},
-                                  {"attempt", attempt},
-                                  {"class",
-                                   errorClassName(r.errorClass)},
-                                  {"delay_s", delay});
-                    std::this_thread::sleep_for(
-                        std::chrono::duration<double>(delay));
-                }
-            }
-            r.attempts = attempt;
-            acc.retries = attempt - 1;
-            acc.fallbackEscalations = r.fallbackTier;
-            r.resources = acc;
+            JobResult r = executor.run(
+                spec, superpositionEligible(spec), label);
             // Journal the axis assignment with the result so the
             // aggregates can group by axis value without the plan.
             for (const SweepAxis &axis : plan.axes()) {
@@ -593,6 +654,8 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
                     r.axisValues.emplace_back(axis.key, *v);
             }
             store.add(r);
+            if (r.status == JobStatus::Ok && opts.sharedCacheStore)
+                opts.sharedCacheStore(r);
             board.jobFinished(r.status);
             executed.fetch_add(1, std::memory_order_relaxed);
             reg.counter("sweep.jobs.executed").add();
@@ -650,10 +713,14 @@ runSweep(const SweepPlan &plan, const SweepOptions &opts)
             t.join();
     }
     sum.executed = executed.load();
+    if (shutdownRequested())
+        inform("sweep: shutdown requested; drained after ",
+               sum.executed, " of ", pending.size(),
+               " pending jobs (journal sealed, checkpoint written)");
 
     // Give abandoned job threads a bounded chance to finish (joined),
     // detaching any that are still stuck.
-    abandoned.reap(
+    executor.reapAbandoned(
         std::max(2.0, 4.0 * opts.jobTimeoutSeconds));
 
     // Seal the remaining buffered rows and checkpoint the aggregates

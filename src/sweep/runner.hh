@@ -39,6 +39,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sweep/plan.hh"
@@ -116,6 +117,17 @@ struct SweepOptions
      * tests and scripts can connect while the sweep is in flight.
      */
     std::function<void(int)> onServerStart;
+    /**
+     * Shared content-addressed result cache, injected as hooks so the
+     * sweep layer stays independent of where the cache lives (the
+     * fabric's on-disk store, a test double, ...). lookup returns
+     * true and fills @p out when the scenario hash has a cached Ok
+     * result; store is called with every fresh Ok result. Either may
+     * be empty (no shared cache).
+     */
+    std::function<bool(const std::string &hash, JobResult &out)>
+        sharedCacheLookup;
+    std::function<void(const JobResult &)> sharedCacheStore;
 };
 
 /** What a sweep did, plus where it wrote its artifacts. */
@@ -132,6 +144,9 @@ struct SweepSummary
     std::size_t warmStarted = 0;///< executed with a CG warm start
     /** Jobs answered from the verified impulse-response cache. */
     std::size_t impulseCacheHits = 0;
+    /** Jobs answered from the shared content-addressed result cache
+     *  (SweepOptions::sharedCacheLookup) instead of simulated. */
+    std::size_t sharedCacheHits = 0;
     std::size_t retried = 0;    ///< jobs that needed > 1 attempt
     std::size_t fallbacks = 0;  ///< jobs whose solve used a fallback
     std::size_t quarantined = 0;///< journal lines set aside on resume
@@ -141,6 +156,52 @@ struct SweepSummary
     std::string journalPath;
     std::string csvPath;  ///< empty unless reports were written
     std::string jsonPath; ///< empty unless reports were written
+};
+
+/**
+ * Single-job execution engine: everything between "here is a
+ * scenario" and "here is its terminal JobResult" — failure isolation,
+ * bounded retry with backoff, the cooperative deadline and watchdog
+ * hard deadline, warm-start reuse across jobs, and resource
+ * accounting across attempts. runSweep() drives one of these from
+ * its scheduler threads; a fabric worker drives one from its lease
+ * loop — the same engine either way, so local and distributed
+ * execution of a scenario cannot diverge.
+ *
+ * Thread-safe: run() may be called from several threads at once
+ * (runSweep does exactly that). Construction disables the numeric
+ * kernels' thread-pool parallelism for the executor's lifetime (see
+ * the scheduling-model note at the top of this file); destruction
+ * restores it and gives watchdog-abandoned threads a bounded chance
+ * to finish.
+ */
+class JobExecutor
+{
+  public:
+    explicit JobExecutor(const SweepOptions &opts);
+    ~JobExecutor();
+
+    JobExecutor(const JobExecutor &) = delete;
+    JobExecutor &operator=(const JobExecutor &) = delete;
+
+    /**
+     * Run @p spec to a terminal state: retries, deadline, watchdog.
+     * @p allowSuperposition gates the impulse-response fast path
+     * (the caller knows whether enough same-stack jobs exist for the
+     * response matrix to amortize); @p workerLabel names the logical
+     * worker in spans and /status. Never throws for per-job failures.
+     */
+    JobResult run(const ScenarioSpec &spec,
+                  bool allowSuperposition = false,
+                  const std::string &workerLabel = "");
+
+    /** Join watchdog-abandoned job threads that finish within
+     *  @p budgetSeconds total; detach the rest. */
+    void reapAbandoned(double budgetSeconds);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
 };
 
 /** Expand @p plan and run it to completion under @p opts. */

@@ -21,10 +21,11 @@ namespace
 
 constexpr char kMagic[4] = {'I', 'R', 'S', 'G'};
 constexpr char kTrailerMagic[4] = {'G', 'S', 'R', 'I'};
-// v2 added the impulse_hit bit column after warm_start; v1 segments
-// (written before the superposition cache) still read, with every
-// row's impulse_hit false.
-constexpr std::uint16_t kVersion = 2;
+// v2 added the impulse_hit bit column after warm_start; v3 appended
+// the fabric provenance columns (worker string, lease renewals).
+// Older segments still read, with the missing columns at their
+// defaults (impulse_hit false, worker "", lease_renewals 0).
+constexpr std::uint16_t kVersion = 3;
 constexpr std::uint16_t kFlagHashU64 = 1u << 0;
 
 // ---------------------------------------------------------------
@@ -538,6 +539,15 @@ writeSegmentFile(const std::string &path,
     putColumn(out, blocksCol);
     putColumn(out, axesCol);
 
+    // v3: fabric provenance. Appended after every pre-existing column
+    // so a v2 reader's layout maps onto a v3 file's prefix.
+    stringColumn([](const JobResult &r) -> const std::string & {
+        return r.worker;
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.leaseRenewals);
+    });
+
     putU32(out, crc32(out.data(), out.size()));
     out.insert(out.end(), kTrailerMagic, kTrailerMagic + 4);
 
@@ -605,7 +615,7 @@ readSegmentFile(const std::string &path)
 
     ByteReader r(data.data() + 4, crcOffset - 4, "segment '" + path + "'");
     const std::uint16_t version = r.u16();
-    if (version != 1 && version != kVersion)
+    if (version < 1 || version > kVersion)
         ioError("segment '", path, "': unsupported version ", version);
     const std::uint16_t flags = r.u16();
     const std::size_t rows = r.u32();
@@ -759,6 +769,15 @@ readSegmentFile(const std::string &path)
                 out[i].axisValues.emplace_back(key, value);
             }
         }
+    }
+
+    if (version >= 3) {
+        std::vector<std::string> workers = readStringColumn(r, rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            out[i].worker = std::move(workers[i]);
+        intColumn([](JobResult &j, std::int64_t v) {
+            j.leaseRenewals = static_cast<std::size_t>(v);
+        });
     }
     return out;
 }

@@ -14,8 +14,10 @@
  * File layout (all integers little-endian):
  *
  *     "IRSG"  magic (4 bytes)
- *     u16     format version (2; v1 lacked the impulse_hit column
- *             and still reads, with impulse_hit = false per row)
+ *     u16     format version (3; v1 lacked the impulse_hit column,
+ *             v2 lacked the worker/lease_renewals provenance
+ *             columns — both still read, missing columns
+ *             defaulting per row)
  *     u16     flags (bit 0: hash column stored as raw u64)
  *     u32     row count
  *     column blocks, each:  u32 byte length, payload

@@ -47,6 +47,13 @@ SweepStatusBoard::begin(const std::string &planName,
 }
 
 void
+SweepStatusBoard::setWorkers(std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    workers = count;
+}
+
+void
 SweepStatusBoard::jobStarted()
 {
     std::lock_guard<std::mutex> lock(mu);

@@ -38,6 +38,13 @@ class SweepStatusBoard
     /** A worker picked up a job (first attempt). */
     void jobStarted();
 
+    /**
+     * Update the worker count after begin(). A fabric coordinator
+     * does not know its fleet up front — workers announce themselves
+     * by leasing, so the count grows as they connect.
+     */
+    void setWorkers(std::size_t count);
+
     /** A job reached a terminal state. */
     void jobFinished(JobStatus status);
 

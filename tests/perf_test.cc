@@ -423,7 +423,9 @@ TEST(ImpulseCache, ConcurrentAcquireBuildsOnce)
     constexpr int kThreads = 8;
     std::vector<std::shared_ptr<const ImpulseResponseMatrix>> got(
         kThreads);
-    std::vector<bool> hit(kThreads, false);
+    // char, not bool: vector<bool> packs bits, so per-thread writes
+    // to adjacent elements would race on the shared word.
+    std::vector<char> hit(kThreads, 0);
 
     std::vector<std::thread> workers;
     workers.reserve(kThreads);
