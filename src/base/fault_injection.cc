@@ -16,22 +16,27 @@ thread_local std::vector<std::string> contextStack;
 
 const std::string emptyKey;
 
-/** Points the codebase actually probes; unknown points are a typo. */
-const char *const kKnownPoints[] = {
-    "cg.nan",          "cg.diverge",       "mg.diverge",
-    "impulse.corrupt", "job.stall",        "journal.corrupt",
-    "journal.truncate", "journal.torn_segment",
-    "lease.lost",      "worker.die",       "complete.dup",
-};
-
 bool
 knownPoint(const std::string &p)
 {
-    for (const char *k : kKnownPoints) {
-        if (p == k)
+    for (const FaultPoint &k : FaultInjector::knownPoints()) {
+        if (p == k.name)
             return true;
     }
     return false;
+}
+
+/** Comma-separated point names, for the unknown-point diagnostic. */
+std::string
+knownPointList()
+{
+    std::string out;
+    for (const FaultPoint &k : FaultInjector::knownPoints()) {
+        if (!out.empty())
+            out += ", ";
+        out += k.name;
+    }
+    return out;
 }
 
 /** parseDouble, but spec errors keep the ConfigError contract. */
@@ -46,6 +51,58 @@ parseSpecNumber(const std::string &value, const std::string &ctx)
 }
 
 } // namespace
+
+const std::vector<FaultPoint> &
+FaultInjector::knownPoints()
+{
+    using namespace faultpoint;
+    static const std::vector<FaultPoint> catalog = {
+        {CgNan, "numeric/iterative",
+         "poison the CG residual with a NaN",
+         "solver fallback chain demotes; job retries and completes"},
+        {CgDiverge, "numeric/iterative",
+         "force the iterative solve to report divergence",
+         "fallback chain demotes to the next solver tier"},
+        {MgDiverge, "numeric/multigrid",
+         "poison one multigrid V-cycle output with NaN",
+         "robust_solve demotes mg-cg to ssor-cg"},
+        {ImpulseCorrupt, "numeric/impulse_cache",
+         "poison one column of a fresh impulse-response matrix",
+         "independent residual check rejects it; job demotes to the "
+         "iterative chain"},
+        {JobStall, "sweep/runner",
+         "sleep inside a sweep job (seconds= payload)",
+         "cooperative deadline or watchdog times the job out"},
+        {JournalCorrupt, "sweep/result_store",
+         "scramble the bytes of one journal line",
+         "resume quarantines the line and re-runs the job"},
+        {JournalTruncate, "sweep/result_store",
+         "write only a prefix of one journal line",
+         "resume quarantines the merged line and re-runs the job"},
+        {JournalTornSegment, "sweep/segment",
+         "seal only a prefix of a columnar segment",
+         "resume quarantines the segment (.torn) and recovers rows "
+         "from the JSONL tail"},
+        {LeaseLost, "fabric/coordinator",
+         "coordinator forgets a live lease as if it expired",
+         "holder's renew gets 410; jobs re-lease; completes land "
+         "exactly once"},
+        {WorkerDie, "fabric/worker",
+         "worker dies after leasing a batch, before completing it",
+         "lease TTL lapses; jobs re-lease with zero duplicate work"},
+        {CompleteDup, "fabric/worker",
+         "worker re-sends a successful /complete batch",
+         "coordinator classifies every row as a duplicate"},
+        {CacheCorrupt, "fabric/result_cache",
+         "scramble a shared result-cache entry as it is read",
+         "entry is evicted and reported as a miss, never served"},
+        {CkptCorrupt, "sweep/result_store",
+         "scramble the aggregates checkpoint as resume opens it",
+         "checkpoint is discarded; resume falls back to the full "
+         "JSONL scan"},
+    };
+    return catalog;
+}
 
 FaultInjector &
 FaultInjector::global()
@@ -73,7 +130,8 @@ FaultInjector::arm(const std::string &spec)
         rule.point = trim(parts[0]);
         if (!knownPoint(rule.point)) {
             configError("faults: unknown injection point '",
-                        rule.point, "'");
+                        rule.point, "' (known points: ",
+                        knownPointList(), ")");
         }
         for (std::size_t i = 1; i < parts.size(); ++i) {
             const std::string opt = trim(parts[i]);

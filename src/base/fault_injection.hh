@@ -43,6 +43,19 @@
  *     complete.dup      fabric worker re-sends a successful
  *                       /complete batch; the coordinator must drop
  *                       every row as a duplicate
+ *     cache.corrupt     scramble a shared result-cache entry as it is
+ *                       read; the cache must evict the entry and
+ *                       report a miss — a corrupt entry is never
+ *                       served as a result
+ *     ckpt.corrupt      scramble the aggregates checkpoint on disk as
+ *                       resume opens it; resume must discard it and
+ *                       fall back to the full JSONL scan
+ *
+ * The catalog above is exported programmatically as
+ * FaultInjector::knownPoints() (name + layer + effect + expected
+ * recovery), and the `faultpoint` namespace names each point as a
+ * constant so probe sites and tests never spell a raw string that
+ * arm() could not have validated.
  *
  * Rule options:
  *     match=<substr>  only fire when the probe's scope key (e.g. the
@@ -76,6 +89,39 @@
 namespace irtherm
 {
 
+/**
+ * The injection points the codebase probes, as constants. Probe sites
+ * and fault-spec generators reference these instead of raw string
+ * literals, so a renamed point is a compile error, not a probe that
+ * silently never fires.
+ */
+namespace faultpoint
+{
+inline constexpr const char *CgNan = "cg.nan";
+inline constexpr const char *CgDiverge = "cg.diverge";
+inline constexpr const char *MgDiverge = "mg.diverge";
+inline constexpr const char *ImpulseCorrupt = "impulse.corrupt";
+inline constexpr const char *JobStall = "job.stall";
+inline constexpr const char *JournalCorrupt = "journal.corrupt";
+inline constexpr const char *JournalTruncate = "journal.truncate";
+inline constexpr const char *JournalTornSegment =
+    "journal.torn_segment";
+inline constexpr const char *LeaseLost = "lease.lost";
+inline constexpr const char *WorkerDie = "worker.die";
+inline constexpr const char *CompleteDup = "complete.dup";
+inline constexpr const char *CacheCorrupt = "cache.corrupt";
+inline constexpr const char *CkptCorrupt = "ckpt.corrupt";
+} // namespace faultpoint
+
+/** One entry of the programmatic fault-point catalog. */
+struct FaultPoint
+{
+    const char *name;     ///< spec name, e.g. "cg.nan"
+    const char *layer;    ///< subsystem that probes it
+    const char *effect;   ///< what firing does
+    const char *recovery; ///< what the system must do about it
+};
+
 class FaultInjector
 {
   public:
@@ -84,6 +130,14 @@ class FaultInjector
      * the environment (empty/unset leaves it disarmed).
      */
     static FaultInjector &global();
+
+    /**
+     * Every injection point the codebase probes, with its layer,
+     * effect, and expected recovery. arm() validates specs against
+     * exactly this list; the campaign driver draws from it; the
+     * DESIGN §14 table documents it.
+     */
+    static const std::vector<FaultPoint> &knownPoints();
 
     /**
      * Replace all rules with @p spec (see file comment for the

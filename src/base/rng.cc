@@ -29,4 +29,28 @@ Rng::weightedIndex(const std::vector<double> &weights)
     return weights.size() - 1;
 }
 
+std::size_t
+SplitMix64::weightedIndex(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        fatal("weightedIndex: empty weight vector");
+
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("weightedIndex: negative weight ", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("weightedIndex: weights sum to zero");
+
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
 } // namespace irtherm

@@ -5,6 +5,18 @@
  * Every stochastic component in irtherm (workload generators, sensor
  * noise) takes an explicit Rng so that benches and tests are exactly
  * reproducible run-to-run.
+ *
+ * Two generators live here with different contracts:
+ *
+ *  - Rng wraps std::mt19937_64 + the standard distributions. Fast and
+ *    statistically fine, but distribution *outputs* are
+ *    implementation-defined, so two stdlibs may disagree draw for
+ *    draw. Use it when "same binary, same sequence" is enough.
+ *  - SplitMix64 is fully specified down to the bit: every draw is
+ *    defined by this header alone, so a 64-bit seed replays the exact
+ *    same sequence on any platform or stdlib. The fault-campaign
+ *    driver (src/campaign/) requires this — a campaign seed printed
+ *    by nightly CI must replay bit-for-bit on a developer machine.
  */
 
 #ifndef IRTHERM_BASE_RNG_HH
@@ -65,6 +77,105 @@ class Rng
 
   private:
     std::mt19937_64 engine;
+};
+
+/**
+ * Fully specified splittable PRNG (Steele/Lea/Flood splitmix64).
+ *
+ * Unlike Rng, no draw here goes through a std distribution: uniform(),
+ * index(), range(), chance(), and weightedIndex() are all defined in
+ * terms of next()'s exact 64-bit output, so a seed replays the
+ * identical sequence across compilers, stdlibs, and platforms.
+ * child(n) derives an independent stream from the *construction* seed
+ * (not the current state), so derived streams do not depend on how
+ * many draws the parent has made — a campaign cycle is a pure
+ * function of (seed, cycle index).
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed = 0) noexcept
+        : origin(seed), state(seed)
+    {
+    }
+
+    /** Next raw 64-bit draw (the canonical splitmix64 mix). */
+    std::uint64_t
+    next() noexcept
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1) with 53 significant bits. */
+    double
+    uniform() noexcept
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi) noexcept
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::size_t
+    index(std::size_t n) noexcept
+    {
+        return static_cast<std::size_t>(next() %
+                                        static_cast<std::uint64_t>(n));
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). @pre lo <= hi */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi) noexcept
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+    /** True with probability @p p. */
+    bool
+    chance(double p) noexcept
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative weights (need not be normalized); fatal() on an
+     * empty or all-zero weight vector.
+     */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+    /**
+     * Independent stream @p n derived from the construction seed.
+     * Stateless with respect to this generator's draw position.
+     */
+    SplitMix64
+    child(std::uint64_t n) const noexcept
+    {
+        // One splitmix step over (origin, n) decorrelates the child
+        // seed from both inputs.
+        SplitMix64 mix(origin ^
+                       (0x9e3779b97f4a7c15ULL * (n + 1)));
+        return SplitMix64(mix.next());
+    }
+
+    /** The seed this generator (or stream) was constructed with. */
+    std::uint64_t
+    seed() const noexcept
+    {
+        return origin;
+    }
+
+  private:
+    std::uint64_t origin;
+    std::uint64_t state;
 };
 
 } // namespace irtherm

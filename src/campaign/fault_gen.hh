@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Random fault-spec composition for campaigns.
+ *
+ * Draws 1-3 rules over a caller-supplied subset of the fault-point
+ * catalog (FaultInjector::knownPoints()) with random count=/after=/
+ * prob= knobs, and serializes them in the exact IRTHERM_FAULTS
+ * grammar — the generated spec is what the driver arms in-process
+ * and what it puts into the environment of spawned fleet processes,
+ * and it round-trips through FaultInjector::arm() by construction.
+ */
+
+#ifndef IRTHERM_CAMPAIGN_FAULT_GEN_HH
+#define IRTHERM_CAMPAIGN_FAULT_GEN_HH
+
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace irtherm::campaign
+{
+
+/**
+ * Compose a random IRTHERM_FAULTS spec over @p eligible points
+ * (names from the known-point catalog). Up to three rules, each on a
+ * distinct point; job.stall rules carry a small seconds= payload so
+ * campaigns never block on a long injected sleep.
+ */
+std::string generateFaultSpec(
+    SplitMix64 &rng, const std::vector<const char *> &eligible);
+
+} // namespace irtherm::campaign
+
+#endif // IRTHERM_CAMPAIGN_FAULT_GEN_HH

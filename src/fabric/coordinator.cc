@@ -249,7 +249,7 @@ runCoordinator(const sweep::SweepPlan &plan,
         // Injected lease loss: the coordinator "forgets" the lease —
         // the holder must re-lease, and its jobs go back to the
         // queue. Any completes it still sends are first-wins.
-        if (FaultInjector::global().shouldFire("lease.lost", token)) {
+        if (FaultInjector::global().shouldFire(faultpoint::LeaseLost, token)) {
             table.expireToken(token);
             warn("fabric: injected lease.lost for ", token);
             return jsonResponse(410, "{\"ok\":false}");

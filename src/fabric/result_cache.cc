@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "base/errors.hh"
+#include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "obs/metrics.hh"
 
@@ -41,6 +42,14 @@ ResultCache::lookup(const std::string &hash,
     }
     std::string line;
     std::getline(in, line);
+    // Injected bit rot on the read path: mangle the entry so the
+    // normal corrupt-entry handling below (evict + miss) runs — a
+    // damaged entry must never be served as a result.
+    if (FaultInjector::global().shouldFire(faultpoint::CacheCorrupt,
+                                           hash)) {
+        for (std::size_t i = 1; i < line.size(); i += 7)
+            line[i] = '#';
+    }
     try {
         sweep::JobResult r = sweep::JobResult::fromJsonLine(
             line, "cache entry '" + path + "'");

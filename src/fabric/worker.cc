@@ -149,7 +149,7 @@ runWorker(const WorkerOptions &opts)
                       {"token", grant.token},
                       {"jobs", grant.jobs.size()});
 
-        if (FaultInjector::global().shouldFire("worker.die", name)) {
+        if (FaultInjector::global().shouldFire(faultpoint::WorkerDie, name)) {
             // Injected crash: stop renewing with jobs in hand. The
             // lease TTL lapses and the coordinator re-leases them.
             warn("fabric: injected worker.die for '", name, "'");
@@ -261,7 +261,7 @@ runWorker(const WorkerOptions &opts)
             // batch once; the coordinator must classify every result
             // as a duplicate and journal nothing new.
             if (attempt == 0 &&
-                FaultInjector::global().shouldFire("complete.dup",
+                FaultInjector::global().shouldFire(faultpoint::CompleteDup,
                                                    grant.token)) {
                 warn("fabric: injected complete.dup for ",
                      grant.token);

@@ -148,7 +148,7 @@ ImpulseResponseCache::acquire(std::uint64_t key, const Builder &build,
         return nullptr;
     }
 
-    if (FaultInjector::global().shouldFire("impulse.corrupt") &&
+    if (FaultInjector::global().shouldFire(faultpoint::ImpulseCorrupt) &&
         !built->values.empty()) {
         // Poison one response column with large-but-finite garbage:
         // only the independent residual check can catch this (a NaN

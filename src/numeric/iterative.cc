@@ -136,11 +136,11 @@ conjugateGradient(const LinearOperator &a, const std::vector<double> &b,
     res.initialResidualNorm = std::sqrt(rr);
 
     // Fault probes (single relaxed load each when disarmed).
-    if (FaultInjector::global().shouldFire("cg.diverge")) {
+    if (FaultInjector::global().shouldFire(faultpoint::CgDiverge)) {
         res.residualNorm = res.initialResidualNorm;
         return res; // converged == false: caller's fallback takes over
     }
-    if (FaultInjector::global().shouldFire("cg.nan")) {
+    if (FaultInjector::global().shouldFire(faultpoint::CgNan)) {
         r[0] = std::numeric_limits<double>::quiet_NaN();
         rr = r[0];
     }
@@ -260,7 +260,7 @@ biCgStab(const CsrMatrix &a, const std::vector<double> &b,
     res.initialResidualNorm = norm2(r);
     // Same probe as CG so a targeted scope can force every iterative
     // tier of the fallback chain to report divergence.
-    if (FaultInjector::global().shouldFire("cg.diverge")) {
+    if (FaultInjector::global().shouldFire(faultpoint::CgDiverge)) {
         res.residualNorm = res.initialResidualNorm;
         return res;
     }

@@ -671,7 +671,7 @@ MultigridPreconditioner::apply(const std::vector<double> &r,
     for (std::size_t i = 0; i < n; ++i)
         z[i] = static_cast<double>(xd[i]);
 
-    if (FaultInjector::global().shouldFire("mg.diverge")) {
+    if (FaultInjector::global().shouldFire(faultpoint::MgDiverge)) {
         // Emulate a diverging smoother: the cycle output goes
         // non-finite, CG rejects it, and robustSolve demotes to the
         // next tier.

@@ -47,6 +47,23 @@ setAsideSegment(const std::string &path, const char *suffix)
     }
 }
 
+/** Overwrite scattered bytes of @p path in place (ckpt.corrupt). */
+void
+scrambleFile(const std::string &path)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    if (!f)
+        return;
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::uint64_t>(f.tellg());
+    for (std::uint64_t pos = 1; pos < size; pos += 7) {
+        f.seekp(static_cast<std::streamoff>(pos));
+        f.put('#');
+    }
+    f.flush();
+}
+
 } // namespace
 
 const char *
@@ -334,6 +351,12 @@ ResultStore::loadJournal()
     bool haveCheckpoint = false;
     JsonValue checkpoint;
     if (std::filesystem::exists(checkpointPath())) {
+        // Injected checkpoint rot: scramble the file on disk before
+        // the parse below, so the genuine unreadable-checkpoint
+        // recovery (discard + full JSONL scan) is what runs.
+        if (FaultInjector::global().shouldFire(
+                faultpoint::CkptCorrupt, dir_))
+            scrambleFile(checkpointPath());
         try {
             checkpoint = loadJsonFile(checkpointPath());
             const JsonValue &schema = checkpoint.at("schema");
@@ -643,13 +666,13 @@ ResultStore::add(const JobResult &result)
     FaultInjector &faults = FaultInjector::global();
     bool rowFault = false;
     std::uint64_t wrote = 0;
-    if (faults.shouldFire("journal.truncate", result.name)) {
+    if (faults.shouldFire(faultpoint::JournalTruncate, result.name)) {
         // Simulate a kill mid-flush: a prefix with no newline, so the
         // next append (if any) merges into one unparsable line.
         journal << line.substr(0, line.size() / 2);
         wrote = line.size() / 2;
         rowFault = true;
-    } else if (faults.shouldFire("journal.corrupt", result.name)) {
+    } else if (faults.shouldFire(faultpoint::JournalCorrupt, result.name)) {
         for (std::size_t i = 1; i < line.size(); i += 9)
             line[i] = '#';
         journal << line << "\n";

@@ -152,11 +152,11 @@ runOneJob(const ScenarioSpec &spec, const SweepOptions &opts,
                               opts.jobTimeoutSeconds))
             : Clock::time_point::max();
     try {
-        if (FaultInjector::global().shouldFire("job.stall")) {
+        if (FaultInjector::global().shouldFire(faultpoint::JobStall)) {
             // Uncooperative sleep — no deadline checks — so the
             // watchdog's hard deadline is the only thing that fires.
             const double secs = FaultInjector::global().param(
-                "job.stall", "seconds", 0.2);
+                faultpoint::JobStall, "seconds", 0.2);
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(secs));
         }

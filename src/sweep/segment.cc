@@ -558,7 +558,7 @@ writeSegmentFile(const std::string &path,
     // from the page cache after the metadata became durable — so the
     // resume path has to detect the tear via the CRC footer.
     std::size_t writeBytes = out.size();
-    if (FaultInjector::global().shouldFire("journal.torn_segment")) {
+    if (FaultInjector::global().shouldFire(faultpoint::JournalTornSegment)) {
         writeBytes = out.size() / 2;
         info.torn = true;
     }

@@ -19,6 +19,7 @@
 
 #include "base/errors.hh"
 #include "base/fault_injection.hh"
+#include "fabric/result_cache.hh"
 #include "numeric/grid_stencil.hh"
 #include "numeric/impulse_cache.hh"
 #include "numeric/linear_operator.hh"
@@ -708,6 +709,80 @@ TEST(SweepResilience, TaxonomyRoundTripsThroughTheJournal)
     EXPECT_EQ(badsolve->status, sweep::JobStatus::Failed);
     EXPECT_EQ(badsolve->errorClass, ErrorClass::Numeric);
     EXPECT_EQ(badsolve->attempts, 2u);
+}
+
+TEST(SweepResilience, CorruptSharedCacheEntryIsEvictedAsMiss)
+{
+    // cache.corrupt scrambles the entry's bytes as lookup() reads
+    // them — the shape of a torn rename or a hand-edited file. The
+    // cache must answer "miss", evict the damaged entry, and keep
+    // serving cleanly afterwards.
+    sweep::JobResult r;
+    r.hash = "00000000000000cc";
+    r.name = "cached-job";
+    r.status = sweep::JobStatus::Ok;
+    r.peakCelsius = 81.25;
+    r.minCelsius = 50.5;
+    r.gradientKelvin = 30.75;
+    r.hottestUnit = "alu";
+    r.heatPrimaryWatts = 1.0;
+    r.cgIterations = 12;
+    r.blockCelsius = {{"alu", 81.25}};
+
+    const fabric::ResultCache cache(freshOutDir("cache_corrupt"));
+    cache.store(r);
+    sweep::JobResult out;
+    ASSERT_TRUE(cache.lookup(r.hash, out));
+    EXPECT_EQ(out.toJsonLine(), r.toJsonLine());
+    {
+        const ArmGuard faults("cache.corrupt");
+        EXPECT_FALSE(cache.lookup(r.hash, out));
+        EXPECT_GE(FaultInjector::global().fired(), 1u);
+        // Evicted, so the rot cannot serve a second reader.
+        EXPECT_FALSE(
+            std::filesystem::exists(cache.entryPath(r.hash)));
+    }
+    // A fresh store repopulates; disarmed lookups are exact again.
+    cache.store(r);
+    ASSERT_TRUE(cache.lookup(r.hash, out));
+    EXPECT_EQ(out.toJsonLine(), r.toJsonLine());
+}
+
+TEST(SweepResilience, CorruptCheckpointFallsBackToFullScan)
+{
+    // ckpt.corrupt scrambles aggregates.ckpt on disk just before
+    // resume reads it. The store must discard the checkpoint, fall
+    // back to the full JSONL scan, and recover every row — resume
+    // re-executes nothing.
+    const sweep::SweepPlan plan =
+        sweep::SweepPlan::parse(kSmallPlan, "small");
+    sweep::SweepOptions opts;
+    opts.outDir = freshOutDir("ckpt_corrupt");
+    opts.workers = 1;
+    opts.writeReports = false;
+    opts.segmentJobs = 2;
+    const sweep::SweepSummary first = sweep::runSweep(plan, opts);
+    EXPECT_EQ(first.executed, 4u);
+    const std::filesystem::path ckpt =
+        std::filesystem::path(opts.outDir) / "aggregates.ckpt";
+    ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+    opts.resume = true;
+    {
+        const ArmGuard faults("ckpt.corrupt");
+        const sweep::SweepSummary second =
+            sweep::runSweep(plan, opts);
+        EXPECT_GE(FaultInjector::global().fired(), 1u);
+        EXPECT_EQ(second.cached, 4u);
+        EXPECT_EQ(second.executed, 0u);
+    }
+    // The rebuilt journal is complete and duplicate-free.
+    EXPECT_EQ(readJournal(opts.outDir).size(), 4u);
+
+    // Disarmed, the (rewritten) artifacts resume cleanly again.
+    const sweep::SweepSummary third = sweep::runSweep(plan, opts);
+    EXPECT_EQ(third.cached, 4u);
+    EXPECT_EQ(third.executed, 0u);
 }
 
 TEST(SweepResilience, OldJournalLinesWithoutResilienceFieldsLoad)
