@@ -20,6 +20,9 @@
 #include "campaign/fault_gen.hh"
 #include "fabric/http_client.hh"
 #include "fabric/result_cache.hh"
+#include "obs/event_trace.hh"
+#include "obs/export.hh"
+#include "obs/span.hh"
 #include "sweep/runner.hh"
 
 extern char **environ;
@@ -193,6 +196,8 @@ waitFleet(ChildProc &coordinator, std::vector<ChildProc> &workers,
         const double elapsed = secondsSince(start);
         if (!killed && elapsed >= killDelaySeconds) {
             inform("campaign: SIGKILL -> ", victim->name);
+            IRTHERM_EVENT("campaign.kill", {"victim", victim->name},
+                          {"after_s", elapsed});
             killChild(*victim);
             killed = true;
         }
@@ -408,6 +413,8 @@ runInProcessCycle(const CycleSpec &spec, const std::string &dir,
     std::map<std::string, sweep::JobResult> midRows;
     {
         ArmedFaults armed(spec.faultSpec);
+        obs::ScopedSpan phase("campaign.phase.armed");
+        phase.attr("faults", spec.faultSpec);
         // Armed phase A: run partway and "die".
         sweep::SweepOptions a = so;
         a.stopAfter = spec.stopAfter;
@@ -416,15 +423,21 @@ runInProcessCycle(const CycleSpec &spec, const std::string &dir,
         // Armed phase B: resume WITH faults still firing — the
         // resume protocol itself (checkpoint parse, segment reads,
         // journal appends) is inside the blast radius.
+        IRTHERM_EVENT("campaign.resume", {"armed", "true"});
         sweep::SweepOptions b = so;
         b.resume = true;
         sweep::runSweep(spec.plan.plan, b);
     }
     // Disarmed resume to completion.
+    IRTHERM_EVENT("campaign.resume", {"armed", "false"});
     sweep::SweepOptions c = so;
-    c.resume = true;
-    sweep::runSweep(spec.plan.plan, c);
+    {
+        obs::ScopedSpan phase("campaign.phase.resume");
+        c.resume = true;
+        sweep::runSweep(spec.plan.plan, c);
+    }
 
+    obs::ScopedSpan verify("campaign.phase.verify");
     const auto finalRows = loadJournalRows(runDir);
     InvariantReport &report = outcome.report;
     report.add("journal-complete",
@@ -458,45 +471,60 @@ runFleetCycle(const CampaignOptions &opts, const CycleSpec &spec,
 
     // Armed phase: real processes, fault spec in every child's
     // environment, SIGKILL on a schedule.
-    int port = 0;
-    ChildProc coordinator =
-        startCoordinator(opts, spec, dir, spec.port,
-                         /*resume=*/false, spec.faultSpec, &port);
-    std::vector<ChildProc> workers;
-    for (std::size_t i = 0; i < spec.workers; ++i)
-        workers.push_back(startWorker(opts, dir, port,
-                                      "w" + std::to_string(i),
-                                      spec.faultSpec));
-    ChildProc *victim = spec.killCoordinator
-                            ? &coordinator
-                            : &workers[spec.victimWorker %
-                                       workers.size()];
-    waitFleet(coordinator, workers, victim,
-              spec.killDelaySeconds, 90.0);
+    std::map<std::string, sweep::JobResult> midRows;
+    {
+        obs::ScopedSpan phase("campaign.phase.armed-fleet");
+        phase.attr("faults", spec.faultSpec);
+        phase.attr("workers", static_cast<double>(spec.workers));
+        int port = 0;
+        ChildProc coordinator =
+            startCoordinator(opts, spec, dir, spec.port,
+                             /*resume=*/false, spec.faultSpec, &port);
+        std::vector<ChildProc> workers;
+        for (std::size_t i = 0; i < spec.workers; ++i)
+            workers.push_back(startWorker(opts, dir, port,
+                                          "w" + std::to_string(i),
+                                          spec.faultSpec));
+        IRTHERM_EVENT("campaign.spawn",
+                      {"workers", static_cast<double>(spec.workers)},
+                      {"port", static_cast<double>(port)});
+        ChildProc *victim = spec.killCoordinator
+                                ? &coordinator
+                                : &workers[spec.victimWorker %
+                                           workers.size()];
+        waitFleet(coordinator, workers, victim,
+                  spec.killDelaySeconds, 90.0);
 
-    const auto midRows = loadJournalRows(fleetDir);
+        midRows = loadJournalRows(fleetDir);
+    }
 
     // Disarmed resume fleet: a fresh coordinator picks up the
     // journal; two fresh workers finish the remainder.
-    int resumePort = 0;
-    ChildProc resumeCoord = startCoordinator(
-        opts, spec, dir, spec.port + 1000, /*resume=*/true, "",
-        &resumePort);
-    std::vector<ChildProc> resumeWorkers;
-    if (resumeCoord.running) {
-        for (std::size_t i = 0; i < 2; ++i)
-            resumeWorkers.push_back(
-                startWorker(opts, dir, resumePort,
-                            "r" + std::to_string(i), ""));
+    bool drained = false;
+    {
+        obs::ScopedSpan phase("campaign.phase.resume-fleet");
+        IRTHERM_EVENT("campaign.resume", {"armed", "false"});
+        int resumePort = 0;
+        ChildProc resumeCoord = startCoordinator(
+            opts, spec, dir, spec.port + 1000, /*resume=*/true, "",
+            &resumePort);
+        std::vector<ChildProc> resumeWorkers;
+        if (resumeCoord.running) {
+            for (std::size_t i = 0; i < 2; ++i)
+                resumeWorkers.push_back(
+                    startWorker(opts, dir, resumePort,
+                                "r" + std::to_string(i), ""));
+        }
+        drained = waitFleet(resumeCoord, resumeWorkers,
+                            nullptr, 0.0, 120.0);
     }
-    const bool drained = waitFleet(resumeCoord, resumeWorkers,
-                                   nullptr, 0.0, 120.0);
     if (!drained) {
         outcome.error = "resume fleet did not drain before the "
                         "watchdog deadline";
         return;
     }
 
+    obs::ScopedSpan verify("campaign.phase.verify");
     const auto finalRows = loadJournalRows(fleetDir);
     InvariantReport &report = outcome.report;
     report.add("journal-complete",
@@ -678,7 +706,20 @@ runCampaign(const CampaignOptions &opts)
                    : "multi-process",
                "): plan of ", oc.spec.plan.plan.jobCount(),
                " jobs, faults \"", oc.spec.faultSpec, "\"");
+        // Each cycle gets a fresh timeline: a failing cycle dumps
+        // exactly its own phase spans next to repro.txt.
+        obs::SpanRecorder::global().clear();
+        obs::SpanRecorder::global().setEnabled(true);
+        obs::EventTrace::global().clear();
+        obs::EventTrace::global().setEnabled(true);
         try {
+            obs::ScopedSpan cycleSpan("campaign.cycle");
+            cycleSpan.attr("index", static_cast<double>(i));
+            cycleSpan.attr("kind",
+                           oc.spec.kind == CycleKind::InProcess
+                               ? "in-process"
+                               : "multi-process");
+            cycleSpan.attr("faults", oc.spec.faultSpec);
             if (oc.spec.kind == CycleKind::InProcess)
                 runInProcessCycle(oc.spec, oc.dir, oc);
             else
@@ -689,13 +730,25 @@ runCampaign(const CampaignOptions &opts)
         FaultInjector::global().disarm();
 
         oc.passed = oc.error.empty() && oc.report.passed();
+        IRTHERM_EVENT("campaign.verdict",
+                      {"cycle", static_cast<double>(i)},
+                      {"passed", oc.passed ? "true" : "false"});
         ++summary.cyclesRun;
         if (oc.passed) {
             ++summary.cyclesPassed;
         } else {
             writeRepro(opts, oc);
+            // Dump the cycle's timeline next to the repro recipe so
+            // a nightly failure ships its own phase-by-phase trace.
+            std::ofstream trace(
+                (std::filesystem::path(oc.dir) / "cycle.trace.json")
+                    .string());
+            trace << obs::spansToTraceJson(
+                obs::SpanRecorder::global(),
+                &obs::EventTrace::global());
             warn("campaign: cycle ", i, " FAILED (repro in ",
-                 oc.dir, "/repro.txt)");
+                 oc.dir, "/repro.txt, timeline in ", oc.dir,
+                 "/cycle.trace.json)");
         }
         inform("campaign: cycle ", i,
                oc.passed ? " passed" : " FAILED", "\n",

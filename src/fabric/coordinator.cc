@@ -1,5 +1,7 @@
 #include "fabric/coordinator.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +16,7 @@
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "base/shutdown.hh"
+#include "fabric/fleet.hh"
 #include "fabric/lease_table.hh"
 #include "fabric/result_cache.hh"
 #include "obs/event_trace.hh"
@@ -21,6 +24,8 @@
 #include "obs/http_server.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/trace_clock.hh"
+#include "obs/trace_context.hh"
 #include "sweep/dashboard.hh"
 #include "sweep/json.hh"
 #include "sweep/report.hh"
@@ -79,11 +84,20 @@ runCoordinator(const sweep::SweepPlan &plan,
 {
     auto &reg = obs::MetricsRegistry::global();
     obs::ScopedTimer batchTimer(reg.timer("sweep.batch_time"));
+    if (!opts.fleetTraceOut.empty())
+        obs::SpanRecorder::global().setEnabled(true);
     obs::SpanRecorder::setThreadLabel("coordinator");
     obs::ScopedSpan batchSpan("fabric.coordinate");
     batchSpan.attr("plan", plan.name());
 
+    // The sweep's trace id: every lease grant propagates it, every
+    // shipped span batch merges under it, logs correlate by it.
+    const std::string traceId = obs::mintTraceId();
+    obs::setProcessTraceContext(
+        {traceId, obs::SpanRecorder::currentSpanId()});
+
     CoordinatorSummary out;
+    out.traceId = traceId;
     sweep::SweepSummary &sum = out.sweep;
     sum.outDir = opts.outDir;
 
@@ -163,18 +177,55 @@ runCoordinator(const sweep::SweepPlan &plan,
     // thread, but the main loop reads the summary too.
     std::mutex mu;
 
+    // Fleet observability: heartbeats + federated snapshots, shipped
+    // span batches, and per-lease span ids minted from a counter in
+    // their own id range (clear of the local recorder's small ids).
+    FleetBoard fleet;
+    FleetTraceStore traceStore;
+    std::atomic<std::uint64_t> nextLeaseSpan{0x1000000000000000ull};
+    const double suspectAfter =
+        opts.suspectAfterSeconds > 0.0
+            ? opts.suspectAfterSeconds
+            : std::max(2.5 * opts.leaseTtlSeconds, 5.0);
+
     obs::HttpServer server;
+    // Span batches are bigger than lease traffic; one batch of ~1024
+    // spans with attrs needs more than the 256 KiB default.
+    server.setMaxBodyBytes(1 << 20);
     if (opts.admitRatePerSecond > 0.0)
         server.limitRequestRate(opts.admitRatePerSecond,
                                 opts.admitBurst);
 
-    server.route("/status", [&board] {
-        return jsonResponse(200, board.statusJson());
+    const auto fleetJson = [&] {
+        return fleet.fleetJson(table.workerLeases(), traceId,
+                               traceStore.size(),
+                               traceStore.dropped());
+    };
+
+    server.route("/status", [&board, &fleetJson] {
+        // Splice the fleet board into the status document so the
+        // dashboard needs only its existing /status poll.
+        std::string body = board.statusJson();
+        const std::size_t brace = body.rfind('}');
+        if (brace != std::string::npos)
+            body.insert(brace, ",\"fleet\":" + fleetJson());
+        return jsonResponse(200, body);
     });
-    server.route("/metrics", [&reg] {
+    server.route("/metrics", [&reg, &fleet, &table] {
         return obs::HttpResponse{
             200, "text/plain; version=0.0.4; charset=utf-8",
-            obs::metricsToPrometheus(reg)};
+            obs::metricsToPrometheus(reg) +
+                fleet.prometheusText(table.workerLeases())};
+    });
+    server.route("/fleet", [&fleetJson] {
+        return jsonResponse(200, fleetJson());
+    });
+    server.route("/trace", [&traceStore, &traceId] {
+        return obs::HttpResponse{
+            200, "application/json",
+            traceStore.mergedTraceJson(obs::SpanRecorder::global(),
+                                       &obs::EventTrace::global(),
+                                       traceId)};
     });
     server.route("/healthz", [] {
         return obs::HttpResponse{200, "text/plain; charset=utf-8",
@@ -213,7 +264,12 @@ runCoordinator(const sweep::SweepPlan &plan,
         if (!draining)
             grant = table.lease(worker, maxJobs);
         board.setWorkers(table.workersSeen());
+        fleet.heartbeat(worker);
+        const std::string wireCtx = obs::formatTraceContext(
+            {traceId,
+             nextLeaseSpan.fetch_add(1, std::memory_order_relaxed)});
         std::string body = "{\"token\":\"" + grant.token +
+                           "\",\"trace\":\"" + wireCtx +
                            "\",\"ttl_s\":" +
                            std::to_string(grant.ttlSeconds) +
                            ",\"done\":";
@@ -232,8 +288,24 @@ runCoordinator(const sweep::SweepPlan &plan,
                           {"token", grant.token}, {"worker", worker},
                           {"jobs", grant.jobs.size()});
         }
-        return jsonResponse(200, body);
+        obs::HttpResponse resp = jsonResponse(200, body);
+        resp.headers.emplace_back(obs::kTraceHeaderName, wireCtx);
+        return resp;
     });
+
+    // A renew/complete body optionally names its worker and carries a
+    // metrics snapshot — both are observability, so both are lenient:
+    // absent members just skip the board update.
+    const auto boardUpdate = [&fleet](const JsonValue &doc) {
+        const JsonValue *w = doc.find("worker");
+        if (w == nullptr || !w->isString() || w->text.empty())
+            return;
+        if (const JsonValue *m = doc.find("metrics"))
+            fleet.ingest(w->text,
+                         WorkerMetricsSnapshot::fromJson(*m));
+        else
+            fleet.heartbeat(w->text);
+    };
 
     server.route("POST", "/renew", [&](const obs::HttpRequest &req) {
         std::string token;
@@ -241,6 +313,7 @@ runCoordinator(const sweep::SweepPlan &plan,
             const JsonValue doc =
                 sweep::parseJson(req.body, "POST /renew");
             token = requireString(doc, "token", "POST /renew");
+            boardUpdate(doc);
         } catch (const FatalError &e) {
             return jsonResponse(
                 400, std::string("{\"error\":\"") +
@@ -270,6 +343,7 @@ runCoordinator(const sweep::SweepPlan &plan,
                 sweep::parseJson(req.body, "POST /complete");
             const std::string token =
                 requireString(doc, "token", "POST /complete");
+            boardUpdate(doc);
             const JsonValue *results = doc.find("results");
             if (results == nullptr || !results->isArray())
                 configError(
@@ -290,6 +364,12 @@ runCoordinator(const sweep::SweepPlan &plan,
                 }
                 const ScenarioSpec &spec = *pending[it->second];
                 attachAxes(r, spec);
+                // Fabric provenance: how contested was this job's
+                // lease before this result landed?
+                r.leaseExpiries = table.jobExpiries(it->second);
+                const std::uint64_t grants =
+                    table.jobGrants(it->second);
+                r.reLeases = grants > 0 ? grants - 1 : 0;
                 store.add(r);
                 if (cache)
                     cache->store(r);
@@ -342,6 +422,24 @@ runCoordinator(const sweep::SweepPlan &plan,
         return jsonResponse(200, body);
     });
 
+    server.route("POST", "/spans", [&](const obs::HttpRequest &req) {
+        std::string worker;
+        std::size_t acceptedSpans = 0;
+        try {
+            acceptedSpans = traceStore.ingestBatch(
+                req.body, obs::wallClockStartUnixSeconds(), &worker);
+        } catch (const FatalError &e) {
+            return jsonResponse(
+                400, std::string("{\"error\":\"") +
+                         obs::jsonEscape(e.what()) + "\"}");
+        }
+        fleet.heartbeat(worker);
+        return jsonResponse(
+            200, "{\"accepted\":" + std::to_string(acceptedSpans) +
+                     ",\"dropped\":" +
+                     std::to_string(traceStore.dropped()) + "}");
+    });
+
     server.start(opts.port, opts.bindAddress);
     inform("fabric: coordinating '", plan.name(), "' (",
            pending.size(), " jobs) on ", opts.bindAddress, ":",
@@ -350,9 +448,24 @@ runCoordinator(const sweep::SweepPlan &plan,
         opts.onServerStart(server.port());
 
     // The listener thread does all the work; this thread just waits
-    // for the fleet to drain the queue (or for a shutdown signal).
-    while (!table.allComplete() && !shutdownRequested())
+    // for the fleet to drain the queue (or for a shutdown signal),
+    // sweeping for gone-quiet workers about once a second.
+    int ticks = 0;
+    const auto sweepForSuspects = [&] {
+        for (const std::string &w : fleet.sweepSuspects(suspectAfter)) {
+            ++out.suspectEvents;
+            IRTHERM_EVENT("worker.suspect", {"worker", w},
+                          {"threshold_s", suspectAfter});
+            warn("fabric: worker '", w, "' silent past ",
+                 suspectAfter, " s — marking suspect");
+        }
+    };
+    while (!table.allComplete() && !shutdownRequested()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (++ticks % 50 == 0)
+            sweepForSuspects();
+    }
+    sweepForSuspects();
 
     // Stop accepting before finalizing: no /complete can race the
     // seal-and-checkpoint below.
@@ -384,6 +497,20 @@ runCoordinator(const sweep::SweepPlan &plan,
     out.leasesGranted = table.leasesGranted();
     out.leasesExpired = table.leasesExpired();
     out.duplicateCompletes = table.duplicateCompletes();
+    out.spansMerged = traceStore.received();
+    out.spansDropped = traceStore.dropped();
+
+    if (!opts.fleetTraceOut.empty()) {
+        std::ofstream trace(opts.fleetTraceOut);
+        if (!trace)
+            fatal("fabric: cannot write ", opts.fleetTraceOut);
+        trace << traceStore.mergedTraceJson(
+            obs::SpanRecorder::global(), &obs::EventTrace::global(),
+            traceId);
+        inform("fabric: fleet trace (", out.spansMerged,
+               " worker spans, trace ", traceId, ") -> ",
+               opts.fleetTraceOut);
+    }
 
     IRTHERM_EVENT("fabric.coordinate.done", {"plan", plan.name()},
                   {"executed", sum.executed}, {"ok", sum.ok},

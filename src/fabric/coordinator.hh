@@ -21,6 +21,20 @@
  * textual ScenarioSpec, so a worker needs nothing but the
  * coordinator's address — no plan file, no shared filesystem.
  *
+ * Fleet observability (see fabric/fleet.hh): the coordinator mints a
+ * per-sweep trace id; every lease grant carries a propagated trace
+ * context ("trace": "<trace-id>-<lease-span-id>", echoed in the
+ * X-Irtherm-Trace response header) that workers parent their span
+ * trees under. Workers ship sealed span batches to `POST /spans`
+ * (bounded, drop-counted) and piggyback metrics snapshots on
+ * renew/complete; the coordinator merges spans into one
+ * Perfetto-loadable Chrome trace (`GET /trace`, and
+ * CoordinatorOptions::fleetTraceOut at exit), federates the
+ * snapshots into `irtherm_fleet_*` series on /metrics, and serves
+ * the fleet health board at `GET /fleet` (also inlined into
+ * /status for the dashboard). A worker whose heartbeat goes silent
+ * past the suspect threshold raises a `worker.suspect` event.
+ *
  * Exactly-once journaling: the LeaseTable classifies every completed
  * report (first-wins); only Accepted results reach the ResultStore,
  * so a re-leased job finished by both its original and replacement
@@ -77,6 +91,12 @@ struct CoordinatorOptions
      *  disarms. Shed requests get 429 + Retry-After. */
     double admitRatePerSecond = 0.0;
     double admitBurst = 64.0;
+    /** Write the merged fleet Chrome trace here at exit; "" = off.
+     *  Setting it also enables span recording in this process. */
+    std::string fleetTraceOut;
+    /** Heartbeat age (s) past which a worker turns suspect; 0 picks
+     *  max(2.5 x lease TTL, 5 s). */
+    double suspectAfterSeconds = 0.0;
     /** Called with the bound port once the server is listening. */
     std::function<void(int)> onServerStart;
 };
@@ -92,6 +112,14 @@ struct CoordinatorSummary
     std::size_t duplicateCompletes = 0;
     /** Requests shed with 429 by admission control. */
     std::uint64_t requestsShed = 0;
+    /** The per-sweep trace id every lease propagated. */
+    std::string traceId;
+    /** Worker spans merged into the fleet trace. */
+    std::uint64_t spansMerged = 0;
+    /** Spans shed because the fleet trace store was full. */
+    std::uint64_t spansDropped = 0;
+    /** worker.suspect transitions raised. */
+    std::size_t suspectEvents = 0;
 };
 
 /** Serve @p plan to workers until every job completes (or shutdown

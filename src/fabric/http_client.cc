@@ -50,7 +50,9 @@ HttpReply::header(const std::string &name) const
 HttpReply
 httpRequest(const std::string &host, int port,
             const std::string &method, const std::string &path,
-            const std::string &requestBody, double timeoutSeconds)
+            const std::string &requestBody, double timeoutSeconds,
+            const std::vector<std::pair<std::string, std::string>>
+                &extraHeaders)
 {
     Fd sock;
     sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -77,7 +79,10 @@ httpRequest(const std::string &host, int port,
     std::string req = method + " " + path + " HTTP/1.1\r\nHost: " +
                       host + "\r\nContent-Length: " +
                       std::to_string(requestBody.size()) +
-                      "\r\nConnection: close\r\n\r\n" + requestBody;
+                      "\r\nConnection: close\r\n";
+    for (const auto &[name, value] : extraHeaders)
+        req += name + ": " + value + "\r\n";
+    req += "\r\n" + requestBody;
     std::size_t sent = 0;
     while (sent < req.size()) {
         const ssize_t n = ::send(sock.fd, req.data() + sent,

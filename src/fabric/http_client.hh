@@ -19,6 +19,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace irtherm::fabric
 {
@@ -38,14 +40,17 @@ struct HttpReply
 /**
  * Send one request and read the full response. @p body is sent with
  * a Content-Length (also for GET, where it is empty and harmless).
- * Throws IoError on transport failures; @p timeoutSeconds bounds
- * both connect and each socket read/write.
+ * @p extraHeaders are emitted verbatim after the standard ones
+ * (used for the propagated `X-Irtherm-Trace` context). Throws
+ * IoError on transport failures; @p timeoutSeconds bounds both
+ * connect and each socket read/write.
  */
-HttpReply httpRequest(const std::string &host, int port,
-                      const std::string &method,
-                      const std::string &path,
-                      const std::string &requestBody = "",
-                      double timeoutSeconds = 10.0);
+HttpReply httpRequest(
+    const std::string &host, int port, const std::string &method,
+    const std::string &path, const std::string &requestBody = "",
+    double timeoutSeconds = 10.0,
+    const std::vector<std::pair<std::string, std::string>>
+        &extraHeaders = {});
 
 } // namespace irtherm::fabric
 

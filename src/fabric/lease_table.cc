@@ -9,7 +9,8 @@ namespace irtherm::fabric
 {
 
 LeaseTable::LeaseTable(std::size_t jobCount, double ttlSeconds)
-    : ttl(ttlSeconds), complete_(jobCount, false)
+    : ttl(ttlSeconds), complete_(jobCount, false),
+      jobGrants_(jobCount, 0), jobExpiries_(jobCount, 0)
 {
     for (std::size_t i = 0; i < jobCount; ++i)
         queue.push_back(i);
@@ -35,9 +36,12 @@ LeaseTable::expireLocked(const std::string &token)
     if (it == active.end())
         return;
     for (const std::size_t job : it->second.jobs) {
-        if (!complete_[job])
+        if (!complete_[job]) {
             queue.push_back(job);
+            ++jobExpiries_[job];
+        }
     }
+    ++workerTotals[it->second.worker].second;
     IRTHERM_EVENT("fabric.lease.expired", {"token", token},
                   {"worker", it->second.worker},
                   {"requeued", it->second.jobs.size()});
@@ -71,6 +75,9 @@ LeaseTable::lease(const std::string &worker, std::size_t maxJobs)
         return grant;
 
     grant.token = "lease-" + std::to_string(nextToken++);
+    for (const std::size_t job : grant.jobs)
+        ++jobGrants_[job];
+    ++workerTotals[worker].first;
     ActiveLease &lease = active[grant.token];
     lease.worker = worker;
     lease.jobs = grant.jobs;
@@ -185,6 +192,42 @@ LeaseTable::duplicateCompletes() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return duplicates;
+}
+
+std::size_t
+LeaseTable::jobGrants(std::size_t job) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return job < jobGrants_.size() ? jobGrants_[job] : 0;
+}
+
+std::size_t
+LeaseTable::jobExpiries(std::size_t job) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return job < jobExpiries_.size() ? jobExpiries_[job] : 0;
+}
+
+std::map<std::string, LeaseTable::WorkerLeases>
+LeaseTable::workerLeases() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    // const_cast-free lazy sweep is not available here; stale live
+    // counts for a just-lapsed lease self-correct on the next
+    // mutating call, which is fine for a health board.
+    std::map<std::string, WorkerLeases> out;
+    for (const std::string &w : workers)
+        out[w]; // every worker appears, even if idle
+    for (const auto &[worker, totals] : workerTotals) {
+        out[worker].granted = totals.first;
+        out[worker].expired = totals.second;
+    }
+    for (const auto &[token, lease] : active) {
+        WorkerLeases &w = out[lease.worker];
+        ++w.liveLeases;
+        w.liveJobs += lease.jobs.size();
+    }
+    return out;
 }
 
 } // namespace irtherm::fabric

@@ -113,6 +113,24 @@ class LeaseTable
     /** Reports classified Duplicate. */
     std::size_t duplicateCompletes() const;
 
+    /** Times job @p job was handed out under any lease. */
+    std::size_t jobGrants(std::size_t job) const;
+    /** Times a lease holding job @p job expired before the job
+     *  completed (each one re-queued the job). */
+    std::size_t jobExpiries(std::size_t job) const;
+
+    /** Per-worker lease accounting for the fleet health board. */
+    struct WorkerLeases
+    {
+        std::size_t granted = 0;  ///< leases ever granted
+        std::size_t expired = 0;  ///< of those, expired before empty
+        std::size_t liveLeases = 0;
+        std::size_t liveJobs = 0; ///< jobs out under live leases
+    };
+
+    /** Snapshot of every worker's lease accounting (sweeps expiry). */
+    std::map<std::string, WorkerLeases> workerLeases() const;
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -138,6 +156,14 @@ class LeaseTable
     std::size_t granted = 0;
     std::size_t expired = 0;
     std::size_t duplicates = 0;
+    /** Per-job provenance: how often each job was leased out and how
+     *  often a holding lease expired (journal columns ride on the
+     *  accepted JobResult). */
+    std::vector<std::size_t> jobGrants_;
+    std::vector<std::size_t> jobExpiries_;
+    /** Per-worker totals (live counts derive from `active`). */
+    std::map<std::string, std::pair<std::size_t, std::size_t>>
+        workerTotals; ///< worker -> (granted, expired)
 };
 
 } // namespace irtherm::fabric

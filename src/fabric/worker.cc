@@ -4,20 +4,24 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/errors.hh"
 #include "base/fault_injection.hh"
 #include "base/logging.hh"
 #include "base/shutdown.hh"
+#include "fabric/fleet.hh"
 #include "fabric/http_client.hh"
 #include "obs/event_trace.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "obs/trace_clock.hh"
+#include "obs/trace_context.hh"
 #include "sweep/json.hh"
 #include "sweep/result_store.hh"
 #include "sweep/scenario.hh"
@@ -40,10 +44,26 @@ sleepSeconds(double s)
         std::chrono::duration<double>(std::max(0.0, s)));
 }
 
+/** Shortest round-trippable decimal for a double (JSON-safe). */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    char shortBuf[40];
+    std::snprintf(shortBuf, sizeof(shortBuf), "%g", v);
+    double back = 0.0;
+    std::sscanf(shortBuf, "%lf", &back);
+    return back == v ? shortBuf : buf;
+}
+
 /** One leased batch as decoded off the wire. */
 struct Grant
 {
     std::string token;
+    std::string trace; ///< propagated context, "" when absent
     double ttlSeconds = 0.0;
     bool done = false;
     std::vector<ScenarioSpec> jobs;
@@ -56,6 +76,8 @@ parseGrant(const std::string &body)
     Grant g;
     if (const JsonValue *v = doc.find("token"); v && v->isString())
         g.token = v->text;
+    if (const JsonValue *v = doc.find("trace"); v && v->isString())
+        g.trace = v->text;
     if (const JsonValue *v = doc.find("ttl_s"); v && v->isNumber())
         g.ttlSeconds = v->number;
     if (const JsonValue *v = doc.find("done"))
@@ -92,9 +114,124 @@ runWorker(const WorkerOptions &opts)
 
     sweep::JobExecutor executor(opts.exec);
 
+    // Distributed trace state. adopted becomes valid on the first
+    // grant (either the coordinator's context or, when the grant's
+    // context is malformed/absent, a locally minted degraded trace)
+    // and the wire form rides every subsequent request as the
+    // X-Irtherm-Trace header.
+    obs::TraceContext adopted;
+    std::string wireCtx;
+
     const auto post = [&](const std::string &path,
                           const std::string &body) {
-        return httpRequest(opts.host, opts.port, "POST", path, body);
+        std::vector<std::pair<std::string, std::string>> headers;
+        if (!wireCtx.empty())
+            headers.emplace_back(obs::kTraceHeaderName, wireCtx);
+        return httpRequest(opts.host, opts.port, "POST", path, body,
+                           10.0, headers);
+    };
+
+    // Cumulative totals piggybacked on renew/complete bodies.
+    std::uint64_t retries = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t impulseHits = 0;
+    std::uint64_t warmStarts = 0;
+    double cpuTotal = 0.0;
+    const auto metricsJson = [&] {
+        WorkerMetricsSnapshot s;
+        s.executed = sum.executed;
+        s.ok = sum.ok;
+        s.failed = sum.failed;
+        s.timedOut = sum.timedOut;
+        s.hung = sum.hung;
+        s.leases = sum.leases;
+        s.renewals = sum.renewals;
+        s.retries = retries;
+        s.fallbacks = fallbacks;
+        s.impulseHits = impulseHits;
+        s.warmStarts = warmStarts;
+        s.spansShipped = sum.spansShipped;
+        s.spansDropped =
+            sum.spansDropped + obs::SpanRecorder::global().dropped();
+        s.cpuSeconds = cpuTotal;
+        return s.toJson();
+    };
+
+    // Ship the recorder's new tail since the last flush to
+    // POST /spans, in batches of at most kShipBatch spans. Sealed
+    // spans only; a failed POST costs observability, never the job.
+    std::uint64_t shippedWatermark = 0;
+    const auto shipSpans = [&] {
+        constexpr std::size_t kShipBatch = 1024;
+        auto &rec = obs::SpanRecorder::global();
+        if (!rec.enabled() || !adopted.valid())
+            return;
+        const std::uint64_t total = rec.recorded();
+        if (total <= shippedWatermark)
+            return;
+        const std::vector<obs::SpanRecord> snap = rec.snapshot();
+        const std::uint64_t unshipped = total - shippedWatermark;
+        const std::size_t take =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                unshipped, snap.size()));
+        // Anything the ring already overwrote is gone.
+        sum.spansDropped += unshipped - take;
+        shippedWatermark = total;
+        const std::string head =
+            "{\"worker\":\"" + obs::jsonEscape(name) +
+            "\",\"trace\":\"" + adopted.traceId +
+            "\",\"lease_span\":\"" + obs::spanIdHex(adopted.spanId) +
+            "\",\"wall_epoch_unix_s\":" +
+            jsonNum(obs::wallClockStartUnixSeconds()) +
+            ",\"dropped\":" + std::to_string(rec.dropped()) +
+            ",\"spans\":[";
+        for (std::size_t i = snap.size() - take; i < snap.size();
+             i += kShipBatch) {
+            const std::size_t end =
+                std::min(snap.size(), i + kShipBatch);
+            std::string body = head;
+            for (std::size_t j = i; j < end; ++j) {
+                const obs::SpanRecord &s = snap[j];
+                if (j != i)
+                    body += ',';
+                body += "{\"id\":" + std::to_string(s.id) +
+                        ",\"parent\":" + std::to_string(s.parentId) +
+                        ",\"tid\":" + std::to_string(s.threadIndex) +
+                        ",\"depth\":" + std::to_string(s.depth) +
+                        ",\"name\":\"" + obs::jsonEscape(s.name) +
+                        "\",\"start_s\":" + jsonNum(s.startSeconds) +
+                        ",\"dur_s\":" + jsonNum(s.durationSeconds);
+                if (!s.attrs.empty()) {
+                    body += ",\"attrs\":{";
+                    bool first = true;
+                    for (const obs::EventField &f : s.attrs) {
+                        if (!first)
+                            body += ',';
+                        first = false;
+                        body += "\"" + obs::jsonEscape(f.key) +
+                                "\":";
+                        if (f.numeric)
+                            body += jsonNum(f.num);
+                        else
+                            body += "\"" + obs::jsonEscape(f.text) +
+                                    "\"";
+                    }
+                    body += "}";
+                }
+                body += "}";
+            }
+            body += "]}";
+            try {
+                const HttpReply r = post("/spans", body);
+                if (r.status == 200)
+                    sum.spansShipped += end - i;
+                else
+                    sum.spansDropped += end - i;
+            } catch (const FatalError &) {
+                sum.spansDropped += snap.size() - i;
+                return;
+            }
+        }
     };
 
     inform("fabric: worker '", name, "' connecting to ", opts.host,
@@ -138,6 +275,26 @@ runWorker(const WorkerOptions &opts)
         connected = true;
 
         const Grant grant = parseGrant(reply.body);
+
+        // Adopt the propagated trace context. Malformed or absent
+        // degrades to a locally minted trace id — never to failure.
+        const obs::TraceContext granted =
+            obs::parseTraceContext(grant.trace);
+        if (granted.valid()) {
+            adopted = granted;
+        } else if (!adopted.valid()) {
+            adopted.traceId = obs::mintTraceId();
+            adopted.spanId = 0;
+            inform("fabric: worker '", name,
+                   "' got no usable trace context; degrading to "
+                   "local trace ",
+                   adopted.traceId);
+        }
+        wireCtx = obs::formatTraceContext(adopted);
+        sum.traceId = adopted.traceId;
+        obs::setProcessTraceContext(adopted);
+        obs::SpanRecorder::global().setEnabled(true);
+
         if (grant.jobs.empty()) {
             if (grant.done)
                 break;
@@ -171,10 +328,14 @@ runWorker(const WorkerOptions &opts)
                     grant.ttlSeconds / 2.0) {
                 HttpReply r;
                 try {
-                    r = post("/renew", "{\"token\":\"" +
-                                           obs::jsonEscape(
-                                               grant.token) +
-                                           "\"}");
+                    r = post("/renew",
+                             "{\"token\":\"" +
+                                 obs::jsonEscape(grant.token) +
+                                 "\",\"worker\":\"" +
+                                 obs::jsonEscape(name) +
+                                 "\",\"trace\":\"" + wireCtx +
+                                 "\",\"metrics\":" + metricsJson() +
+                                 "}");
                 } catch (const FatalError &) {
                     leaseLost = true;
                     break;
@@ -194,6 +355,15 @@ runWorker(const WorkerOptions &opts)
             r.worker = name;
             r.leaseRenewals = renewalsThisLease;
             ++sum.executed;
+            if (r.attempts > 1)
+                ++retries;
+            if (r.fallbackTier > 0)
+                ++fallbacks;
+            if (r.impulseCacheHit)
+                ++impulseHits;
+            if (r.warmStarted)
+                ++warmStarts;
+            cpuTotal += r.resources.cpuSeconds;
             switch (r.status) {
               case JobStatus::Ok:
                 ++sum.ok;
@@ -220,7 +390,10 @@ runWorker(const WorkerOptions &opts)
         std::string body = "{\"token\":\"" +
                            obs::jsonEscape(grant.token) +
                            "\",\"worker\":\"" +
-                           obs::jsonEscape(name) + "\",\"results\":[";
+                           obs::jsonEscape(name) + "\",\"trace\":\"" +
+                           wireCtx +
+                           "\",\"metrics\":" + metricsJson() +
+                           ",\"results\":[";
         for (std::size_t i = 0; i < results.size(); ++i) {
             if (i)
                 body += ',';
@@ -269,7 +442,13 @@ runWorker(const WorkerOptions &opts)
             }
             break;
         }
+        shipSpans();
     }
+
+    // Final flush: spans sealed since the last report (a died worker
+    // ships nothing — that is the point of the fault).
+    if (!sum.died)
+        shipSpans();
 
     IRTHERM_EVENT("fabric.worker.done", {"worker", name},
                   {"executed", sum.executed}, {"ok", sum.ok},

@@ -25,12 +25,23 @@
  * Fault points (base/fault_injection): `worker.die` stops the worker
  * right after it leases (stranding the batch until TTL expiry);
  * `complete.dup` re-POSTs a successful /complete verbatim.
+ *
+ * Observability: each grant carries the coordinator's trace context
+ * ("trace": "<trace-id>-<lease-span-id>"); the worker adopts it
+ * (parenting its span tree under the lease span and echoing it in
+ * the X-Irtherm-Trace request header), ships sealed span batches to
+ * POST /spans after each report, and piggybacks a cumulative
+ * WorkerMetricsSnapshot on every renew/complete body. A missing or
+ * malformed context degrades to a locally minted trace id — the
+ * observability path can never fail a job. Under
+ * IRTHERM_ENABLE_METRICS=OFF no spans exist, so nothing ships.
  */
 
 #ifndef IRTHERM_FABRIC_WORKER_HH
 #define IRTHERM_FABRIC_WORKER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "sweep/runner.hh"
@@ -72,6 +83,13 @@ struct WorkerSummary
     std::size_t rejected = 0;
     /** True when the `worker.die` fault stopped this worker. */
     bool died = false;
+    /** Trace id this worker worked under (adopted or locally
+     *  minted). Empty if it never adopted one. */
+    std::string traceId;
+    /** Spans shipped to the coordinator on POST /spans. */
+    std::uint64_t spansShipped = 0;
+    /** Spans lost before shipping (ring overwrite or failed POST). */
+    std::uint64_t spansDropped = 0;
 };
 
 /** Lease, execute, and report until the coordinator says done (or

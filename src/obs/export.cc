@@ -486,6 +486,21 @@ promName(const std::string &name)
     return out;
 }
 
+/**
+ * "# HELP <exposed> <text>" line. Help text is synthesized from the
+ * registry's dotted name — the registry stores no doc strings, but
+ * scrapers (and promtool check metrics) want the line present. HELP
+ * text escapes only backslash and newline per the exposition format;
+ * dotted names contain neither.
+ */
+std::string
+promHelp(const std::string &exposed, const std::string &dottedName,
+         const char *kindText)
+{
+    return "# HELP " + exposed + " irtherm " + kindText + " '" +
+           dottedName + "'\n";
+}
+
 } // namespace
 
 std::string
@@ -497,12 +512,14 @@ metricsToPrometheus(const MetricsRegistry &reg)
         const std::string base = promName(name);
         switch (kind) {
           case MetricKind::Counter:
-            os << "# TYPE " << base << "_total counter\n"
+            os << promHelp(base + "_total", name, "counter")
+               << "# TYPE " << base << "_total counter\n"
                << base << "_total "
                << reg.counterAt(name).value() << "\n";
             break;
           case MetricKind::Gauge:
-            os << "# TYPE " << base << " gauge\n"
+            os << promHelp(base, name, "gauge")
+               << "# TYPE " << base << " gauge\n"
                << base << " "
                << promNumber(reg.gaugeAt(name).value()) << "\n";
             break;
@@ -510,7 +527,8 @@ metricsToPrometheus(const MetricsRegistry &reg)
             const Timer &t = reg.timerAt(name);
             const Histogram &d = t.distribution();
             const std::string s = base + "_seconds";
-            os << "# TYPE " << s << " summary\n";
+            os << promHelp(s, name, "timer")
+               << "# TYPE " << s << " summary\n";
             for (const double q : {0.5, 0.95, 0.99}) {
                 os << s << "{quantile=\"" << promNumber(q) << "\"} "
                    << promNumber(d.count() > 0
@@ -524,7 +542,8 @@ metricsToPrometheus(const MetricsRegistry &reg)
           }
           case MetricKind::Histogram: {
             const Histogram &h = reg.histogramAt(name);
-            os << "# TYPE " << base << " histogram\n";
+            os << promHelp(base, name, "histogram")
+               << "# TYPE " << base << " histogram\n";
             std::uint64_t cum = 0;
             for (std::size_t i = 0; i < Histogram::kBucketCount;
                  ++i) {

@@ -82,7 +82,7 @@ sendResponse(int fd, const HttpResponse &resp)
 HttpResponse
 plain(int status, const std::string &body)
 {
-    return {status, "text/plain; charset=utf-8", body, {}};
+    return {status, "text/plain; charset=utf-8", body};
 }
 
 /**
@@ -125,6 +125,12 @@ findHeader(const std::string &headers, const std::string &name)
 }
 
 } // namespace
+
+std::string
+HttpRequest::header(const std::string &name) const
+{
+    return findHeader(headerBlock, name);
+}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -399,6 +405,7 @@ HttpServer::serveConnection(int fd)
     request.method = method;
     request.path = path;
     request.body = std::move(body);
+    request.headerBlock = headerBlock;
     HttpResponse resp;
     // A throwing handler must not unwind the listener thread; the
     // client gets a 500 and the server lives on.

@@ -47,6 +47,13 @@ namespace irtherm::obs
 /** A handler's reply. Body is sent verbatim with Content-Length. */
 struct HttpResponse
 {
+    HttpResponse() = default;
+    HttpResponse(int status_, std::string contentType_,
+                 std::string body_)
+        : status(status_), contentType(std::move(contentType_)),
+          body(std::move(body_))
+    {}
+
     int status = 200;
     std::string contentType = "text/plain; charset=utf-8";
     std::string body;
@@ -60,6 +67,12 @@ struct HttpRequest
     std::string method; ///< "GET", "POST", ...
     std::string path;   ///< decoded path, query string stripped
     std::string body;   ///< request body ("" for GET/HEAD)
+    /** Raw request header block (CRLF-separated, no trailing blank
+     *  line); query with header(). */
+    std::string headerBlock;
+
+    /** Case-insensitive request-header lookup; "" when absent. */
+    std::string header(const std::string &name) const;
 };
 
 /**

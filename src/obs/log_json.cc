@@ -1,0 +1,77 @@
+#include "obs/log_json.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "base/errors.hh"
+#include "base/logging.hh"
+#include "obs/export.hh"
+#include "obs/span.hh"
+#include "obs/trace_clock.hh"
+#include "obs/trace_context.hh"
+
+namespace irtherm::obs
+{
+
+namespace
+{
+
+/** Shortest double form reused from the exporters via jsonEscape's
+ *  sibling; a timestamp needs millisecond-ish precision only. */
+std::string
+formatUnixSeconds(double s)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", s);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonLogLine(const std::string &level, const std::string &identity,
+            const std::string &message)
+{
+    const double now =
+        wallClockStartUnixSeconds() + monotonicSeconds();
+    const TraceContext ctx = processTraceContext();
+    std::string out = "{\"ts_unix_s\":";
+    out += formatUnixSeconds(now);
+    out += ",\"level\":\"" + jsonEscape(level) + "\"";
+    out += ",\"who\":\"" + jsonEscape(identity) + "\"";
+    out += ",\"trace\":\"" + jsonEscape(ctx.traceId) + "\"";
+    out += ",\"span\":" +
+           std::to_string(SpanRecorder::currentSpanId());
+    out += ",\"msg\":\"" + jsonEscape(message) + "\"}";
+    return out;
+}
+
+void
+installJsonLogSink(const std::string &path,
+                   const std::string &identity)
+{
+    FILE *stream = nullptr;
+    if (path == "-") {
+        stream = stderr;
+    } else {
+        stream = std::fopen(path.c_str(), "a");
+        if (stream == nullptr)
+            ioError("cannot open log file '", path, "'");
+    }
+    // One mutex per installed sink: lines from concurrent worker
+    // threads must not interleave mid-object. Deliberately leaked
+    // (with the stream) so destructor-time log lines stay valid.
+    auto *mu = new std::mutex;
+    setLogSink([stream, mu, identity](LogLevel level,
+                                      const std::string &msg) {
+        const std::string line =
+            jsonLogLine(logLevelName(level), identity, msg);
+        std::lock_guard<std::mutex> lock(*mu);
+        std::fwrite(line.data(), 1, line.size(), stream);
+        std::fputc('\n', stream);
+        std::fflush(stream);
+    });
+}
+
+} // namespace irtherm::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Structured JSON log sink for fleet runs (`--log-json`).
+ *
+ * Replaces the default "level: message" stderr sink with one JSON
+ * object per line:
+ *
+ *   {"ts_unix_s":1754650000.123,"level":"info","who":"worker-7",
+ *    "trace":"9f2c41d0a6e83b17","span":42,"msg":"lease granted"}
+ *
+ * so fleet logs from N processes concatenate into one greppable
+ * stream keyed by the propagated correlation id: "trace" is the
+ * process-current trace id (obs/trace_context) and "span" the
+ * calling thread's innermost open span id (0 when none — and always
+ * 0 under IRTHERM_ENABLE_METRICS=OFF, where spans compile out; the
+ * sink itself still works, it just carries no correlation ids).
+ *
+ * The sink appends to a file path, or to stderr for the path "-".
+ * Installation is process-global and meant to happen once during
+ * CLI startup; the stream handle is intentionally leaked so log
+ * lines emitted from atexit-ordered destructors stay safe.
+ */
+
+#ifndef IRTHERM_OBS_LOG_JSON_HH
+#define IRTHERM_OBS_LOG_JSON_HH
+
+#include <string>
+
+namespace irtherm::obs
+{
+
+/**
+ * Install the JSON log sink. @p path is a file to append to, or "-"
+ * for stderr. @p identity names this process in every line (worker
+ * name, "coordinator", ...). Throws IoError when the file cannot be
+ * opened.
+ */
+void installJsonLogSink(const std::string &path,
+                        const std::string &identity);
+
+/** Render one log line (exposed for tests). */
+std::string jsonLogLine(const std::string &level,
+                        const std::string &identity,
+                        const std::string &message);
+
+} // namespace irtherm::obs
+
+#endif // IRTHERM_OBS_LOG_JSON_HH

@@ -183,6 +183,16 @@ SpanRecorder::setThreadLabel(const std::string &label)
         g.labels[slot.index].second = label;
 }
 
+std::uint64_t
+SpanRecorder::currentSpanId()
+{
+    if constexpr (!kMetricsEnabled)
+        return 0;
+    ThreadSlot &slot = threadSlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    return slot.frames.empty() ? 0 : slot.frames.back().id;
+}
+
 SpanRecorder::ThreadSlot &
 SpanRecorder::threadSlot()
 {

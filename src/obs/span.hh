@@ -118,6 +118,13 @@ class SpanRecorder
      */
     static void setThreadLabel(const std::string &label);
 
+    /**
+     * Id of the calling thread's innermost open span, or 0 when no
+     * span is open (or recording is disabled / compiled out). Used
+     * by correlation-id consumers such as the JSON log sink.
+     */
+    static std::uint64_t currentSpanId();
+
     /** The process-wide recorder used by every ScopedSpan. */
     static SpanRecorder &global();
 

@@ -1,0 +1,129 @@
+#include "obs/trace_context.hh"
+
+#include <chrono>
+#include <mutex>
+#include <random>
+
+namespace irtherm::obs
+{
+
+namespace
+{
+
+bool
+isHex16(const std::string &s)
+{
+    if (s.size() != 16)
+        return false;
+    for (char c : s) {
+        const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+parseHex16(const std::string &s)
+{
+    std::uint64_t v = 0;
+    for (char c : s) {
+        v <<= 4;
+        v |= static_cast<std::uint64_t>(
+            c <= '9' ? c - '0' : c - 'a' + 10);
+    }
+    return v;
+}
+
+std::mutex &
+ctxMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+TraceContext &
+ctxSlot()
+{
+    static TraceContext ctx;
+    return ctx;
+}
+
+} // namespace
+
+bool
+TraceContext::valid() const
+{
+    return isHex16(traceId);
+}
+
+std::string
+spanIdHex(std::uint64_t v)
+{
+    static const char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+std::uint64_t
+parseSpanIdHex(const std::string &hex)
+{
+    return isHex16(hex) ? parseHex16(hex) : 0;
+}
+
+std::string
+mintTraceId()
+{
+    // Random + time mix: ids need only be unique-enough to tell two
+    // sweeps apart, not cryptographic.
+    std::random_device rd;
+    std::uint64_t v = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    v ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    if (v == 0)
+        v = 1; // all-zero ids read as "unset" to humans
+    return spanIdHex(v);
+}
+
+std::string
+formatTraceContext(const TraceContext &ctx)
+{
+    if (!ctx.valid())
+        return "";
+    return ctx.traceId + "-" + spanIdHex(ctx.spanId);
+}
+
+TraceContext
+parseTraceContext(const std::string &wire)
+{
+    TraceContext ctx;
+    if (wire.size() != 33 || wire[16] != '-')
+        return ctx;
+    const std::string trace = wire.substr(0, 16);
+    const std::string span = wire.substr(17);
+    if (!isHex16(trace) || !isHex16(span))
+        return ctx;
+    ctx.traceId = trace;
+    ctx.spanId = parseHex16(span);
+    return ctx;
+}
+
+void
+setProcessTraceContext(const TraceContext &ctx)
+{
+    std::lock_guard<std::mutex> lock(ctxMutex());
+    ctxSlot() = ctx;
+}
+
+TraceContext
+processTraceContext()
+{
+    std::lock_guard<std::mutex> lock(ctxMutex());
+    return ctxSlot();
+}
+
+} // namespace irtherm::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Distributed trace context for the sweep fabric.
+ *
+ * A fleet run shares one *trace id* (minted by the coordinator at
+ * sweep start) and hands each lease a *span id* naming the
+ * coordinator-side span the worker's activity logically nests under.
+ * The pair travels between processes as the compact text form
+ *
+ *     <trace-id>-<span-id>        e.g. "9f2c41d0a6e83b17-000000000000002a"
+ *
+ * (two fixed-width lowercase hex fields, 16 chars each) carried both
+ * in fabric JSON bodies ("trace" members) and in the
+ * `X-Irtherm-Trace` HTTP header, mirroring how W3C traceparent rides
+ * requests. Parsing is deliberately forgiving in outcome, strict in
+ * format: a malformed context never throws — it parses to an invalid
+ * context and the receiver degrades to a local trace, because
+ * observability must never fail a job.
+ *
+ * The process-current context (set by the coordinator for itself,
+ * and by a worker when it adopts a grant's context) is exposed for
+ * correlation-id consumers such as the JSON log sink. Like the rest
+ * of obs/, everything here is inert data plumbing under
+ * IRTHERM_ENABLE_METRICS=OFF: span recording is compiled out
+ * elsewhere, so the context merely rides along unused.
+ */
+
+#ifndef IRTHERM_OBS_TRACE_CONTEXT_HH
+#define IRTHERM_OBS_TRACE_CONTEXT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace irtherm::obs
+{
+
+/** One propagated (trace id, parent span id) pair. */
+struct TraceContext
+{
+    std::string traceId;     ///< 16 lowercase hex chars; "" = unset
+    std::uint64_t spanId = 0; ///< parent span id on the minting side
+
+    /** True when traceId is a well-formed 16-hex-char id. */
+    bool valid() const;
+};
+
+/** Name of the HTTP header carrying the context. */
+inline constexpr const char *kTraceHeaderName = "X-Irtherm-Trace";
+
+/** Mint a fresh 16-hex-char trace id (random, not reproducible). */
+std::string mintTraceId();
+
+/** "<trace-id>-<16-hex span id>"; "" when @p ctx is invalid. */
+std::string formatTraceContext(const TraceContext &ctx);
+
+/**
+ * Parse the wire form. Never throws: anything malformed (wrong
+ * length, bad hex, missing separator) yields an invalid context.
+ */
+TraceContext parseTraceContext(const std::string &wire);
+
+/** Fixed-width 16-char lowercase hex of @p v. */
+std::string spanIdHex(std::uint64_t v);
+
+/** Parse a 16-hex-char span id; 0 on anything malformed. */
+std::uint64_t parseSpanIdHex(const std::string &hex);
+
+/**
+ * Process-current context for correlation-id consumers (JSON log
+ * sink, campaign timelines). Thread-safe; starts invalid.
+ */
+void setProcessTraceContext(const TraceContext &ctx);
+TraceContext processTraceContext();
+
+} // namespace irtherm::obs
+
+#endif // IRTHERM_OBS_TRACE_CONTEXT_HH

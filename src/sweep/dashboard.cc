@@ -140,6 +140,16 @@ tr:last-child td { border-bottom: none; }
     <h2>Job states</h2>
     <div class="states" id="states"></div>
   </div>
+  <div class="card" id="fleet-card" style="display:none">
+    <h2>Fleet <span id="fleet-trace" style="font-weight:400;color:var(--text-muted)"></span></h2>
+    <table>
+      <thead><tr><th>worker</th><th>state</th><th class="n">beat age s</th>
+        <th class="n">leases</th><th class="n">jobs/s</th><th class="n">jobs</th>
+        <th class="n">retries</th><th class="n">fallbacks</th>
+        <th class="n">cache hits</th><th class="n">expiries</th></tr></thead>
+      <tbody id="fleet"></tbody>
+    </table>
+  </div>
   <div class="grid2">
     <div class="card">
       <h2>Peak temperature distribution (&deg;C, ok jobs)</h2>
@@ -292,6 +302,31 @@ function setAggregates(a) {
     axes.append(p);
   }
 }
+function setFleet(f) {
+  const card = $("fleet-card");
+  const workers = f && f.workers ? Object.entries(f.workers) : [];
+  if (!workers.length) { card.style.display = "none"; return; }
+  card.style.display = "";
+  $("fleet-trace").textContent = f.trace_id ? "trace " + f.trace_id : "";
+  const body = $("fleet");
+  body.textContent = "";
+  for (const [name, w] of workers) {
+    const tr = body.insertRow();
+    if (w.suspect) tr.style.color = "var(--status-critical)";
+    tr.insertCell().textContent = name;
+    tr.insertCell().textContent = w.suspect ? "suspect" : "live";
+    const m = w.metrics || {};
+    const l = w.leases || {};
+    for (const [v, d] of [[w.heartbeat_age_s, 1], [l.live, 0],
+                          [w.jobs_per_s, 2], [m.executed, 0],
+                          [m.retries, 0], [m.fallbacks, 0],
+                          [m.impulse_hits, 0], [l.expired, 0]]) {
+      const td = tr.insertCell();
+      td.className = "n";
+      td.textContent = fmt(v, d);
+    }
+  }
+}
 async function tick() {
   try {
     const [st, agg] = await Promise.all([
@@ -299,6 +334,7 @@ async function tick() {
       fetch("/aggregates").then(r => r.json()),
     ]);
     setStatus(st);
+    setFleet(st.fleet);
     setAggregates(agg);
     $("conn").textContent = "live";
     $("err").style.display = "none";

@@ -86,6 +86,8 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
     if (anyWorker) {
         header.emplace_back("worker");
         header.emplace_back("lease_renewals");
+        header.emplace_back("lease_expiries");
+        header.emplace_back("re_leases");
     }
 
     TextTable table(std::move(header));
@@ -103,6 +105,8 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
             if (anyWorker) {
                 row.push_back(r->worker);
                 row.push_back(std::to_string(r->leaseRenewals));
+                row.push_back(std::to_string(r->leaseExpiries));
+                row.push_back(std::to_string(r->reLeases));
             }
         } else {
             // Interrupted before this job ran (stopAfter / kill).
@@ -110,7 +114,7 @@ writeSweepCsv(std::ostream &os, const SweepPlan &plan,
                        {"pending", "-", "-", "-", "-", "-", "-", "-",
                         "-", "-", "-", "-", "-", ""});
             if (anyWorker)
-                row.insert(row.end(), {"", "0"});
+                row.insert(row.end(), {"", "0", "0", "0"});
         }
         table.addRow(std::move(row));
     }
@@ -260,23 +264,35 @@ renderMarkdownSummary(const std::vector<JobResult> &results,
     }
 
     if (anyWorker) {
-        // Fleet rollup: who did how much, and how often leases had
-        // to be kept alive mid-batch.
-        std::map<std::string, std::pair<std::size_t, std::size_t>>
-            perWorker; // worker -> {jobs, renewals}
+        // Fleet rollup: who did how much, how often leases had to be
+        // kept alive mid-batch, and how contested the jobs were
+        // (expiries re-queued them, re-leases handed them out again).
+        struct WorkerCell
+        {
+            std::size_t jobs = 0;
+            std::size_t renewals = 0;
+            std::size_t expiries = 0;
+            std::size_t reLeases = 0;
+        };
+        std::map<std::string, WorkerCell> perWorker;
         for (const JobResult &r : results) {
-            auto &cell =
+            WorkerCell &cell =
                 perWorker[r.worker.empty() ? "(local)" : r.worker];
-            ++cell.first;
-            cell.second += r.leaseRenewals;
+            ++cell.jobs;
+            cell.renewals += r.leaseRenewals;
+            cell.expiries += r.leaseExpiries;
+            cell.reLeases += r.reLeases;
         }
         md += "\n## Workers\n\n";
-        md += "| worker | jobs | lease renewals |\n";
-        md += "|---|---:|---:|\n";
+        md += "| worker | jobs | lease renewals | lease expiries |"
+              " re-leases |\n";
+        md += "|---|---:|---:|---:|---:|\n";
         for (const auto &[worker, cell] : perWorker) {
             md += "| " + pipeSafe(worker) + " | " +
-                  std::to_string(cell.first) + " | " +
-                  std::to_string(cell.second) + " |\n";
+                  std::to_string(cell.jobs) + " | " +
+                  std::to_string(cell.renewals) + " | " +
+                  std::to_string(cell.expiries) + " | " +
+                  std::to_string(cell.reLeases) + " |\n";
         }
     }
     return md;
@@ -305,12 +321,24 @@ renderTopJobsMarkdown(const std::vector<JobResult> &results,
     if (order.size() > n)
         order.resize(n);
 
+    // Lease-contest columns appear only when some listed job carries
+    // fabric provenance, matching the summary table's behavior.
+    bool anyContest = false;
+    for (const JobResult *r : order) {
+        if (r->leaseExpiries > 0 || r->reLeases > 0) {
+            anyContest = true;
+            break;
+        }
+    }
+
     std::string md;
     md += "## Top " + std::to_string(order.size()) +
           " jobs by CPU time\n\n";
     md += "| scenario | status | cpu (s) | wall (s) | rss +kB |"
-          " solver iters | retries | fallbacks |\n";
-    md += "|---|---|---:|---:|---:|---:|---:|---:|\n";
+          " solver iters | retries | fallbacks |";
+    md += anyContest ? " lease expiries | re-leases |\n" : "\n";
+    md += "|---|---|---:|---:|---:|---:|---:|---:|";
+    md += anyContest ? "---:|---:|\n" : "\n";
     for (const JobResult *r : order) {
         std::string name = r->name;
         std::replace(name.begin(), name.end(), '|', '/');
@@ -321,7 +349,12 @@ renderTopJobsMarkdown(const std::vector<JobResult> &results,
               std::to_string(r->resources.solverIterations) + " | " +
               std::to_string(r->resources.retries) + " | " +
               std::to_string(r->resources.fallbackEscalations) +
-              " |\n";
+              " |";
+        if (anyContest) {
+            md += " " + std::to_string(r->leaseExpiries) + " | " +
+                  std::to_string(r->reLeases) + " |";
+        }
+        md += "\n";
     }
     return md;
 }

@@ -147,6 +147,10 @@ JobResult::toJsonLine() const
         out += ",\"worker\":\"" + obs::jsonEscape(worker) + "\"";
     if (leaseRenewals != 0)
         out += ",\"lease_renewals\":" + std::to_string(leaseRenewals);
+    if (leaseExpiries != 0)
+        out += ",\"lease_expiries\":" + std::to_string(leaseExpiries);
+    if (reLeases != 0)
+        out += ",\"re_leases\":" + std::to_string(reLeases);
     out += ",\"blocks\":{";
     bool first = true;
     for (const auto &[block, celsius] : blockCelsius) {
@@ -261,6 +265,17 @@ JobResult::fromJson(const JsonValue &doc, const std::string &context)
             configError(context,
                         ": 'lease_renewals' must be a number");
         r.leaseRenewals = static_cast<std::size_t>(v->number);
+    }
+    if (const JsonValue *v = doc.find("lease_expiries")) {
+        if (!v->isNumber())
+            configError(context,
+                        ": 'lease_expiries' must be a number");
+        r.leaseExpiries = static_cast<std::size_t>(v->number);
+    }
+    if (const JsonValue *v = doc.find("re_leases")) {
+        if (!v->isNumber())
+            configError(context, ": 're_leases' must be a number");
+        r.reLeases = static_cast<std::size_t>(v->number);
     }
     // Axis assignments arrived with the analytics layer; optional.
     if (const JsonValue *axes = doc.find("axes")) {

@@ -141,6 +141,13 @@ struct JobResult
     /** Lease renewals the executing worker performed while holding
      *  this job (journal `lease_renewals`, omitted when zero). */
     std::size_t leaseRenewals = 0;
+    /** Leases holding this job that expired before it completed —
+     *  each one re-queued it (journal `lease_expiries`, omitted when
+     *  zero). Stamped by the coordinator at accept time. */
+    std::size_t leaseExpiries = 0;
+    /** Times the job was handed out again after its first lease
+     *  (journal `re_leases`, omitted when zero). */
+    std::size_t reLeases = 0;
 
     /** Serialize as one journal JSONL line (no trailing newline). */
     std::string toJsonLine() const;

@@ -22,10 +22,11 @@ namespace
 constexpr char kMagic[4] = {'I', 'R', 'S', 'G'};
 constexpr char kTrailerMagic[4] = {'G', 'S', 'R', 'I'};
 // v2 added the impulse_hit bit column after warm_start; v3 appended
-// the fabric provenance columns (worker string, lease renewals).
+// the fabric provenance columns (worker string, lease renewals); v4
+// appended the lease-contest columns (lease expiries, re-leases).
 // Older segments still read, with the missing columns at their
-// defaults (impulse_hit false, worker "", lease_renewals 0).
-constexpr std::uint16_t kVersion = 3;
+// defaults (impulse_hit false, worker "", counters 0).
+constexpr std::uint16_t kVersion = 4;
 constexpr std::uint16_t kFlagHashU64 = 1u << 0;
 
 // ---------------------------------------------------------------
@@ -548,6 +549,14 @@ writeSegmentFile(const std::string &path,
         return static_cast<std::int64_t>(r.leaseRenewals);
     });
 
+    // v4: how contested each job's lease was.
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.leaseExpiries);
+    });
+    intColumn([](const JobResult &r) {
+        return static_cast<std::int64_t>(r.reLeases);
+    });
+
     putU32(out, crc32(out.data(), out.size()));
     out.insert(out.end(), kTrailerMagic, kTrailerMagic + 4);
 
@@ -777,6 +786,14 @@ readSegmentFile(const std::string &path)
             out[i].worker = std::move(workers[i]);
         intColumn([](JobResult &j, std::int64_t v) {
             j.leaseRenewals = static_cast<std::size_t>(v);
+        });
+    }
+    if (version >= 4) {
+        intColumn([](JobResult &j, std::int64_t v) {
+            j.leaseExpiries = static_cast<std::size_t>(v);
+        });
+        intColumn([](JobResult &j, std::int64_t v) {
+            j.reLeases = static_cast<std::size_t>(v);
         });
     }
     return out;

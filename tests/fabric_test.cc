@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "base/fault_injection.hh"
 #include "base/shutdown.hh"
 #include "fabric/coordinator.hh"
@@ -35,6 +37,8 @@
 #include "fabric/result_cache.hh"
 #include "fabric/worker.hh"
 #include "obs/http_server.hh"
+#include "obs/trace_clock.hh"
+#include "obs/trace_context.hh"
 #include "sweep/plan.hh"
 #include "sweep/result_store.hh"
 #include "sweep/runner.hh"
@@ -76,6 +80,8 @@ normalizedJournal(const std::string &outDir)
         r.resources = sweep::JobResources{};
         r.worker.clear();
         r.leaseRenewals = 0;
+        r.leaseExpiries = 0;
+        r.reLeases = 0;
         // Duplicate hashes would clobber silently; assert instead.
         EXPECT_TRUE(rows.emplace(r.hash, r.toJsonLine()).second)
             << "duplicate journal row for " << r.hash;
@@ -191,8 +197,7 @@ TEST(FabricHttp, PostBodyRoundTripsThroughHandler)
         return obs::HttpResponse{200, "application/json",
                                  "{\"got\":" +
                                      std::to_string(req.body.size()) +
-                                     "}",
-                                 {}};
+                                     "}"};
     });
     server.start(0);
     const std::string body(1000, 'x');
@@ -211,7 +216,7 @@ TEST(FabricHttp, OversizedBodyRefusedWith413)
     server.route("POST", "/sink",
                  [&handlerRan](const obs::HttpRequest &) {
                      handlerRan = true;
-                     return obs::HttpResponse{200, "text/plain", "ok", {}};
+                     return obs::HttpResponse{200, "text/plain", "ok"};
                  });
     server.start(0);
     const HttpReply r = httpRequest("127.0.0.1", server.port(),
@@ -231,7 +236,7 @@ TEST(FabricHttp, MissingContentLengthGets411)
 {
     obs::HttpServer server;
     server.route("POST", "/sink", [](const obs::HttpRequest &) {
-        return obs::HttpResponse{200, "text/plain", "ok", {}};
+        return obs::HttpResponse{200, "text/plain", "ok"};
     });
     server.start(0);
     const std::string reply = rawRequest(
@@ -245,10 +250,10 @@ TEST(FabricHttp, WrongMethodGets405WithAllowHeader)
 {
     obs::HttpServer server;
     server.route("/status", [] {
-        return obs::HttpResponse{200, "text/plain", "ok", {}};
+        return obs::HttpResponse{200, "text/plain", "ok"};
     });
     server.route("POST", "/lease", [](const obs::HttpRequest &) {
-        return obs::HttpResponse{200, "text/plain", "ok", {}};
+        return obs::HttpResponse{200, "text/plain", "ok"};
     });
     server.start(0);
     const HttpReply onGetRoute = httpRequest(
@@ -266,7 +271,7 @@ TEST(FabricHttp, AdmissionControlShedsWith429AndRetryAfter)
 {
     obs::HttpServer server;
     server.route("/status", [] {
-        return obs::HttpResponse{200, "text/plain", "ok", {}};
+        return obs::HttpResponse{200, "text/plain", "ok"};
     });
     // One token, refilled at 1 req/s: the second immediate request
     // must shed.
@@ -608,6 +613,167 @@ TEST_F(Fabric, CoordinatorAnswersRepeatedPlanFromCache)
     EXPECT_EQ(csum.sweep.executed, 0u);
     EXPECT_EQ(normalizedJournal(second.outDir).size(),
               plan.jobCount());
+}
+
+// ---------------------------------------------------------------
+// Fleet observability: trace propagation and degradation
+// ---------------------------------------------------------------
+
+TEST_F(Fabric, TraceContextPropagatesFromLeaseToMergedTrace)
+{
+    const sweep::SweepPlan plan = distinctStackPlan();
+    CoordinatorOptions copts;
+    copts.outDir = freshDir("trace_fabric");
+    copts.writeReports = false;
+    // The probe below leases a job it never completes; a short TTL
+    // hands it back to the real worker quickly.
+    copts.leaseTtlSeconds = 0.5;
+    copts.port = 0;
+    std::promise<int> portPromise;
+    std::future<int> portFuture = portPromise.get_future();
+    copts.onServerStart = [&portPromise](int p) {
+        portPromise.set_value(p);
+    };
+    CoordinatorSummary csum;
+    std::thread coordinator(
+        [&] { csum = runCoordinator(plan, copts); });
+    const int port = portFuture.get();
+
+    // Socket level: a lease grant carries the sweep's trace context
+    // in the JSON body AND the X-Irtherm-Trace response header, and
+    // the two agree.
+    const HttpReply grant =
+        httpRequest("127.0.0.1", port, "POST", "/lease",
+                    "{\"worker\":\"probe\",\"max_jobs\":1}");
+    ASSERT_EQ(grant.status, 200);
+    const std::string headerCtx = grant.header("x-irtherm-trace");
+    EXPECT_TRUE(obs::parseTraceContext(headerCtx).valid())
+        << headerCtx;
+    const std::size_t at = grant.body.find("\"trace\":\"");
+    ASSERT_NE(at, std::string::npos) << grant.body;
+    const std::string bodyCtx = grant.body.substr(at + 9, 33);
+    EXPECT_EQ(bodyCtx, headerCtx);
+    const obs::TraceContext ctx = obs::parseTraceContext(bodyCtx);
+    ASSERT_TRUE(ctx.valid()) << bodyCtx;
+
+    // Ship a synthetic span batch under the granted context; the
+    // coordinator must accept and merge it.
+    const std::string batch =
+        "{\"worker\":\"probe\",\"trace\":\"" + ctx.traceId +
+        "\",\"lease_span\":\"" + obs::spanIdHex(ctx.spanId) +
+        "\",\"wall_epoch_unix_s\":" +
+        std::to_string(obs::wallClockStartUnixSeconds()) +
+        ",\"dropped\":0,\"spans\":[{\"id\":99,\"parent\":0,"
+        "\"tid\":1,\"depth\":0,\"name\":\"probe.unit\","
+        "\"start_s\":0.001,\"dur_s\":0.002}]}";
+    const HttpReply shipped =
+        httpRequest("127.0.0.1", port, "POST", "/spans", batch);
+    EXPECT_EQ(shipped.status, 200);
+    EXPECT_NE(shipped.body.find("\"accepted\":1"),
+              std::string::npos)
+        << shipped.body;
+
+    // Federation surfaces: /fleet JSON and fleet.* Prometheus
+    // series both know about the probe.
+    const HttpReply fleet =
+        httpRequest("127.0.0.1", port, "GET", "/fleet", "");
+    EXPECT_EQ(fleet.status, 200);
+    EXPECT_NE(fleet.body.find("irtherm.fleet.v1"),
+              std::string::npos);
+    EXPECT_NE(fleet.body.find("\"probe\""), std::string::npos);
+    const HttpReply prom =
+        httpRequest("127.0.0.1", port, "GET", "/metrics", "");
+    EXPECT_NE(prom.body.find("irtherm_fleet_workers"),
+              std::string::npos);
+
+    // The live merged trace already holds the probe's track.
+    const HttpReply live =
+        httpRequest("127.0.0.1", port, "GET", "/trace", "");
+    EXPECT_EQ(live.status, 200);
+    EXPECT_NE(live.body.find("probe.unit"), std::string::npos);
+    EXPECT_NE(live.body.find("\"trace_id\":\"" + ctx.traceId),
+              std::string::npos);
+
+    // A real worker drains the plan (the probe's lease lapses and
+    // re-leases) and must adopt the same sweep trace id.
+    WorkerOptions wo;
+    wo.port = port;
+    wo.name = "drainer";
+    WorkerSummary wsum;
+    std::thread worker([&] { wsum = runWorker(wo); });
+    worker.join();
+    coordinator.join();
+
+    EXPECT_EQ(csum.traceId, ctx.traceId);
+    EXPECT_EQ(wsum.traceId, ctx.traceId);
+    EXPECT_GE(csum.spansMerged, 1u);
+    EXPECT_EQ(csum.sweep.ok, plan.jobCount());
+}
+
+TEST_F(Fabric, MalformedTraceContextDegradesToLocalTrace)
+{
+    const sweep::SweepPlan plan = distinctStackPlan();
+    const std::vector<sweep::ScenarioSpec> jobs = plan.expand();
+    ASSERT_FALSE(jobs.empty());
+
+    // A fake coordinator whose grant carries a corrupt trace
+    // context. The worker must degrade to a locally minted trace —
+    // never fail the job.
+    obs::HttpServer server;
+    std::atomic<int> leases{0};
+    std::string completeCtx;
+    server.route(
+        "POST", "/lease", [&](const obs::HttpRequest &) {
+            if (leases++ > 0)
+                return obs::HttpResponse{
+                    200, "application/json",
+                    "{\"done\":true,\"jobs\":[]}"};
+            std::string body =
+                "{\"token\":\"t1\",\"ttl_s\":30,"
+                "\"trace\":\"zz-not-a-context\","
+                "\"jobs\":[{\"settings\":{";
+            bool first = true;
+            for (const auto &[k, v] : jobs[0].settings()) {
+                if (!first)
+                    body += ',';
+                first = false;
+                body += "\"" + k + "\":\"" + v + "\"";
+            }
+            body += "}}]}";
+            return obs::HttpResponse{200, "application/json",
+                                     body};
+        });
+    server.route("POST", "/complete",
+                 [&](const obs::HttpRequest &req) {
+                     completeCtx = req.header(obs::kTraceHeaderName);
+                     EXPECT_NE(req.body.find("\"results\""),
+                               std::string::npos);
+                     return obs::HttpResponse{
+                         200, "application/json",
+                         "{\"duplicates\":0}"};
+                 });
+    server.route("POST", "/spans", [](const obs::HttpRequest &) {
+        return obs::HttpResponse{200, "application/json",
+                                 "{\"accepted\":0}"};
+    });
+    server.start(0);
+
+    WorkerOptions wo;
+    wo.port = server.port();
+    wo.name = "degraded";
+    const WorkerSummary ws = runWorker(wo);
+    server.stop();
+
+    // The job ran to completion despite the corrupt context...
+    EXPECT_EQ(ws.ok, 1u);
+    EXPECT_EQ(ws.failed + ws.timedOut + ws.hung, 0u);
+    // ...under a locally minted (well-formed) trace id, which also
+    // rode the /complete request as a parseable header.
+    const obs::TraceContext localCtx{ws.traceId, 0};
+    EXPECT_TRUE(localCtx.valid()) << ws.traceId;
+    EXPECT_TRUE(obs::parseTraceContext(completeCtx).valid())
+        << completeCtx;
+    EXPECT_EQ(completeCtx.substr(0, 16), ws.traceId);
 }
 
 } // namespace
